@@ -1,0 +1,40 @@
+//! Microbenchmark: O(degree) delta-MDL evaluation for vertex moves and
+//! block merges — the inner loop of every MCMC sweep and of the merge phase.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hsbp_blockmodel::{delta_mdl_merge, evaluate_move, Blockmodel, NeighborCounts};
+use hsbp_generator::{generate, DcsbmConfig};
+
+fn bench(c: &mut Criterion) {
+    let data = generate(DcsbmConfig {
+        num_vertices: 2000,
+        num_communities: 16,
+        target_num_edges: 20_000,
+        seed: 2,
+        ..Default::default()
+    });
+    let bm = Blockmodel::from_assignment(&data.graph, data.ground_truth.clone(), 16);
+
+    c.bench_function("delta/vertex_move_eval", |b| {
+        let mut v = 0u32;
+        b.iter(|| {
+            v = (v + 1) % data.graph.num_vertices() as u32;
+            let from = bm.block_of(v);
+            let to = (from + 1) % 16;
+            let counts = NeighborCounts::gather(&data.graph, &bm, v);
+            black_box(evaluate_move(&bm, from, to, &counts))
+        })
+    });
+
+    c.bench_function("delta/block_merge_eval", |b| {
+        let mut r = 0u32;
+        b.iter(|| {
+            r = (r + 1) % 16;
+            let s = (r + 1) % 16;
+            black_box(delta_mdl_merge(&bm, r, s))
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Benchmark: DCSBM graph generation throughput (replaces graph-tool's
+//! sampler; Table 1/2 pipelines regenerate graphs on every invocation).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hsbp_generator::{generate, DcsbmConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generator");
+    group.sample_size(10);
+    for edges in [10_000usize, 100_000] {
+        let cfg = DcsbmConfig {
+            num_vertices: edges / 10,
+            num_communities: 16,
+            target_num_edges: edges,
+            seed: 9,
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::new("dcsbm", edges), &cfg, |b, cfg| {
+            b.iter(|| black_box(generate(cfg.clone())))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

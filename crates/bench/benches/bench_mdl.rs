@@ -1,0 +1,32 @@
+//! Microbenchmark: full MDL (Eq. 2) evaluation cost at several block counts.
+//! Supports Fig. 2's claim that per-sweep MDL evaluation is cheap relative
+//! to the sweep itself.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hsbp_blockmodel::{mdl, Blockmodel};
+use hsbp_generator::{generate, DcsbmConfig};
+
+fn bench(c: &mut Criterion) {
+    let data = generate(DcsbmConfig {
+        num_vertices: 2000,
+        num_communities: 16,
+        target_num_edges: 20_000,
+        seed: 1,
+        ..Default::default()
+    });
+    let mut group = c.benchmark_group("mdl");
+    for blocks in [4usize, 64, 512] {
+        let assignment: Vec<u32> =
+            (0..data.graph.num_vertices() as u32).map(|v| v % blocks as u32).collect();
+        let bm = Blockmodel::from_assignment(&data.graph, assignment, blocks);
+        group.bench_with_input(BenchmarkId::new("full_mdl", blocks), &bm, |b, bm| {
+            b.iter(|| {
+                black_box(mdl::mdl(bm, data.graph.num_vertices(), data.graph.total_weight()))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Benchmark: one agglomerative merge phase (Algorithm 1), halving the
+//! block count of a mid-size model.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hsbp_blockmodel::Blockmodel;
+use hsbp_core::{merge_phase, RunStats, SbpConfig};
+use hsbp_generator::{generate, DcsbmConfig};
+
+fn bench(c: &mut Criterion) {
+    let data = generate(DcsbmConfig {
+        num_vertices: 1500,
+        num_communities: 12,
+        target_num_edges: 15_000,
+        seed: 5,
+        ..Default::default()
+    });
+    let cfg = SbpConfig::default();
+    c.bench_function("merge_phase/halve_from_128_blocks", |b| {
+        let assignment: Vec<u32> =
+            (0..data.graph.num_vertices() as u32).map(|v| v % 128).collect();
+        b.iter(|| {
+            let mut bm = Blockmodel::from_assignment(&data.graph, assignment.clone(), 128);
+            let mut stats = RunStats::new(&cfg);
+            black_box(merge_phase(&data.graph, &mut bm, 64, &cfg, 0, &mut stats))
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

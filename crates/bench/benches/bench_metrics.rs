@@ -1,0 +1,31 @@
+//! Microbenchmark: the evaluation metrics (NMI, directed modularity,
+//! normalized MDL) used by every experiment.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hsbp_generator::{generate, DcsbmConfig};
+use hsbp_metrics::{directed_modularity, nmi, normalized_mdl};
+
+fn bench(c: &mut Criterion) {
+    let data = generate(DcsbmConfig {
+        num_vertices: 5000,
+        num_communities: 32,
+        target_num_edges: 50_000,
+        seed: 8,
+        ..Default::default()
+    });
+    let shuffled: Vec<u32> =
+        data.ground_truth.iter().map(|&b| (b + 1) % 32).collect();
+
+    c.bench_function("metrics/nmi", |b| {
+        b.iter(|| black_box(nmi(&data.ground_truth, &shuffled)))
+    });
+    c.bench_function("metrics/modularity", |b| {
+        b.iter(|| black_box(directed_modularity(&data.graph, &data.ground_truth)))
+    });
+    c.bench_function("metrics/normalized_mdl", |b| {
+        b.iter(|| black_box(normalized_mdl(&data.graph, &data.ground_truth)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

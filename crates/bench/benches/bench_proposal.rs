@@ -1,0 +1,36 @@
+//! Microbenchmark: the MH proposal distribution (random incident edge +
+//! block-neighbour multinomial) and the acceptance test.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hsbp_blockmodel::{propose::accept_move, propose_block, Blockmodel, MoveEval};
+use hsbp_collections::SplitMix64;
+use hsbp_generator::{generate, DcsbmConfig};
+
+fn bench(c: &mut Criterion) {
+    let data = generate(DcsbmConfig {
+        num_vertices: 2000,
+        num_communities: 16,
+        target_num_edges: 20_000,
+        seed: 3,
+        ..Default::default()
+    });
+    let bm = Blockmodel::from_assignment(&data.graph, data.ground_truth.clone(), 16);
+
+    c.bench_function("proposal/propose_block", |b| {
+        let mut rng = SplitMix64::new(9);
+        let mut v = 0u32;
+        b.iter(|| {
+            v = (v + 1) % data.graph.num_vertices() as u32;
+            black_box(propose_block(&data.graph, &bm, bm.assignment(), v, &mut rng))
+        })
+    });
+
+    c.bench_function("proposal/accept_move", |b| {
+        let mut rng = SplitMix64::new(11);
+        let eval = MoveEval { delta_mdl: 0.3, hastings: 0.9 };
+        b.iter(|| black_box(accept_move(&eval, 3.0, &mut rng)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Microbenchmark: blockmodel reconstruction from an assignment — the
+//! end-of-sweep step that A-SBP adds relative to serial SBP, and the reason
+//! the cost model charges `rebuild_per_edge · E` per sweep.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hsbp_blockmodel::Blockmodel;
+use hsbp_generator::{generate, DcsbmConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rebuild");
+    for (vertices, edges) in [(1000usize, 10_000usize), (4000, 40_000)] {
+        let data = generate(DcsbmConfig {
+            num_vertices: vertices,
+            num_communities: 16,
+            target_num_edges: edges,
+            seed: 4,
+            ..Default::default()
+        });
+        let mut bm = Blockmodel::from_assignment(&data.graph, data.ground_truth.clone(), 16);
+        group.bench_with_input(
+            BenchmarkId::new("dense", edges),
+            &data,
+            |b, data| {
+                b.iter(|| {
+                    bm.rebuild_dense(&data.graph, data.ground_truth.clone());
+                    black_box(bm.num_blocks())
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sparse_partials", edges),
+            &data,
+            |b, data| {
+                b.iter(|| {
+                    bm.rebuild_sparse(&data.graph, data.ground_truth.clone());
+                    black_box(bm.num_blocks())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,174 @@
+//! Terminal plotting: horizontal bar charts and scaling curves so the
+//! `repro` output visually mirrors the paper's figures, not just their
+//! underlying numbers.
+
+use std::fmt::Write as _;
+
+/// A horizontal grouped bar chart (one row per item, one bar per series).
+#[derive(Debug, Clone)]
+pub struct BarChart {
+    title: String,
+    series_names: Vec<String>,
+    /// `(label, values)` — one value per series (NaN = missing).
+    items: Vec<(String, Vec<f64>)>,
+    /// Width of the bar area in characters.
+    width: usize,
+}
+
+const BAR_GLYPHS: [char; 3] = ['█', '▒', '░'];
+
+impl BarChart {
+    /// New chart with one name per series (max 3 series).
+    pub fn new(title: &str, series_names: &[&str]) -> Self {
+        assert!(!series_names.is_empty() && series_names.len() <= BAR_GLYPHS.len());
+        Self {
+            title: title.to_string(),
+            series_names: series_names.iter().map(|s| s.to_string()).collect(),
+            items: Vec::new(),
+            width: 46,
+        }
+    }
+
+    /// Add one labelled group of bars (one value per series).
+    pub fn item(&mut self, label: &str, values: &[f64]) {
+        assert_eq!(values.len(), self.series_names.len(), "series arity mismatch");
+        self.items.push((label.to_string(), values.to_vec()));
+    }
+
+    /// Number of item groups.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when no items were added.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Render to a string.
+    pub fn render(&self) -> String {
+        let max = self
+            .items
+            .iter()
+            .flat_map(|(_, vs)| vs.iter().copied())
+            .filter(|v| v.is_finite())
+            .fold(0.0f64, f64::max);
+        let label_w = self
+            .items
+            .iter()
+            .map(|(l, _)| l.len())
+            .chain(self.series_names.iter().map(|s| s.len()))
+            .max()
+            .unwrap_or(4)
+            .max(4);
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.title);
+        // Legend.
+        let legend: Vec<String> = self
+            .series_names
+            .iter()
+            .enumerate()
+            .map(|(i, name)| format!("{} {}", BAR_GLYPHS[i], name))
+            .collect();
+        let _ = writeln!(out, "  [{}]  (bar max = {:.3})", legend.join("  "), max);
+        for (label, values) in &self.items {
+            for (i, &v) in values.iter().enumerate() {
+                let prefix = if i == 0 { label.as_str() } else { "" };
+                if v.is_finite() && max > 0.0 {
+                    let bar_len = ((v / max) * self.width as f64).round() as usize;
+                    let bar: String = std::iter::repeat_n(BAR_GLYPHS[i], bar_len.max(1)).collect();
+                    let _ = writeln!(out, "  {prefix:>label_w$} |{bar} {v:.3}");
+                } else {
+                    let _ = writeln!(out, "  {prefix:>label_w$} | (n/a)");
+                }
+            }
+        }
+        out
+    }
+}
+
+/// An ASCII log-x scaling curve (Fig. 7 style): one line per point.
+pub fn scaling_curve(title: &str, points: &[(usize, f64)], width: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let max = points.iter().map(|&(_, v)| v).fold(0.0f64, f64::max);
+    if max <= 0.0 {
+        return out;
+    }
+    for &(threads, value) in points {
+        let bar_len = ((value / max) * width as f64).round() as usize;
+        let bar: String = std::iter::repeat_n('█', bar_len.max(1)).collect();
+        let _ = writeln!(out, "  {threads:>4} threads |{bar} {value:.0}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_all_items_and_legend() {
+        let mut chart = BarChart::new("NMI", &["SBP", "H-SBP", "A-SBP"]);
+        chart.item("S2", &[0.9, 0.92, 0.5]);
+        chart.item("S4", &[1.0, 1.0, 1.0]);
+        let s = chart.render();
+        assert!(s.contains("NMI"));
+        assert!(s.contains("S2"));
+        assert!(s.contains("S4"));
+        assert!(s.contains("█"));
+        assert!(s.contains("▒"));
+        assert!(s.contains("SBP"));
+        assert_eq!(chart.len(), 2);
+    }
+
+    #[test]
+    fn longest_bar_belongs_to_max() {
+        let mut chart = BarChart::new("t", &["x"]);
+        chart.item("small", &[1.0]);
+        chart.item("big", &[10.0]);
+        let s = chart.render();
+        let count = |line_label: &str| {
+            s.lines()
+                .find(|l| l.contains(line_label))
+                .map(|l| l.chars().filter(|&c| c == '█').count())
+                .unwrap()
+        };
+        assert!(count("big") > count("small"));
+    }
+
+    #[test]
+    fn handles_nan_values() {
+        let mut chart = BarChart::new("t", &["x", "y"]);
+        chart.item("a", &[f64::NAN, 2.0]);
+        let s = chart.render();
+        assert!(s.contains("(n/a)"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn arity_mismatch_panics() {
+        let mut chart = BarChart::new("t", &["x", "y"]);
+        chart.item("a", &[1.0]);
+    }
+
+    #[test]
+    fn scaling_curve_monotone_bars() {
+        let points = vec![(1usize, 100.0), (2, 60.0), (4, 40.0)];
+        let s = scaling_curve("scaling", &points, 30);
+        assert!(s.contains("1 threads"));
+        assert!(s.contains("4 threads"));
+        let bars: Vec<usize> = s
+            .lines()
+            .skip(1)
+            .map(|l| l.chars().filter(|&c| c == '█').count())
+            .collect();
+        assert!(bars[0] > bars[1] && bars[1] > bars[2]);
+    }
+
+    #[test]
+    fn empty_curve_is_title_only() {
+        let s = scaling_curve("nothing", &[], 20);
+        assert_eq!(s.lines().count(), 1);
+    }
+}

@@ -1,0 +1,144 @@
+//! Aligned text tables and CSV output for the `repro` binary.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// A simple column-aligned table builder.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Self { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Append a data row (must match the header arity).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if no data rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with right-aligned numeric-looking cells.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |out: &mut String, cells: &[String]| {
+            for i in 0..ncols {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{:>width$}", cells[i], width = widths[i]);
+            }
+            out.push('\n');
+        };
+        fmt_row(&mut out, &self.header);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            fmt_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Serialise as CSV (header + rows).
+    pub fn to_csv(&self) -> String {
+        let escape = |cell: &str| {
+            if cell.contains([',', '"', '\n']) {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.header.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+        }
+        out
+    }
+
+    /// Print to stdout under a title and also write `<out_dir>/<name>.csv`.
+    pub fn emit(&self, title: &str, out_dir: &Path, name: &str) {
+        println!("\n== {title} ==\n{}", self.render());
+        if let Err(e) = std::fs::create_dir_all(out_dir) {
+            eprintln!("warning: cannot create {}: {e}", out_dir.display());
+            return;
+        }
+        let path: PathBuf = out_dir.join(format!("{name}.csv"));
+        if let Err(e) = std::fs::write(&path, self.to_csv()) {
+            eprintln!("warning: cannot write {}: {e}", path.display());
+        } else {
+            println!("(written to {})", path.display());
+        }
+    }
+}
+
+/// Format a float with sensible digits for tables.
+pub fn fmt(x: f64, digits: usize) -> String {
+    if x.is_nan() {
+        "-".to_string()
+    } else {
+        format!("{x:.digits$}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new(&["id", "value"]);
+        t.row(vec!["a".into(), "1.5".into()]);
+        t.row(vec!["long-id".into(), "10".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines the same width.
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert!(lines[2].contains("a"));
+    }
+
+    #[test]
+    fn csv_escapes() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["x,y".into(), "say \"hi\"".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    #[should_panic]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn fmt_handles_nan() {
+        assert_eq!(fmt(f64::NAN, 3), "-");
+        assert_eq!(fmt(1.23456, 2), "1.23");
+    }
+}

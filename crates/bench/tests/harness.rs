@@ -1,0 +1,95 @@
+//! Smoke tests for the experiment harness: every report function must run
+//! end-to-end at miniature scale and leave a parseable CSV behind.
+
+use hsbp_bench::experiments as exp;
+use hsbp_bench::runner::{run_realworld_suite, run_synthetic_suite, ExperimentContext};
+
+fn tiny_ctx() -> ExperimentContext {
+    ExperimentContext { scale: 0.0008, restarts: 1, seed: 2, verbose: false }
+}
+
+fn out_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("hsbp-harness-tests").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn csv_rows(path: &std::path::Path) -> Vec<String> {
+    std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("missing {}: {e}", path.display()))
+        .lines()
+        .map(|l| l.to_string())
+        .collect()
+}
+
+#[test]
+fn tables_emit_full_catalogs() {
+    let ctx = tiny_ctx();
+    let out = out_dir("tables");
+    exp::table1_report(&ctx, &out);
+    exp::table2_report(&ctx, &out);
+    assert_eq!(csv_rows(&out.join("table1.csv")).len(), 25); // header + 24
+    assert_eq!(csv_rows(&out.join("table2.csv")).len(), 15); // header + 14
+}
+
+#[test]
+fn synthetic_figures_cover_reported_graphs() {
+    let ctx = tiny_ctx();
+    let out = out_dir("synth");
+    let synth = run_synthetic_suite(&ctx);
+    assert_eq!(synth.len(), 18);
+    exp::fig2_report(&synth, &out);
+    exp::fig3_report(&synth, &out);
+    exp::fig4a_report(&synth, &out);
+    exp::fig4b_report(&synth, &out);
+    exp::fig8a_report(&synth, &out);
+    assert_eq!(csv_rows(&out.join("fig4a.csv")).len(), 19); // header + 18
+    assert_eq!(csv_rows(&out.join("fig4b.csv")).len(), 19);
+    assert_eq!(csv_rows(&out.join("fig8a.csv")).len(), 19);
+    // fig2 has a trailing mean row.
+    assert_eq!(csv_rows(&out.join("fig2.csv")).len(), 20);
+    // fig3 correlation table: header + 2 pairs.
+    assert_eq!(csv_rows(&out.join("fig3.csv")).len(), 3);
+    // Every variant column of fig4b parses as a positive float.
+    for row in csv_rows(&out.join("fig4b.csv")).iter().skip(1) {
+        for cell in row.split(',').skip(1) {
+            if cell != "-" {
+                let v: f64 = cell.parse().expect("numeric speedup cell");
+                assert!(v > 0.0);
+            }
+        }
+    }
+}
+
+#[test]
+fn realworld_figures_cover_all_datasets() {
+    let ctx = tiny_ctx();
+    let out = out_dir("real");
+    let real = run_realworld_suite(&ctx);
+    assert_eq!(real.len(), 14);
+    exp::fig5a_report(&real, &out);
+    exp::fig5b_report(&real, &out);
+    exp::fig6_report(&real, &out);
+    exp::fig8b_report(&real, &out);
+    for name in ["fig5a", "fig5b", "fig6", "fig8b"] {
+        assert_eq!(csv_rows(&out.join(format!("{name}.csv"))).len(), 15, "{name}");
+    }
+}
+
+#[test]
+fn fig7_scaling_curve_is_monotone() {
+    let ctx = tiny_ctx();
+    let out = out_dir("fig7");
+    exp::fig7_report(&ctx, &out);
+    let rows = csv_rows(&out.join("fig7.csv"));
+    assert_eq!(rows.len(), 9); // header + 8 thread counts
+    let times: Vec<f64> = rows
+        .iter()
+        .skip(1)
+        .map(|r| r.split(',').nth(1).unwrap().parse().unwrap())
+        .collect();
+    for pair in times.windows(2) {
+        assert!(pair[1] <= pair[0] + 1e-9, "scaling curve not monotone: {times:?}");
+    }
+}

@@ -1,0 +1,533 @@
+//! O(degree) evaluation of the MDL change of a proposed vertex move or block
+//! merge, plus the Hastings correction — all without mutating the model.
+//!
+//! A vertex move `v: r → s` only touches rows `r`, `s` and columns `r`, `s`
+//! of `B` (and the four block degrees `d_out/d_in` of `r` and `s`), so the
+//! likelihood delta is the difference of Eq.-1 terms over exactly those
+//! entries. The same holds for a block merge. Correctness is enforced by
+//! property tests comparing against a full recompute on a mutated clone.
+
+use crate::mdl::log_likelihood_term;
+use crate::model::{Block, Blockmodel};
+use hsbp_collections::FxHashMap;
+use hsbp_graph::{Graph, Vertex, Weight};
+
+/// Census of a vertex's neighbourhood by block: how many edge endpoints `v`
+/// has in each block, split by direction, with self-loops separated.
+///
+/// Gathered once per proposal and shared by the delta computation, the
+/// Hastings correction and the in-place move application.
+#[derive(Debug, Clone, Default)]
+pub struct NeighborCounts {
+    /// `(block, weight)` of out-edges `v -> u`, `u != v`.
+    pub out_counts: Vec<(Block, Weight)>,
+    /// `(block, weight)` of in-edges `u -> v`, `u != v`.
+    pub in_counts: Vec<(Block, Weight)>,
+    /// Total weight of self-loops `v -> v`.
+    pub self_loops: Weight,
+}
+
+impl NeighborCounts {
+    /// Gather for `v` using the model's own assignment.
+    pub fn gather(graph: &Graph, bm: &Blockmodel, v: Vertex) -> Self {
+        Self::gather_with(graph, bm.assignment(), v, &mut MoveScratch::default())
+    }
+
+    /// Gather for `v` against an explicit assignment (the per-sweep snapshot
+    /// in A-SBP), reusing `scratch` buffers across calls.
+    pub fn gather_with(
+        graph: &Graph,
+        assignment: &[Block],
+        v: Vertex,
+        scratch: &mut MoveScratch,
+    ) -> Self {
+        scratch.out_map.clear();
+        scratch.in_map.clear();
+        let mut self_loops: Weight = 0;
+        for (u, w) in graph.out_edges(v) {
+            if u == v {
+                self_loops += w;
+            } else {
+                *scratch.out_map.entry(assignment[u as usize]).or_insert(0) += w;
+            }
+        }
+        for (u, w) in graph.in_edges(v) {
+            if u != v {
+                *scratch.in_map.entry(assignment[u as usize]).or_insert(0) += w;
+            }
+        }
+        let mut out_counts: Vec<(Block, Weight)> =
+            scratch.out_map.iter().map(|(&b, &w)| (b, w)).collect();
+        let mut in_counts: Vec<(Block, Weight)> =
+            scratch.in_map.iter().map(|(&b, &w)| (b, w)).collect();
+        // Sorted output keeps downstream arithmetic deterministic.
+        out_counts.sort_unstable();
+        in_counts.sort_unstable();
+        NeighborCounts { out_counts, in_counts, self_loops }
+    }
+
+    /// Total out-degree of the vertex (self-loops included).
+    #[inline]
+    pub fn k_out(&self) -> Weight {
+        self.out_counts.iter().map(|&(_, w)| w).sum::<Weight>() + self.self_loops
+    }
+
+    /// Total in-degree of the vertex (self-loops included).
+    #[inline]
+    pub fn k_in(&self) -> Weight {
+        self.in_counts.iter().map(|&(_, w)| w).sum::<Weight>() + self.self_loops
+    }
+
+    /// Total degree `k_out + k_in`.
+    #[inline]
+    pub fn degree(&self) -> Weight {
+        self.k_out() + self.k_in()
+    }
+}
+
+/// Reusable hash-map buffers for [`NeighborCounts::gather_with`].
+#[derive(Debug, Default)]
+pub struct MoveScratch {
+    out_map: FxHashMap<Block, Weight>,
+    in_map: FxHashMap<Block, Weight>,
+}
+
+/// Result of evaluating a proposed vertex move.
+#[derive(Debug, Clone, Copy)]
+pub struct MoveEval {
+    /// `ΔMDL` (likelihood part; C is unchanged by a move). Negative is an
+    /// improvement.
+    pub delta_mdl: f64,
+    /// Hastings factor `p_backward / p_forward` for the MH acceptance test.
+    pub hastings: f64,
+}
+
+/// Signed working image of the four affected rows/cols of `B`.
+struct AffectedState {
+    row_from: FxHashMap<Block, i64>,
+    row_to: FxHashMap<Block, i64>,
+    /// Column entries `B[a][from]` for `a ∉ {from, to}`.
+    col_from: FxHashMap<Block, i64>,
+    /// Column entries `B[a][to]` for `a ∉ {from, to}`.
+    col_to: FxHashMap<Block, i64>,
+    d_out_from: i64,
+    d_out_to: i64,
+    d_in_from: i64,
+    d_in_to: i64,
+}
+
+impl AffectedState {
+    fn snapshot(bm: &Blockmodel, from: Block, to: Block) -> Self {
+        let mut s = AffectedState {
+            row_from: FxHashMap::default(),
+            row_to: FxHashMap::default(),
+            col_from: FxHashMap::default(),
+            col_to: FxHashMap::default(),
+            d_out_from: bm.d_out(from) as i64,
+            d_out_to: bm.d_out(to) as i64,
+            d_in_from: bm.d_in(from) as i64,
+            d_in_to: bm.d_in(to) as i64,
+        };
+        for (t, w) in bm.row(from).iter() {
+            s.row_from.insert(t, w as i64);
+        }
+        for (t, w) in bm.row(to).iter() {
+            s.row_to.insert(t, w as i64);
+        }
+        for (a, w) in bm.col(from).iter() {
+            if a != from && a != to {
+                s.col_from.insert(a, w as i64);
+            }
+        }
+        for (a, w) in bm.col(to).iter() {
+            if a != from && a != to {
+                s.col_to.insert(a, w as i64);
+            }
+        }
+        s
+    }
+
+    /// Sum of Eq.-1 terms over the affected entries with the state's current
+    /// values and degrees.
+    fn likelihood_part(&self, bm: &Blockmodel, from: Block, to: Block) -> f64 {
+        let d_in_of = |t: Block| -> f64 {
+            if t == from {
+                self.d_in_from as f64
+            } else if t == to {
+                self.d_in_to as f64
+            } else {
+                bm.d_in(t) as f64
+            }
+        };
+        let mut total = 0.0;
+        for (&t, &b) in &self.row_from {
+            total += log_likelihood_term(b as f64, self.d_out_from as f64, d_in_of(t));
+        }
+        for (&t, &b) in &self.row_to {
+            total += log_likelihood_term(b as f64, self.d_out_to as f64, d_in_of(t));
+        }
+        for (&a, &b) in &self.col_from {
+            total += log_likelihood_term(b as f64, bm.d_out(a) as f64, self.d_in_from as f64);
+        }
+        for (&a, &b) in &self.col_to {
+            total += log_likelihood_term(b as f64, bm.d_out(a) as f64, self.d_in_to as f64);
+        }
+        total
+    }
+
+    /// Mutate the image to reflect the move `v: from -> to`.
+    fn apply(&mut self, counts: &NeighborCounts, from: Block, to: Block) {
+        // Out-edges v -> (block t): B[from][t] -= w, B[to][t] += w.
+        for &(t, w) in &counts.out_counts {
+            let w = w as i64;
+            *self.row_from.entry(t).or_insert(0) -= w;
+            *self.row_to.entry(t).or_insert(0) += w;
+        }
+        // In-edges (block a) -> v: B[a][from] -= w, B[a][to] += w. When
+        // a ∈ {from, to} the entry lives in a tracked *row*, otherwise in a
+        // tracked column.
+        for &(a, w) in &counts.in_counts {
+            let w = w as i64;
+            if a == from {
+                *self.row_from.entry(from).or_insert(0) -= w;
+                *self.row_from.entry(to).or_insert(0) += w;
+            } else if a == to {
+                *self.row_to.entry(from).or_insert(0) -= w;
+                *self.row_to.entry(to).or_insert(0) += w;
+            } else {
+                *self.col_from.entry(a).or_insert(0) -= w;
+                *self.col_to.entry(a).or_insert(0) += w;
+            }
+        }
+        // Self-loops travel along the diagonal.
+        if counts.self_loops > 0 {
+            let w = counts.self_loops as i64;
+            *self.row_from.entry(from).or_insert(0) -= w;
+            *self.row_to.entry(to).or_insert(0) += w;
+        }
+        let k_out = counts.k_out() as i64;
+        let k_in = counts.k_in() as i64;
+        self.d_out_from -= k_out;
+        self.d_out_to += k_out;
+        self.d_in_from -= k_in;
+        self.d_in_to += k_in;
+        debug_assert!(self.d_out_from >= 0 && self.d_in_from >= 0);
+        debug_assert!(self.row_from.values().all(|&b| b >= 0), "negative cell in row_from");
+        debug_assert!(self.row_to.values().all(|&b| b >= 0), "negative cell in row_to");
+    }
+
+    /// `B[t][to] + B[to][t]` in the current image, for the Hastings sum.
+    fn pair_mass(&self, bm: &Blockmodel, t: Block, target: Block, from: Block, to: Block) -> i64 {
+        let get = |row: Block, col: Block| -> i64 {
+            if row == from {
+                self.row_from.get(&col).copied().unwrap_or(0)
+            } else if row == to {
+                self.row_to.get(&col).copied().unwrap_or(0)
+            } else if col == from {
+                self.col_from.get(&row).copied().unwrap_or(0)
+            } else if col == to {
+                self.col_to.get(&row).copied().unwrap_or(0)
+            } else {
+                bm.edge_count(row, col) as i64
+            }
+        };
+        if t == target {
+            // Diagonal cell counted once in each direction = twice.
+            2 * get(t, t)
+        } else {
+            get(t, target) + get(target, t)
+        }
+    }
+
+    fn d_total_of(&self, bm: &Blockmodel, t: Block, from: Block, to: Block) -> i64 {
+        if t == from {
+            self.d_out_from + self.d_in_from
+        } else if t == to {
+            self.d_out_to + self.d_in_to
+        } else {
+            bm.d_total(t) as i64
+        }
+    }
+
+}
+
+/// Evaluate a proposed move `v: from → to`: its MDL delta and Hastings
+/// correction. `counts` must be gathered with `v` still in `from`.
+///
+/// The Hastings factor follows the graph-challenge reference: with the
+/// neighbour-block census `{(t, k_t)}` of `v` (self-loops counted toward
+/// `from`), `C = num_blocks`,
+///
+/// ```text
+/// p_fwd = Σ_t k_t/k_v · (B[t][to]   + B[to][t]   + 1) / (d_t + C)    (old B)
+/// p_bwd = Σ_t k_t/k_v · (B'[t][from] + B'[from][t] + 1) / (d'_t + C)  (new B)
+/// ```
+pub fn evaluate_move(
+    bm: &Blockmodel,
+    from: Block,
+    to: Block,
+    counts: &NeighborCounts,
+) -> MoveEval {
+    if from == to {
+        return MoveEval { delta_mdl: 0.0, hastings: 1.0 };
+    }
+    let mut state = AffectedState::snapshot(bm, from, to);
+    let old_part = state.likelihood_part(bm, from, to);
+
+    // Combined neighbour-block census (both directions; self-loops toward
+    // the *current* block of v, i.e. `from`).
+    let mut census: FxHashMap<Block, Weight> = FxHashMap::default();
+    for &(t, w) in counts.out_counts.iter().chain(counts.in_counts.iter()) {
+        *census.entry(t).or_insert(0) += w;
+    }
+    if counts.self_loops > 0 {
+        *census.entry(from).or_insert(0) += 2 * counts.self_loops;
+    }
+    let k_v: Weight = census.values().sum();
+    let c = bm.num_blocks() as f64;
+
+    // Forward probability uses the pre-move matrix.
+    let mut p_fwd = 0.0;
+    if k_v > 0 {
+        for (&t, &k_t) in &census {
+            let mass = if t == to {
+                2 * bm.edge_count(to, to)
+            } else {
+                bm.edge_count(t, to) + bm.edge_count(to, t)
+            };
+            p_fwd += k_t as f64 * (mass as f64 + 1.0) / (bm.d_total(t) as f64 + c);
+        }
+        p_fwd /= k_v as f64;
+    }
+
+    state.apply(counts, from, to);
+    let new_part = state.likelihood_part(bm, from, to);
+
+    // Backward probability uses the post-move matrix (labels of the census
+    // unchanged, matching the reference implementation).
+    let mut p_bwd = 0.0;
+    if k_v > 0 {
+        for (&t, &k_t) in &census {
+            let mass = state.pair_mass(bm, t, from, from, to);
+            let d_t = state.d_total_of(bm, t, from, to);
+            p_bwd += k_t as f64 * (mass as f64 + 1.0) / (d_t as f64 + c);
+        }
+        p_bwd /= k_v as f64;
+    }
+
+    let hastings = if p_fwd > 0.0 && k_v > 0 { p_bwd / p_fwd } else { 1.0 };
+    MoveEval { delta_mdl: old_part - new_part, hastings }
+}
+
+/// MDL delta (likelihood part) of moving `v: from → to`.
+pub fn delta_mdl_move(bm: &Blockmodel, from: Block, to: Block, counts: &NeighborCounts) -> f64 {
+    evaluate_move(bm, from, to, counts).delta_mdl
+}
+
+/// Likelihood-part MDL delta of merging block `r` into block `s`, computed
+/// without touching the model. The (identical for every candidate) model
+/// complexity change from `C → C−1` is *not* included; add
+/// [`crate::mdl::model_complexity_delta`] for the full ΔMDL.
+pub fn delta_mdl_merge(bm: &Blockmodel, r: Block, s: Block) -> f64 {
+    if r == s {
+        return 0.0;
+    }
+    // Old likelihood part: rows r, s fully; columns r, s excluding entries
+    // already counted in those rows.
+    let mut old_part = 0.0;
+    for (t, b) in bm.row(r).iter() {
+        old_part += log_likelihood_term(b as f64, bm.d_out(r) as f64, bm.d_in(t) as f64);
+    }
+    for (t, b) in bm.row(s).iter() {
+        old_part += log_likelihood_term(b as f64, bm.d_out(s) as f64, bm.d_in(t) as f64);
+    }
+    for (a, b) in bm.col(r).iter() {
+        if a != r && a != s {
+            old_part += log_likelihood_term(b as f64, bm.d_out(a) as f64, bm.d_in(r) as f64);
+        }
+    }
+    for (a, b) in bm.col(s).iter() {
+        if a != r && a != s {
+            old_part += log_likelihood_term(b as f64, bm.d_out(a) as f64, bm.d_in(s) as f64);
+        }
+    }
+
+    // Merged row: row r + row s with key r folded into s.
+    let mut new_row: FxHashMap<Block, Weight> = FxHashMap::default();
+    for (t, b) in bm.row(r).iter().chain(bm.row(s).iter()) {
+        let key = if t == r { s } else { t };
+        *new_row.entry(key).or_insert(0) += b;
+    }
+    // Merged column, excluding rows r and s (their mass is in new_row).
+    let mut new_col: FxHashMap<Block, Weight> = FxHashMap::default();
+    for (a, b) in bm.col(r).iter().chain(bm.col(s).iter()) {
+        if a != r && a != s {
+            *new_col.entry(a).or_insert(0) += b;
+        }
+    }
+    let d_out_merged = (bm.d_out(r) + bm.d_out(s)) as f64;
+    let d_in_merged = (bm.d_in(r) + bm.d_in(s)) as f64;
+    let d_in_of = |t: Block| -> f64 { if t == s { d_in_merged } else { bm.d_in(t) as f64 } };
+
+    let mut new_part = 0.0;
+    for (&t, &b) in &new_row {
+        new_part += log_likelihood_term(b as f64, d_out_merged, d_in_of(t));
+    }
+    for (&a, &b) in &new_col {
+        new_part += log_likelihood_term(b as f64, bm.d_out(a) as f64, d_in_merged);
+    }
+    old_part - new_part
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mdl;
+    use hsbp_graph::Graph;
+
+    fn ring(n: u32) -> Graph {
+        let edges: Vec<(u32, u32)> = (0..n).map(|v| (v, (v + 1) % n)).collect();
+        Graph::from_edges(n as usize, &edges)
+    }
+
+    fn brute_force_delta(graph: &Graph, bm: &Blockmodel, v: Vertex, to: Block) -> f64 {
+        let mut assignment = bm.assignment().to_vec();
+        assignment[v as usize] = to;
+        let moved = Blockmodel::from_assignment(graph, assignment, bm.num_blocks());
+        mdl::log_likelihood(bm) - mdl::log_likelihood(&moved)
+    }
+
+    #[test]
+    fn gather_counts_directions() {
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (3, 0), (0, 0)]);
+        let bm = Blockmodel::from_assignment(&g, vec![0, 1, 1, 2], 3);
+        let counts = NeighborCounts::gather(&g, &bm, 0);
+        assert_eq!(counts.out_counts, vec![(1, 2)]);
+        assert_eq!(counts.in_counts, vec![(2, 1)]);
+        assert_eq!(counts.self_loops, 1);
+        assert_eq!(counts.k_out(), 3);
+        assert_eq!(counts.k_in(), 2);
+        assert_eq!(counts.degree(), 5);
+    }
+
+    #[test]
+    fn delta_matches_brute_force_on_ring() {
+        let g = ring(8);
+        let bm = Blockmodel::from_assignment(&g, vec![0, 0, 1, 1, 2, 2, 3, 3], 4);
+        for v in 0..8u32 {
+            let from = bm.block_of(v);
+            let counts = NeighborCounts::gather(&g, &bm, v);
+            for to in 0..4u32 {
+                if to == from {
+                    continue;
+                }
+                let fast = delta_mdl_move(&bm, from, to, &counts);
+                let slow = brute_force_delta(&g, &bm, v, to);
+                assert!(
+                    (fast - slow).abs() < 1e-9,
+                    "v={v} {from}->{to}: fast {fast} vs slow {slow}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn delta_with_self_loops() {
+        let g = Graph::from_edges(4, &[(0, 0), (0, 1), (1, 0), (2, 3), (3, 2), (3, 3), (1, 2)]);
+        let bm = Blockmodel::from_assignment(&g, vec![0, 0, 1, 1], 2);
+        for v in 0..4u32 {
+            let from = bm.block_of(v);
+            let to = 1 - from;
+            let counts = NeighborCounts::gather(&g, &bm, v);
+            let fast = delta_mdl_move(&bm, from, to, &counts);
+            let slow = brute_force_delta(&g, &bm, v, to);
+            assert!((fast - slow).abs() < 1e-9, "v={v}: fast {fast} vs slow {slow}");
+        }
+    }
+
+    #[test]
+    fn delta_zero_for_null_move() {
+        let g = ring(6);
+        let bm = Blockmodel::from_assignment(&g, vec![0, 0, 0, 1, 1, 1], 2);
+        let counts = NeighborCounts::gather(&g, &bm, 0);
+        let eval = evaluate_move(&bm, 0, 0, &counts);
+        assert_eq!(eval.delta_mdl, 0.0);
+        assert_eq!(eval.hastings, 1.0);
+    }
+
+    #[test]
+    fn isolated_vertex_moves_freely() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 0)]);
+        let bm = Blockmodel::from_assignment(&g, vec![0, 0, 1, 1], 2);
+        let counts = NeighborCounts::gather(&g, &bm, 3);
+        let eval = evaluate_move(&bm, 1, 0, &counts);
+        assert_eq!(eval.delta_mdl, 0.0);
+        assert_eq!(eval.hastings, 1.0);
+    }
+
+    #[test]
+    fn merge_delta_matches_brute_force() {
+        let g = Graph::from_edges(
+            6,
+            &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3), (0, 0)],
+        );
+        let bm = Blockmodel::from_assignment(&g, vec![0, 0, 1, 1, 2, 2], 3);
+        for r in 0..3u32 {
+            for s in 0..3u32 {
+                if r == s {
+                    continue;
+                }
+                let fast = delta_mdl_merge(&bm, r, s);
+                // Brute force: relabel r -> s, keep label space size (the
+                // likelihood does not depend on empty blocks).
+                let assignment: Vec<Block> = bm
+                    .assignment()
+                    .iter()
+                    .map(|&b| if b == r { s } else { b })
+                    .collect();
+                let merged = Blockmodel::from_assignment(&g, assignment, 3);
+                let slow = mdl::log_likelihood(&bm) - mdl::log_likelihood(&merged);
+                assert!(
+                    (fast - slow).abs() < 1e-9,
+                    "merge {r}->{s}: fast {fast} vs slow {slow}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn merge_is_symmetric_in_likelihood() {
+        // Merging r into s or s into r yields the same merged model, so the
+        // likelihood delta must match.
+        let g = ring(9);
+        let bm =
+            Blockmodel::from_assignment(&g, vec![0, 0, 0, 1, 1, 1, 2, 2, 2], 3);
+        for (r, s) in [(0u32, 1u32), (1, 2), (0, 2)] {
+            let a = delta_mdl_merge(&bm, r, s);
+            let b = delta_mdl_merge(&bm, s, r);
+            assert!((a - b).abs() < 1e-9, "merge {r}/{s}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn hastings_is_reciprocal_for_reverse_move() {
+        // For deterministic states: hastings(v: r->s) * hastings(v: s->r on
+        // the moved model) == 1 (p_bwd/p_fwd inverts).
+        let g = ring(8);
+        let mut bm = Blockmodel::from_assignment(&g, vec![0, 0, 1, 1, 2, 2, 3, 3], 4);
+        let v = 1u32;
+        let counts = NeighborCounts::gather(&g, &bm, v);
+        let fwd = evaluate_move(&bm, 0, 1, &counts);
+        bm.apply_move(v, 0, 1, &counts);
+        let counts_back = NeighborCounts::gather(&g, &bm, v);
+        let bwd = evaluate_move(&bm, 1, 0, &counts_back);
+        assert!(
+            (fwd.hastings * bwd.hastings - 1.0).abs() < 1e-9,
+            "fwd {} bwd {}",
+            fwd.hastings,
+            bwd.hastings
+        );
+        // And the deltas must cancel.
+        assert!((fwd.delta_mdl + bwd.delta_mdl).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,31 @@
+//! Degree-corrected stochastic blockmodel (DCSBM) state and inference
+//! primitives.
+//!
+//! This crate owns everything the paper's Algorithms 1–4 need per step:
+//!
+//! * [`model`] — the [`Blockmodel`]: the sparse inter-block edge-count matrix
+//!   `B`, per-block degrees, vertex assignment, in-place vertex moves, block
+//!   merges, and (parallel) reconstruction from an assignment — the
+//!   "rebuild" step at the end of every asynchronous-Gibbs sweep,
+//! * [`mdl`] — Eqs. 1 and 2 of the paper: the DCSBM log-likelihood, the
+//!   minimum description length, and the structure-less null MDL used for
+//!   the paper's normalized-MDL metric,
+//! * [`delta`] — O(degree) computation of the MDL change for a proposed
+//!   vertex move or block merge, without mutating the model,
+//! * [`propose`] — the Metropolis-Hastings proposal distribution over target
+//!   blocks and the Hastings correction factor.
+//!
+//! The key invariant maintained everywhere: `rows[r]` and `cols[s]` are two
+//! views of the same matrix (`rows[r][s] == cols[s][r]`), `d_out[r]` is the
+//! total of row `r`, and `d_in[s]` the total of column `s`. Tests enforce it
+//! via [`Blockmodel::check_consistency`].
+
+pub mod delta;
+pub mod mdl;
+pub mod model;
+pub mod propose;
+
+pub use delta::{delta_mdl_merge, delta_mdl_move, evaluate_move, MoveEval, MoveScratch, NeighborCounts};
+pub use mdl::{dcsbm_entropy_term, log_likelihood_term, Mdl};
+pub use model::{Block, Blockmodel};
+pub use propose::{accept_move, hastings_correction, propose_block, propose_merge_target};

@@ -1,0 +1,23 @@
+//! Fast, dependency-light container and sampling primitives used across hsbp.
+//!
+//! The blockmodel inner loops are dominated by hash-map lookups keyed by small
+//! integers (block ids) and by weighted discrete sampling (choosing a
+//! neighbour edge or a block proportionally to edge counts). This crate
+//! provides:
+//!
+//! * [`hash`] — an Fx-style hasher (the algorithm used by rustc) plus
+//!   `FxHashMap`/`FxHashSet` aliases, much faster than SipHash for integer
+//!   keys,
+//! * [`sample`] — O(1) alias-table sampling, cumulative (binary-search)
+//!   sampling and a tiny splitmix-based counter RNG used for deterministic
+//!   per-vertex randomness in parallel sweeps,
+//! * [`sparse`] — the sparse row/column vectors backing the blockmodel
+//!   matrix `B`.
+
+pub mod hash;
+pub mod sample;
+pub mod sparse;
+
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use sample::{AliasTable, CumulativeSampler, SplitMix64};
+pub use sparse::SparseRow;

@@ -1,0 +1,359 @@
+//! Weighted discrete sampling and deterministic counter-based randomness.
+//!
+//! Three tools live here:
+//!
+//! * [`SplitMix64`] — a tiny, fast, seedable generator. Besides being a
+//!   general-purpose RNG it doubles as a *counter RNG*: hashing
+//!   `(seed, sweep, vertex)` yields per-vertex randomness that is identical
+//!   no matter how vertices are distributed over threads, which makes the
+//!   parallel MCMC sweeps bit-reproducible.
+//! * [`AliasTable`] — Vose's alias method; O(n) build, O(1) sample. Used for
+//!   repeated sampling from a fixed distribution (e.g. picking a target
+//!   vertex within a block while generating DCSBM graphs).
+//! * [`CumulativeSampler`] — prefix sums + binary search; O(log n) sample but
+//!   cheap to build, used for one-shot draws from short-lived distributions.
+
+use rand::Rng;
+
+/// splitmix64 step (Vigna). Good avalanche, passes BigCrush as a mixer.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Mix an arbitrary number of words into one well-distributed `u64`.
+///
+/// Used to derive independent per-`(seed, sweep, vertex)` streams.
+#[inline]
+pub fn mix_words(words: &[u64]) -> u64 {
+    let mut state = 0x243f_6a88_85a3_08d3; // pi digits, arbitrary non-zero
+    for &w in words {
+        state ^= w;
+        splitmix64(&mut state);
+        state = state.rotate_left(17);
+    }
+    splitmix64(&mut state)
+}
+
+/// A small, fast, seedable pseudo-random generator (splitmix64 stream).
+///
+/// Implements [`rand::RngCore`] so it can drive everything in the `rand`
+/// ecosystem while staying trivially reproducible and `Copy`-cheap to fork.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a generator from a seed. Distinct seeds give independent
+    /// streams for practical purposes.
+    #[inline]
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Derive a generator for a `(sweep, item)` pair: identical output no
+    /// matter which thread processes the item.
+    #[inline]
+    pub fn for_item(seed: u64, sweep: u64, item: u64) -> Self {
+        Self::new(mix_words(&[seed, sweep.wrapping_mul(0x9e37), item]))
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_raw(&mut self) -> u64 {
+        splitmix64(&mut self.state)
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_raw() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, bound)` via Lemire's multiply-shift.
+    #[inline]
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        ((u128::from(self.next_raw()) * u128::from(bound)) >> 64) as u64
+    }
+}
+
+impl rand::RngCore for SplitMix64 {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (self.next_raw() >> 32) as u32
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.next_raw()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_raw().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_raw().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+/// O(1) sampling from a fixed discrete distribution (Vose's alias method).
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    /// Probability of keeping the column's own index, scaled to `[0,1]`.
+    prob: Vec<f64>,
+    /// Fallback index used when the coin flip rejects the column index.
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Build from non-negative weights. Returns `None` for an empty slice or
+    /// an all-zero / non-finite weight vector.
+    pub fn new(weights: &[f64]) -> Option<Self> {
+        let n = weights.len();
+        if n == 0 {
+            return None;
+        }
+        let total: f64 = weights.iter().sum();
+        if !(total.is_finite() && total > 0.0) || weights.iter().any(|w| *w < 0.0) {
+            return None;
+        }
+        let scale = n as f64 / total;
+        let mut prob: Vec<f64> = weights.iter().map(|w| w * scale).collect();
+        let mut alias = vec![0u32; n];
+        // Partition indices into under- and over-full stacks.
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, p) in prob.iter().enumerate() {
+            if *p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            alias[s as usize] = l;
+            // Donate mass from the large column to fill the small one.
+            prob[l as usize] = (prob[l as usize] + prob[s as usize]) - 1.0;
+            if prob[l as usize] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Leftovers are exactly full (up to rounding).
+        for i in large.into_iter().chain(small) {
+            prob[i as usize] = 1.0;
+        }
+        Some(Self { prob, alias })
+    }
+
+    /// Number of categories.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// True if the table has no categories.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draw an index distributed according to the build weights.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let n = self.prob.len();
+        let col = rng.gen_range(0..n);
+        if rng.gen::<f64>() < self.prob[col] {
+            col
+        } else {
+            self.alias[col] as usize
+        }
+    }
+}
+
+/// O(log n) sampling via prefix sums; cheap O(n) build.
+#[derive(Debug, Clone)]
+pub struct CumulativeSampler {
+    cumulative: Vec<f64>,
+    total: f64,
+}
+
+impl CumulativeSampler {
+    /// Build from non-negative weights; `None` if all mass is zero.
+    pub fn new(weights: impl IntoIterator<Item = f64>) -> Option<Self> {
+        let mut cumulative = Vec::new();
+        let mut total = 0.0f64;
+        for w in weights {
+            if !(w.is_finite() && w >= 0.0) {
+                return None;
+            }
+            total += w;
+            cumulative.push(total);
+        }
+        if cumulative.is_empty() || total <= 0.0 {
+            return None;
+        }
+        Some(Self { cumulative, total })
+    }
+
+    /// Number of categories.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// True if there are no categories.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Total weight mass.
+    #[inline]
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Draw an index with probability proportional to its weight.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let x = rng.gen::<f64>() * self.total;
+        // partition_point returns the first index with cumulative > x.
+        self.cumulative.partition_point(|&c| c <= x).min(self.cumulative.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_deterministic() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_raw(), b.next_raw());
+        }
+    }
+
+    #[test]
+    fn for_item_is_thread_layout_independent() {
+        // Same (seed, sweep, item) => same stream, regardless of call order.
+        let mut x = SplitMix64::for_item(1, 2, 3);
+        let _ = SplitMix64::for_item(9, 9, 9).next_raw();
+        let mut y = SplitMix64::for_item(1, 2, 3);
+        assert_eq!(x.next_raw(), y.next_raw());
+    }
+
+    #[test]
+    fn next_below_in_range_and_covers() {
+        let mut rng = SplitMix64::new(11);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            let v = rng.next_below(7) as usize;
+            assert!(v < 7);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn next_f64_unit_interval() {
+        let mut rng = SplitMix64::new(5);
+        for _ in 0..1000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn alias_rejects_degenerate() {
+        assert!(AliasTable::new(&[]).is_none());
+        assert!(AliasTable::new(&[0.0, 0.0]).is_none());
+        assert!(AliasTable::new(&[1.0, -1.0]).is_none());
+        assert!(AliasTable::new(&[f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn alias_matches_weights() {
+        let weights = [1.0, 2.0, 3.0, 4.0];
+        let table = AliasTable::new(&weights).unwrap();
+        let mut rng = SplitMix64::new(42);
+        let mut counts = [0u64; 4];
+        let draws = 200_000;
+        for _ in 0..draws {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let expected = weights[i] / 10.0 * draws as f64;
+            let rel = (c as f64 - expected).abs() / expected;
+            assert!(rel < 0.05, "category {i}: {c} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn alias_single_category() {
+        let table = AliasTable::new(&[3.5]).unwrap();
+        let mut rng = SplitMix64::new(0);
+        for _ in 0..10 {
+            assert_eq!(table.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn cumulative_matches_weights() {
+        let sampler = CumulativeSampler::new([5.0, 0.0, 5.0]).unwrap();
+        let mut rng = SplitMix64::new(3);
+        let mut counts = [0u64; 3];
+        for _ in 0..100_000 {
+            counts[sampler.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[1], 0, "zero-weight category must never be drawn");
+        let ratio = counts[0] as f64 / counts[2] as f64;
+        assert!((ratio - 1.0).abs() < 0.05, "ratio {ratio}");
+    }
+
+    #[test]
+    fn cumulative_rejects_degenerate() {
+        assert!(CumulativeSampler::new([]).is_none());
+        assert!(CumulativeSampler::new([0.0]).is_none());
+        assert!(CumulativeSampler::new([-1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn alias_and_cumulative_agree_in_distribution() {
+        let weights = [0.5, 1.5, 8.0];
+        let alias = AliasTable::new(&weights).unwrap();
+        let cum = CumulativeSampler::new(weights).unwrap();
+        let mut rng = SplitMix64::new(99);
+        let mut ca = [0f64; 3];
+        let mut cc = [0f64; 3];
+        let n = 100_000;
+        for _ in 0..n {
+            ca[alias.sample(&mut rng)] += 1.0;
+            cc[cum.sample(&mut rng)] += 1.0;
+        }
+        for i in 0..3 {
+            let diff = (ca[i] - cc[i]).abs() / n as f64;
+            assert!(diff < 0.02, "category {i}: alias {} cum {}", ca[i], cc[i]);
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Sparse integer-count rows for the blockmodel matrix.
+//!
+//! A blockmodel row `B[r][·]` holds, for each block `s`, the number of edges
+//! from block `r` to block `s`. Rows shrink as communities merge and mutate
+//! heavily during MCMC, so the representation must support O(1) expected
+//! get/add/sub with removal at zero (keeping iteration proportional to the
+//! number of *non-zero* entries, which the MDL computation walks every
+//! sweep).
+
+use crate::hash::FxHashMap;
+
+/// A sparse row of non-negative integer counts keyed by block id.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SparseRow {
+    entries: FxHashMap<u32, u64>,
+    total: u64,
+}
+
+impl SparseRow {
+    /// Empty row.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Empty row with capacity for `cap` non-zero entries.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self { entries: FxHashMap::with_capacity_and_hasher(cap, Default::default()), total: 0 }
+    }
+
+    /// Count stored for `key` (zero if absent).
+    #[inline]
+    pub fn get(&self, key: u32) -> u64 {
+        self.entries.get(&key).copied().unwrap_or(0)
+    }
+
+    /// Add `amount` to `key`'s count.
+    #[inline]
+    pub fn add(&mut self, key: u32, amount: u64) {
+        if amount == 0 {
+            return;
+        }
+        *self.entries.entry(key).or_insert(0) += amount;
+        self.total += amount;
+    }
+
+    /// Subtract `amount` from `key`'s count, removing the entry at zero.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if the entry would go negative — that always
+    /// indicates blockmodel bookkeeping corruption.
+    #[inline]
+    pub fn sub(&mut self, key: u32, amount: u64) {
+        if amount == 0 {
+            return;
+        }
+        match self.entries.get_mut(&key) {
+            Some(v) if *v > amount => {
+                *v -= amount;
+                self.total -= amount;
+            }
+            Some(v) if *v == amount => {
+                self.entries.remove(&key);
+                self.total -= amount;
+            }
+            _ => {
+                debug_assert!(false, "SparseRow::sub underflow at key {key} by {amount}");
+            }
+        }
+    }
+
+    /// Number of non-zero entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if every count is zero.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Sum of all counts in the row.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Iterate over `(key, count)` pairs in unspecified order.
+    #[inline]
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u64)> + '_ {
+        self.entries.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Remove all entries.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.total = 0;
+    }
+
+    /// Fold another row into this one (used when merging blocks).
+    pub fn absorb(&mut self, other: &SparseRow) {
+        for (k, v) in other.iter() {
+            self.add(k, v);
+        }
+    }
+
+    /// Move the count stored under `from` (if any) onto `to`.
+    ///
+    /// Used when a block is relabelled: edges previously pointing at block
+    /// `from` now point at block `to`.
+    pub fn relabel(&mut self, from: u32, to: u32) {
+        if from == to {
+            return;
+        }
+        if let Some(v) = self.entries.remove(&from) {
+            *self.entries.entry(to).or_insert(0) += v;
+        }
+    }
+
+    /// Collect entries into a sorted vector (stable output for tests/IO).
+    pub fn to_sorted_vec(&self) -> Vec<(u32, u64)> {
+        let mut v: Vec<_> = self.iter().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+impl FromIterator<(u32, u64)> for SparseRow {
+    fn from_iter<I: IntoIterator<Item = (u32, u64)>>(iter: I) -> Self {
+        let mut row = SparseRow::new();
+        for (k, v) in iter {
+            row.add(k, v);
+        }
+        row
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_get_sub_roundtrip() {
+        let mut row = SparseRow::new();
+        row.add(3, 5);
+        row.add(3, 2);
+        row.add(7, 1);
+        assert_eq!(row.get(3), 7);
+        assert_eq!(row.get(7), 1);
+        assert_eq!(row.get(99), 0);
+        assert_eq!(row.total(), 8);
+        row.sub(3, 7);
+        assert_eq!(row.get(3), 0);
+        assert_eq!(row.nnz(), 1);
+        assert_eq!(row.total(), 1);
+    }
+
+    #[test]
+    fn zero_amount_is_noop() {
+        let mut row = SparseRow::new();
+        row.add(1, 0);
+        row.sub(1, 0);
+        assert!(row.is_empty());
+        assert_eq!(row.total(), 0);
+    }
+
+    #[test]
+    fn sub_removes_at_zero() {
+        let mut row = SparseRow::new();
+        row.add(5, 2);
+        row.sub(5, 2);
+        assert_eq!(row.nnz(), 0);
+        assert!(row.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn sub_underflow_panics_in_debug() {
+        let mut row = SparseRow::new();
+        row.add(5, 1);
+        row.sub(5, 2);
+    }
+
+    #[test]
+    fn absorb_merges_counts() {
+        let a: SparseRow = [(1, 2), (2, 3)].into_iter().collect();
+        let mut b: SparseRow = [(2, 1), (4, 7)].into_iter().collect();
+        b.absorb(&a);
+        assert_eq!(b.to_sorted_vec(), vec![(1, 2), (2, 4), (4, 7)]);
+        assert_eq!(b.total(), 13);
+    }
+
+    #[test]
+    fn relabel_moves_mass() {
+        let mut row: SparseRow = [(1, 2), (2, 3)].into_iter().collect();
+        row.relabel(1, 2);
+        assert_eq!(row.to_sorted_vec(), vec![(2, 5)]);
+        row.relabel(9, 2); // absent key: noop
+        assert_eq!(row.total(), 5);
+        row.relabel(2, 2); // self: noop
+        assert_eq!(row.to_sorted_vec(), vec![(2, 5)]);
+    }
+
+    #[test]
+    fn total_tracks_all_mutations() {
+        let mut row = SparseRow::new();
+        let ops: &[(u32, i64)] = &[(1, 5), (2, 3), (1, -2), (2, -3), (3, 10), (1, -3)];
+        let mut expected: i64 = 0;
+        for &(k, delta) in ops {
+            if delta >= 0 {
+                row.add(k, delta as u64);
+            } else {
+                row.sub(k, (-delta) as u64);
+            }
+            expected += delta;
+        }
+        assert_eq!(row.total() as i64, expected);
+    }
+}

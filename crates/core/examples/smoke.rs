@@ -1,0 +1,33 @@
+//! Quick driver smoke check (temporary development harness).
+
+use hsbp_core::{run_sbp, SbpConfig, Variant};
+use hsbp_generator::{generate, DcsbmConfig};
+use hsbp_metrics::nmi;
+
+fn main() {
+    let data = generate(DcsbmConfig {
+        num_vertices: 1000,
+        num_communities: 10,
+        target_num_edges: 10_000,
+        within_between_ratio: 3.0,
+        seed: 7,
+        ..Default::default()
+    });
+    for variant in [Variant::Metropolis, Variant::AsyncGibbs, Variant::Hybrid] {
+        let start = std::time::Instant::now();
+        let result = run_sbp(&data.graph, &SbpConfig::new(variant, 1));
+        let score = nmi(&data.ground_truth, &result.assignment);
+        println!(
+            "{:8} blocks={:3} nmi={:.3} mdl_norm={:.4} sweeps={:4} outer={:2} wall={:?} sim1={:.0} sim128={:.0}",
+            variant.name(),
+            result.num_blocks,
+            score,
+            result.normalized_mdl,
+            result.stats.mcmc_sweeps,
+            result.stats.outer_iterations,
+            start.elapsed(),
+            result.stats.sim_mcmc_time(1).unwrap(),
+            result.stats.sim_mcmc_time(128).unwrap(),
+        );
+    }
+}

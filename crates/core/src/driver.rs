@@ -1,0 +1,195 @@
+//! The outer agglomerative search: alternate merge and MCMC phases while
+//! golden-section searching over the number of communities (paper Fig. 1's
+//! "search for number of communities").
+//!
+//! Bracket bookkeeping follows the graph-challenge reference driver: keep
+//! the best-MDL state (`mid`) plus the tightest worse states on either side
+//! (`lower` fewer blocks, `upper` more blocks). Until a bracket exists,
+//! keep halving the block count; once `mid` is bracketed, bisect the larger
+//! gap (golden ratio) until no interior candidates remain.
+
+use crate::config::SbpConfig;
+use crate::mcmc::run_mcmc_phase;
+use crate::merge::merge_phase;
+use crate::stats::RunStats;
+use hsbp_blockmodel::{mdl, Block, Blockmodel};
+use hsbp_graph::Graph;
+use hsbp_timing::Phase;
+
+/// Final result of a full SBP run.
+#[derive(Debug, Clone)]
+pub struct SbpResult {
+    /// Community of every vertex.
+    pub assignment: Vec<Block>,
+    /// Number of communities found.
+    pub num_blocks: usize,
+    /// MDL of the returned partition.
+    pub mdl: mdl::Mdl,
+    /// Normalized MDL (`MDL / MDL_null`; NaN for edgeless graphs).
+    pub normalized_mdl: f64,
+    /// Every `(num_blocks, MDL)` point the golden-section search evaluated,
+    /// in evaluation order (the singleton start is not included).
+    pub trajectory: Vec<(usize, f64)>,
+    /// Instrumentation gathered during the run.
+    pub stats: RunStats,
+}
+
+/// One evaluated point of the search: a partition at a given block count.
+#[derive(Debug, Clone)]
+struct Evaluated {
+    num_blocks: usize,
+    mdl_total: f64,
+    assignment: Vec<Block>,
+}
+
+/// Golden-section interior fraction.
+const GOLDEN: f64 = 0.382;
+
+/// Run stochastic block partitioning with the configured MCMC variant.
+///
+/// Deterministic in `(graph, cfg)`.
+///
+/// # Panics
+/// Panics if `cfg` fails validation.
+pub fn run_sbp(graph: &Graph, cfg: &SbpConfig) -> SbpResult {
+    cfg.validate().expect("invalid SbpConfig");
+    let mut stats = RunStats::new(cfg);
+    let n = graph.num_vertices();
+    if n == 0 {
+        return SbpResult {
+            assignment: Vec::new(),
+            num_blocks: 0,
+            mdl: mdl::Mdl { log_likelihood: 0.0, model_complexity: 0.0, total: 0.0 },
+            normalized_mdl: f64::NAN,
+            trajectory: Vec::new(),
+            stats,
+        };
+    }
+
+    let mut bm =
+        stats.timer.time(Phase::Other, || Blockmodel::singleton_partition(graph));
+    let singleton_mdl = mdl::mdl(&bm, n, graph.total_weight()).total;
+
+    // Search state: `upper` starts at the fully-split partition.
+    let mut upper: Option<Evaluated> = Some(Evaluated {
+        num_blocks: n,
+        mdl_total: singleton_mdl,
+        assignment: bm.assignment().to_vec(),
+    });
+    let mut mid: Option<Evaluated> = None;
+    let mut lower: Option<Evaluated> = None;
+
+    let mut phase_index: u64 = 0;
+    let mut trajectory: Vec<(usize, f64)> = Vec::new();
+    loop {
+        if stats.outer_iterations >= cfg.max_outer_iterations {
+            break;
+        }
+        let bracketed = mid.is_some() && lower.is_some();
+        // Decide the next block-count target and the state to merge from.
+        let target = if !bracketed {
+            let b = bm.num_blocks();
+            if b <= 1 {
+                break;
+            }
+            (((b as f64) * cfg.block_reduction_rate).round() as usize).clamp(1, b - 1)
+        } else {
+            let (u, m, l) = (
+                upper.as_ref().expect("upper always set"),
+                mid.as_ref().unwrap(),
+                lower.as_ref().unwrap(),
+            );
+            if u.num_blocks.saturating_sub(l.num_blocks) <= 2 {
+                break; // no interior candidate besides mid
+            }
+            let gap_hi = u.num_blocks - m.num_blocks;
+            let gap_lo = m.num_blocks - l.num_blocks;
+            if gap_hi >= gap_lo && gap_hi >= 2 {
+                // Interior of (mid, upper): merge down from upper's state.
+                let t = m.num_blocks + ((gap_hi as f64) * GOLDEN).round() as usize;
+                let t = t.clamp(m.num_blocks + 1, u.num_blocks - 1);
+                let source = u.clone();
+                bm = stats.timer.time(Phase::Other, || {
+                    Blockmodel::from_assignment(graph, source.assignment, source.num_blocks)
+                });
+                t
+            } else if gap_lo >= 2 {
+                // Interior of (lower, mid): merge down from mid's state.
+                let t = m.num_blocks - ((gap_lo as f64) * GOLDEN).round() as usize;
+                let t = t.clamp(l.num_blocks + 1, m.num_blocks - 1);
+                let source = m.clone();
+                bm = stats.timer.time(Phase::Other, || {
+                    Blockmodel::from_assignment(graph, source.assignment, source.num_blocks)
+                });
+                t
+            } else {
+                break;
+            }
+        };
+
+        // Merge phase, then MCMC phase (timed separately; the closures
+        // borrow `stats` themselves, so time with explicit Instants).
+        let start = std::time::Instant::now();
+        merge_phase(graph, &mut bm, target, cfg, phase_index, &mut stats);
+        stats.timer.add(Phase::BlockMerge, start.elapsed());
+        let start = std::time::Instant::now();
+        let mcmc_out = run_mcmc_phase(graph, &mut bm, cfg, phase_index, &mut stats);
+        stats.timer.add(Phase::Mcmc, start.elapsed());
+        phase_index += 1;
+        stats.outer_iterations += 1;
+
+        let evaluated = Evaluated {
+            num_blocks: bm.num_blocks(),
+            mdl_total: mcmc_out.mdl.total,
+            assignment: bm.assignment().to_vec(),
+        };
+        trajectory.push((evaluated.num_blocks, evaluated.mdl_total));
+
+        // Bracket update.
+        match &mid {
+            None => mid = Some(evaluated),
+            Some(m) if evaluated.mdl_total < m.mdl_total => {
+                let displaced = mid.take().unwrap();
+                if evaluated.num_blocks < displaced.num_blocks {
+                    // We improved while moving left: old mid bounds us above.
+                    if displaced.num_blocks < upper.as_ref().map_or(usize::MAX, |u| u.num_blocks)
+                    {
+                        upper = Some(displaced);
+                    }
+                } else if displaced.num_blocks > lower.as_ref().map_or(0, |l| l.num_blocks) {
+                    lower = Some(displaced);
+                }
+                mid = Some(evaluated);
+            }
+            Some(m) => {
+                if evaluated.num_blocks < m.num_blocks {
+                    if lower.as_ref().is_none_or(|l| evaluated.num_blocks > l.num_blocks) {
+                        lower = Some(evaluated);
+                    }
+                } else if evaluated.num_blocks > m.num_blocks
+                    && upper.as_ref().is_none_or(|u| evaluated.num_blocks < u.num_blocks)
+                {
+                    upper = Some(evaluated);
+                }
+            }
+        }
+
+        // Reached the floor while still unbracketed: nothing left to try.
+        if !(mid.is_some() && lower.is_some()) && bm.num_blocks() <= 1 {
+            break;
+        }
+    }
+
+    let best = mid.or(upper).expect("at least the singleton state exists");
+    let bm = Blockmodel::from_assignment(graph, best.assignment.clone(), best.num_blocks);
+    let final_mdl = mdl::mdl(&bm, n, graph.total_weight());
+    let null = mdl::null_mdl(graph.total_weight());
+    SbpResult {
+        assignment: best.assignment,
+        num_blocks: best.num_blocks,
+        mdl: final_mdl,
+        normalized_mdl: if null == 0.0 { f64::NAN } else { final_mdl.total / null },
+        trajectory,
+        stats,
+    }
+}

@@ -1,0 +1,92 @@
+//! Exact asynchronous Gibbs with per-worker model replicas (Terenin et al.,
+//! the algorithm the paper's §2.3/§3.1 discusses and deliberately does
+//! *not* adopt).
+//!
+//! Each of `exact_async_workers` logical workers owns a full clone of the
+//! blockmodel and processes a contiguous vertex shard serially, applying its
+//! own accepted moves to its *local* replica immediately — so within a
+//! shard the state is perfectly fresh, while other workers' moves stay
+//! invisible until the end-of-sweep consolidation (assignment merge +
+//! global rebuild).
+//!
+//! The paper rejects this design because (a) replicating `B` per worker
+//! costs memory bandwidth on large models and (b) the replicas must be
+//! consolidated anyway; implementing it lets the `ablation exact` target
+//! quantify that trade-off against the paper's snapshot-based A-SBP.
+
+use super::SweepCounters;
+use crate::config::SbpConfig;
+use crate::stats::RunStats;
+use hsbp_blockmodel::{
+    evaluate_move, propose::accept_move, propose_block, Block, Blockmodel, MoveScratch,
+    NeighborCounts,
+};
+use hsbp_collections::SplitMix64;
+use hsbp_graph::{Graph, Vertex};
+use rayon::prelude::*;
+
+pub(crate) fn sweep(
+    graph: &Graph,
+    bm: &mut Blockmodel,
+    cfg: &SbpConfig,
+    salt: u64,
+    sweep_idx: u64,
+    stats: &mut RunStats,
+    parallel_costs: &[f64],
+) -> SweepCounters {
+    let n = graph.num_vertices();
+    let workers = cfg.exact_async_workers.clamp(1, n.max(1));
+    let shard_len = n.div_ceil(workers);
+    let frozen: &Blockmodel = bm;
+
+    // Each worker: clone the model, serial MH over its shard with immediate
+    // local updates, return the shard's final labels.
+    let shard_results: Vec<(usize, Vec<Block>, u64)> = (0..workers)
+        .into_par_iter()
+        .map(|w| {
+            let start = w * shard_len;
+            let end = ((w + 1) * shard_len).min(n);
+            let mut local = frozen.clone();
+            let mut scratch = MoveScratch::default();
+            let mut accepted = 0u64;
+            for v in start..end {
+                let v = v as Vertex;
+                let mut rng = SplitMix64::for_item(salt, sweep_idx, u64::from(v));
+                let from = local.block_of(v);
+                let to = propose_block(graph, &local, local.assignment(), v, &mut rng);
+                if to == from {
+                    continue;
+                }
+                let counts =
+                    NeighborCounts::gather_with(graph, local.assignment(), v, &mut scratch);
+                let eval = evaluate_move(&local, from, to, &counts);
+                if accept_move(&eval, cfg.beta, &mut rng) {
+                    local.apply_move(v, from, to, &counts);
+                    accepted += 1;
+                }
+            }
+            let labels = local.assignment()[start..end].to_vec();
+            (start, labels, accepted)
+        })
+        .collect();
+
+    let mut counters = SweepCounters { proposals: n as u64, accepted: 0 };
+    let mut new_assignment = bm.assignment_snapshot();
+    for (start, labels, accepted) in shard_results {
+        counters.accepted += accepted;
+        new_assignment[start..start + labels.len()].copy_from_slice(&labels);
+    }
+    bm.rebuild(graph, new_assignment);
+
+    // Simulated accounting: the shard loops parallelise like A-SBP's sweep,
+    // but every worker first pays a full model replication (∝ E) — §3.1's
+    // memory-bandwidth objection — and the usual rebuild follows.
+    stats.sim_mcmc.add_parallel(parallel_costs);
+    let clone_cost = cfg.cost_model.rebuild_cost(graph.num_edges());
+    stats.sim_mcmc.add_parallel_uniform(workers as f64 * clone_cost, 0.0);
+    stats.sim_mcmc.add_parallel_uniform(
+        cfg.cost_model.rebuild_cost(graph.num_edges()),
+        cfg.cost_model.rebuild_serial_fraction,
+    );
+    counters
+}

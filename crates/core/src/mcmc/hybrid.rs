@@ -1,0 +1,84 @@
+//! The hybrid sweep (Algorithm 4) — H-SBP's MCMC phase.
+//!
+//! Vertices are ordered by total degree, descending. The top
+//! `hybrid_serial_fraction` (the influential set `V*`, 15% in the paper) is
+//! processed first, serially and with immediate blockmodel updates — giving
+//! the high-influence vertices a chance to settle before anyone else reads
+//! the state. The low-degree tail `V⁻` then runs exactly like an A-SBP
+//! sweep against the post-serial snapshot, followed by one rebuild.
+
+use super::async_gibbs::evaluate_vertex;
+use super::SweepCounters;
+use crate::config::SbpConfig;
+use crate::stats::RunStats;
+use hsbp_blockmodel::{evaluate_move, propose::accept_move, propose_block, Block, Blockmodel, MoveScratch, NeighborCounts};
+use hsbp_collections::SplitMix64;
+use hsbp_graph::{Graph, Vertex};
+use rayon::prelude::*;
+
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn sweep(
+    graph: &Graph,
+    bm: &mut Blockmodel,
+    order: &[Vertex],
+    vstar_len: usize,
+    cfg: &SbpConfig,
+    salt: u64,
+    sweep_idx: u64,
+    stats: &mut RunStats,
+    tail_costs: &[f64],
+) -> SweepCounters {
+    let mut counters = SweepCounters::default();
+    let mut scratch = MoveScratch::default();
+
+    // Serial Metropolis-Hastings pass over the influential set V*.
+    let mut serial_cost = 0.0;
+    for &v in &order[..vstar_len] {
+        let mut rng = SplitMix64::for_item(salt, sweep_idx, u64::from(v));
+        let from = bm.block_of(v);
+        let to = propose_block(graph, bm, bm.assignment(), v, &mut rng);
+        counters.proposals += 1;
+        let incident = graph.incident_arity(v);
+        serial_cost += cfg.cost_model.proposal_cost(incident);
+        if to == from {
+            continue;
+        }
+        let counts = NeighborCounts::gather_with(graph, bm.assignment(), v, &mut scratch);
+        let eval = evaluate_move(bm, from, to, &counts);
+        if accept_move(&eval, cfg.beta, &mut rng) {
+            bm.apply_move(v, from, to, &counts);
+            serial_cost += cfg.cost_model.update_cost(incident);
+            counters.accepted += 1;
+        }
+    }
+    stats.sim_mcmc.add_serial(serial_cost);
+
+    // Asynchronous-Gibbs pass over the tail V⁻ (frozen model + snapshot).
+    let tail = &order[vstar_len..];
+    if !tail.is_empty() {
+        let snapshot = bm.assignment_snapshot();
+        let frozen: &Blockmodel = bm;
+        let decisions: Vec<Option<Block>> = tail
+            .par_iter()
+            .map_init(MoveScratch::default, |scratch, &v| {
+                evaluate_vertex(graph, frozen, &snapshot, v, cfg, salt, sweep_idx, scratch)
+            })
+            .collect();
+        counters.proposals += tail.len() as u64;
+        let mut new_assignment = snapshot;
+        for (&v, decision) in tail.iter().zip(decisions) {
+            if let Some(to) = decision {
+                new_assignment[v as usize] = to;
+                counters.accepted += 1;
+            }
+        }
+        bm.rebuild(graph, new_assignment);
+
+        stats.sim_mcmc.add_parallel(tail_costs);
+        stats.sim_mcmc.add_parallel_uniform(
+            cfg.cost_model.rebuild_cost(graph.num_edges()),
+            cfg.cost_model.rebuild_serial_fraction,
+        );
+    }
+    counters
+}

@@ -1,0 +1,44 @@
+//! The serial Metropolis-Hastings sweep (Algorithm 2) — the paper's SBP
+//! baseline. Each accepted move updates the blockmodel immediately, so
+//! every later proposal in the same sweep sees fully fresh state; that is
+//! exactly the dependency chain that makes this phase inherently serial.
+
+use super::SweepCounters;
+use crate::config::SbpConfig;
+use crate::stats::RunStats;
+use hsbp_blockmodel::{evaluate_move, propose::accept_move, propose_block, Blockmodel, MoveScratch, NeighborCounts};
+use hsbp_graph::{Graph, Vertex};
+use hsbp_collections::SplitMix64;
+
+pub(crate) fn sweep(
+    graph: &Graph,
+    bm: &mut Blockmodel,
+    cfg: &SbpConfig,
+    salt: u64,
+    sweep_idx: u64,
+    stats: &mut RunStats,
+) -> SweepCounters {
+    let mut counters = SweepCounters::default();
+    let mut scratch = MoveScratch::default();
+    let mut serial_cost = 0.0;
+    for v in 0..graph.num_vertices() as Vertex {
+        let mut rng = SplitMix64::for_item(salt, sweep_idx, u64::from(v));
+        let from = bm.block_of(v);
+        let to = propose_block(graph, bm, bm.assignment(), v, &mut rng);
+        counters.proposals += 1;
+        let incident = graph.incident_arity(v);
+        serial_cost += cfg.cost_model.proposal_cost(incident);
+        if to == from {
+            continue;
+        }
+        let counts = NeighborCounts::gather_with(graph, bm.assignment(), v, &mut scratch);
+        let eval = evaluate_move(bm, from, to, &counts);
+        if accept_move(&eval, cfg.beta, &mut rng) {
+            bm.apply_move(v, from, to, &counts);
+            serial_cost += cfg.cost_model.update_cost(incident);
+            counters.accepted += 1;
+        }
+    }
+    stats.sim_mcmc.add_serial(serial_cost);
+    counters
+}

@@ -1,0 +1,436 @@
+//! The MCMC phase: repeated sweeps of one of the three variants until the
+//! MDL improvement stalls (Algorithms 2–4's shared outer `repeat … until
+//! ΔMDL < t × MDL or x times` loop).
+
+mod async_gibbs;
+mod exact_async;
+mod hybrid;
+mod metropolis;
+
+use crate::config::{SbpConfig, Variant};
+use crate::stats::RunStats;
+use hsbp_blockmodel::{mdl, Blockmodel};
+use hsbp_collections::sample::mix_words;
+use hsbp_graph::{stats::vertices_by_degree_desc, Graph, Vertex};
+
+/// Counters returned by a single sweep.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct SweepCounters {
+    pub proposals: u64,
+    pub accepted: u64,
+}
+
+/// Result of one full MCMC phase.
+#[derive(Debug, Clone, Copy)]
+pub struct McmcOutcome {
+    /// Sweeps performed.
+    pub sweeps: usize,
+    /// MDL of the final state.
+    pub mdl: mdl::Mdl,
+    /// True if the threshold test fired (false = sweep cap hit).
+    pub converged: bool,
+}
+
+/// Per-vertex proposal costs in a fixed iteration order (static across the
+/// sweeps of one phase, since proposal cost depends only on degree).
+fn proposal_costs(graph: &Graph, order: impl Iterator<Item = Vertex>, cfg: &SbpConfig) -> Vec<f64> {
+    order.map(|v| cfg.cost_model.proposal_cost(graph.incident_arity(v))).collect()
+}
+
+/// Run the MCMC phase of the configured variant on `bm` until convergence.
+///
+/// `phase_index` salts the RNG so successive phases of one run draw
+/// independent randomness.
+pub fn run_mcmc_phase(
+    graph: &Graph,
+    bm: &mut Blockmodel,
+    cfg: &SbpConfig,
+    phase_index: u64,
+    stats: &mut RunStats,
+) -> McmcOutcome {
+    let salt = mix_words(&[cfg.seed, 0x4d43_4d43, phase_index]); // "MCMC"
+    let n = graph.num_vertices();
+    stats.mcmc_phases += 1;
+
+    // Variant-specific precomputation.
+    let (order, vstar_len) = match cfg.variant {
+        Variant::Hybrid => {
+            let order = vertices_by_degree_desc(graph);
+            let vstar = ((n as f64) * cfg.hybrid_serial_fraction).round() as usize;
+            (order, vstar.min(n))
+        }
+        _ => (Vec::new(), 0),
+    };
+    let parallel_costs: Vec<f64> = match cfg.variant {
+        Variant::Metropolis => Vec::new(),
+        Variant::AsyncGibbs | Variant::ExactAsync => proposal_costs(graph, 0..n as Vertex, cfg),
+        Variant::Hybrid => proposal_costs(graph, order[vstar_len..].iter().copied(), cfg),
+    };
+
+    let mut previous = mdl::mdl(bm, n, graph.total_weight());
+    let mut recent_deltas: Vec<f64> = Vec::with_capacity(3);
+    let mut sweeps = 0;
+    let mut converged = false;
+
+    // History of past models for the distributed-staleness emulation (only
+    // populated when it is actually consulted).
+    let staleness = cfg.asbp_staleness.max(1);
+    let use_stale =
+        cfg.variant == Variant::AsyncGibbs && staleness > 1 && cfg.asbp_batches == 1;
+    let mut history: std::collections::VecDeque<Blockmodel> = std::collections::VecDeque::new();
+    if use_stale {
+        history.push_back(bm.clone());
+    }
+
+    while sweeps < cfg.max_sweeps {
+        let counters = match cfg.variant {
+            Variant::Metropolis => metropolis::sweep(graph, bm, cfg, salt, sweeps as u64, stats),
+            Variant::AsyncGibbs if use_stale => {
+                // Evaluate against the oldest retained model (at most
+                // `staleness` sweeps old), then retire it.
+                let eval_model =
+                    history.front().expect("history seeded before the loop").clone();
+                let counters = async_gibbs::sweep_stale(
+                    graph,
+                    bm,
+                    &eval_model,
+                    cfg,
+                    salt,
+                    sweeps as u64,
+                    stats,
+                    &parallel_costs,
+                );
+                history.push_back(bm.clone());
+                while history.len() > staleness {
+                    history.pop_front();
+                }
+                counters
+            }
+            Variant::AsyncGibbs => {
+                async_gibbs::sweep(graph, bm, cfg, salt, sweeps as u64, stats, &parallel_costs)
+            }
+            Variant::ExactAsync => {
+                exact_async::sweep(graph, bm, cfg, salt, sweeps as u64, stats, &parallel_costs)
+            }
+            Variant::Hybrid => hybrid::sweep(
+                graph,
+                bm,
+                &order,
+                vstar_len,
+                cfg,
+                salt,
+                sweeps as u64,
+                stats,
+                &parallel_costs,
+            ),
+        };
+        sweeps += 1;
+        stats.mcmc_sweeps += 1;
+        stats.proposals += counters.proposals;
+        stats.accepted += counters.accepted;
+
+        let current = mdl::mdl(bm, n, graph.total_weight());
+        let delta = previous.total - current.total;
+        previous = current;
+        if recent_deltas.len() == 3 {
+            recent_deltas.remove(0);
+        }
+        recent_deltas.push(delta.abs());
+        if recent_deltas.len() == 3 {
+            let mean: f64 = recent_deltas.iter().sum::<f64>() / 3.0;
+            if mean < cfg.mcmc_threshold * previous.total.abs().max(1.0) {
+                converged = true;
+                break;
+            }
+        }
+    }
+
+    McmcOutcome { sweeps, mdl: previous, converged }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsbp_graph::Graph;
+
+    fn planted(n_per: u32, groups: u32, seed: u64) -> (Graph, Vec<u32>) {
+        // Dense planted partition without the generator crate (core's tests
+        // must not depend on it for the unit level).
+        let n = n_per * groups;
+        let mut edges = Vec::new();
+        let mut state = seed;
+        let mut rnd = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        for u in 0..n {
+            let gu = u / n_per;
+            for _ in 0..6 {
+                // ~85% within-community edges.
+                let v = if rnd() % 100 < 85 {
+                    gu * n_per + rnd() % n_per
+                } else {
+                    rnd() % n
+                };
+                if v != u {
+                    edges.push((u, v));
+                }
+            }
+        }
+        let truth: Vec<u32> = (0..n).map(|v| v / n_per).collect();
+        (Graph::from_edges(n as usize, &edges), truth)
+    }
+
+    #[test]
+    fn mcmc_phase_reduces_mdl_from_random_partition() {
+        for variant in [Variant::Metropolis, Variant::AsyncGibbs, Variant::Hybrid] {
+            let (g, _) = planted(30, 3, 11);
+            // Start from a deliberately wrong 3-block partition.
+            let wrong: Vec<u32> = (0..g.num_vertices() as u32).map(|v| v % 3).collect();
+            let mut bm = Blockmodel::from_assignment(&g, wrong, 3);
+            let before = mdl::mdl(&bm, g.num_vertices(), g.total_weight()).total;
+            let cfg = SbpConfig { variant, seed: 5, ..Default::default() };
+            let mut stats = RunStats::new(&cfg);
+            let out = run_mcmc_phase(&g, &mut bm, &cfg, 0, &mut stats);
+            assert!(out.sweeps >= 1);
+            assert!(
+                out.mdl.total < before,
+                "{variant:?}: MDL {} did not improve on {before}",
+                out.mdl.total
+            );
+            bm.check_consistency(&g).unwrap();
+            assert!(stats.proposals > 0);
+        }
+    }
+
+    #[test]
+    fn mcmc_recovers_planted_partition_from_truth_start() {
+        // Starting at the truth, the sampler must not wander away: the MDL
+        // should stay at or below the truth's MDL.
+        for variant in [Variant::Metropolis, Variant::AsyncGibbs, Variant::Hybrid] {
+            let (g, truth) = planted(25, 4, 23);
+            let mut bm = Blockmodel::from_assignment(&g, truth.clone(), 4);
+            let truth_mdl = mdl::mdl(&bm, g.num_vertices(), g.total_weight()).total;
+            let cfg = SbpConfig { variant, seed: 9, max_sweeps: 20, ..Default::default() };
+            let mut stats = RunStats::new(&cfg);
+            let out = run_mcmc_phase(&g, &mut bm, &cfg, 0, &mut stats);
+            assert!(
+                out.mdl.total <= truth_mdl * 1.02,
+                "{variant:?}: wandered from {truth_mdl} to {}",
+                out.mdl.total
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        for variant in [Variant::Metropolis, Variant::AsyncGibbs, Variant::Hybrid] {
+            let (g, _) = planted(20, 3, 31);
+            let wrong: Vec<u32> = (0..g.num_vertices() as u32).map(|v| v % 3).collect();
+            let cfg = SbpConfig { variant, seed: 77, max_sweeps: 5, ..Default::default() };
+            let run = |()| {
+                let mut bm = Blockmodel::from_assignment(&g, wrong.clone(), 3);
+                let mut stats = RunStats::new(&cfg);
+                run_mcmc_phase(&g, &mut bm, &cfg, 0, &mut stats);
+                bm.assignment().to_vec()
+            };
+            assert_eq!(run(()), run(()), "{variant:?} is not deterministic");
+        }
+    }
+
+    #[test]
+    fn sweep_cap_respected() {
+        let (g, _) = planted(20, 3, 41);
+        let wrong: Vec<u32> = (0..g.num_vertices() as u32).map(|v| v % 3).collect();
+        let mut bm = Blockmodel::from_assignment(&g, wrong, 3);
+        let cfg = SbpConfig {
+            variant: Variant::AsyncGibbs,
+            seed: 1,
+            max_sweeps: 2,
+            mcmc_threshold: 0.0, // never converge by threshold
+            ..Default::default()
+        };
+        let mut stats = RunStats::new(&cfg);
+        let out = run_mcmc_phase(&g, &mut bm, &cfg, 0, &mut stats);
+        assert_eq!(out.sweeps, 2);
+        assert!(!out.converged);
+    }
+
+    #[test]
+    fn sim_time_accumulates_per_variant() {
+        let (g, _) = planted(25, 3, 51);
+        let wrong: Vec<u32> = (0..g.num_vertices() as u32).map(|v| v % 3).collect();
+        for variant in [Variant::Metropolis, Variant::AsyncGibbs, Variant::Hybrid] {
+            let cfg = SbpConfig { variant, seed: 3, max_sweeps: 4, ..Default::default() };
+            let mut bm = Blockmodel::from_assignment(&g, wrong.clone(), 3);
+            let mut stats = RunStats::new(&cfg);
+            run_mcmc_phase(&g, &mut bm, &cfg, 0, &mut stats);
+            let t1 = stats.sim_mcmc_time(1).unwrap();
+            let t128 = stats.sim_mcmc_time(128).unwrap();
+            assert!(t1 > 0.0, "{variant:?}: no sim time recorded");
+            match variant {
+                // Serial MH cannot speed up.
+                Variant::Metropolis => assert_eq!(t1, t128),
+                // Parallel variants must improve with threads.
+                _ => assert!(t128 < t1, "{variant:?}: t1 {t1} vs t128 {t128}"),
+            }
+        }
+    }
+
+    #[test]
+    fn asbp_parallel_sim_time_beats_sbp_at_128_threads() {
+        let (g, _) = planted(40, 3, 61);
+        let wrong: Vec<u32> = (0..g.num_vertices() as u32).map(|v| v % 3).collect();
+        let mut times = std::collections::HashMap::new();
+        for variant in [Variant::Metropolis, Variant::AsyncGibbs] {
+            let cfg = SbpConfig { variant, seed: 3, max_sweeps: 3, mcmc_threshold: 0.0, ..Default::default() };
+            let mut bm = Blockmodel::from_assignment(&g, wrong.clone(), 3);
+            let mut stats = RunStats::new(&cfg);
+            run_mcmc_phase(&g, &mut bm, &cfg, 0, &mut stats);
+            // Per-sweep normalised time removes the sweep-count difference.
+            times.insert(
+                variant.name(),
+                stats.sim_mcmc_time(128).unwrap() / stats.mcmc_sweeps as f64,
+            );
+        }
+        assert!(
+            times["A-SBP"] < times["SBP"],
+            "per-sweep A-SBP {} should beat SBP {} at 128 threads",
+            times["A-SBP"],
+            times["SBP"]
+        );
+    }
+
+    #[test]
+    fn batched_asbp_runs_and_stays_consistent() {
+        let (g, _) = planted(20, 3, 71);
+        let wrong: Vec<u32> = (0..g.num_vertices() as u32).map(|v| v % 3).collect();
+        let mut bm = Blockmodel::from_assignment(&g, wrong, 3);
+        let cfg = SbpConfig {
+            variant: Variant::AsyncGibbs,
+            asbp_batches: 4,
+            seed: 2,
+            max_sweeps: 3,
+            ..Default::default()
+        };
+        let mut stats = RunStats::new(&cfg);
+        run_mcmc_phase(&g, &mut bm, &cfg, 0, &mut stats);
+        bm.check_consistency(&g).unwrap();
+    }
+
+    #[test]
+    fn exact_async_improves_and_stays_consistent() {
+        let (g, _) = planted(25, 3, 101);
+        let wrong: Vec<u32> = (0..g.num_vertices() as u32).map(|v| v % 3).collect();
+        for workers in [1usize, 4, 16] {
+            let mut bm = Blockmodel::from_assignment(&g, wrong.clone(), 3);
+            let before = mdl::mdl(&bm, g.num_vertices(), g.total_weight()).total;
+            let cfg = SbpConfig {
+                variant: Variant::ExactAsync,
+                exact_async_workers: workers,
+                seed: 5,
+                ..Default::default()
+            };
+            let mut stats = RunStats::new(&cfg);
+            let out = run_mcmc_phase(&g, &mut bm, &cfg, 0, &mut stats);
+            bm.check_consistency(&g).unwrap();
+            assert!(
+                out.mdl.total < before,
+                "workers {workers}: MDL {} did not improve on {before}",
+                out.mdl.total
+            );
+        }
+    }
+
+    #[test]
+    fn exact_async_one_worker_equals_serial_sweep_outcome() {
+        // With a single worker the local replica is never stale, so one
+        // EA-SBP sweep is exactly one serial MH sweep (same counter RNG).
+        let (g, _) = planted(15, 2, 111);
+        let wrong: Vec<u32> = (0..g.num_vertices() as u32).map(|v| v % 2).collect();
+        let run = |variant: Variant| {
+            let mut bm = Blockmodel::from_assignment(&g, wrong.clone(), 2);
+            let cfg = SbpConfig {
+                variant,
+                exact_async_workers: 1,
+                max_sweeps: 1,
+                mcmc_threshold: 0.0,
+                seed: 4,
+                ..Default::default()
+            };
+            let mut stats = RunStats::new(&cfg);
+            run_mcmc_phase(&g, &mut bm, &cfg, 0, &mut stats);
+            bm.assignment().to_vec()
+        };
+        assert_eq!(run(Variant::ExactAsync), run(Variant::Metropolis));
+    }
+
+    #[test]
+    fn stale_asbp_runs_and_stays_consistent() {
+        let (g, _) = planted(20, 3, 91);
+        let wrong: Vec<u32> = (0..g.num_vertices() as u32).map(|v| v % 3).collect();
+        for staleness in [2usize, 4] {
+            let mut bm = Blockmodel::from_assignment(&g, wrong.clone(), 3);
+            let before = mdl::mdl(&bm, g.num_vertices(), g.total_weight()).total;
+            let cfg = SbpConfig {
+                variant: Variant::AsyncGibbs,
+                asbp_staleness: staleness,
+                seed: 6,
+                max_sweeps: 8,
+                ..Default::default()
+            };
+            let mut stats = RunStats::new(&cfg);
+            let out = run_mcmc_phase(&g, &mut bm, &cfg, 0, &mut stats);
+            bm.check_consistency(&g).unwrap();
+            // Stale evaluation can thrash (the very pathology the ablation
+            // studies), so only require that the chain stays sane.
+            assert!(
+                out.mdl.total.is_finite() && out.mdl.total < before.abs() * 2.0 + 100.0,
+                "staleness {staleness}: MDL exploded from {before} to {}",
+                out.mdl.total
+            );
+        }
+    }
+
+    #[test]
+    fn staleness_changes_trajectory() {
+        // Staleness > 1 must actually change behaviour relative to fresh
+        // A-SBP (same seed, same graph).
+        let (g, _) = planted(20, 3, 95);
+        let wrong: Vec<u32> = (0..g.num_vertices() as u32).map(|v| v % 3).collect();
+        let run = |staleness: usize| {
+            let mut bm = Blockmodel::from_assignment(&g, wrong.clone(), 3);
+            let cfg = SbpConfig {
+                variant: Variant::AsyncGibbs,
+                asbp_staleness: staleness,
+                seed: 8,
+                max_sweeps: 6,
+                mcmc_threshold: 0.0,
+                ..Default::default()
+            };
+            let mut stats = RunStats::new(&cfg);
+            run_mcmc_phase(&g, &mut bm, &cfg, 0, &mut stats);
+            bm.assignment().to_vec()
+        };
+        assert_ne!(run(1), run(4));
+    }
+
+    #[test]
+    fn hybrid_serial_fraction_extremes() {
+        let (g, _) = planted(15, 2, 81);
+        let wrong: Vec<u32> = (0..g.num_vertices() as u32).map(|v| v % 2).collect();
+        for fraction in [0.0, 1.0] {
+            let mut bm = Blockmodel::from_assignment(&g, wrong.clone(), 2);
+            let cfg = SbpConfig {
+                variant: Variant::Hybrid,
+                hybrid_serial_fraction: fraction,
+                seed: 2,
+                max_sweeps: 3,
+                ..Default::default()
+            };
+            let mut stats = RunStats::new(&cfg);
+            run_mcmc_phase(&g, &mut bm, &cfg, 0, &mut stats);
+            bm.check_consistency(&g).unwrap();
+        }
+    }
+}

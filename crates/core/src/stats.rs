@@ -1,0 +1,96 @@
+//! Per-run instrumentation: wall-clock phase timers, simulated-thread
+//! accounting, and the MCMC counters the paper's appendix reports (Fig. 8).
+
+use crate::config::SbpConfig;
+use hsbp_timing::{PhaseTimer, SimAccumulator};
+
+/// Everything measured during one SBP run.
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    /// Wall-clock time per phase (basis of Fig. 2's breakdown).
+    pub timer: PhaseTimer,
+    /// Simulated-thread time of the MCMC phase (basis of Figs. 4b/6/7).
+    pub sim_mcmc: SimAccumulator,
+    /// Simulated-thread time of the block-merge phase.
+    pub sim_merge: SimAccumulator,
+    /// Total MCMC sweeps across all phases (Fig. 8's "MCMC iterations").
+    pub mcmc_sweeps: usize,
+    /// Number of MCMC phases run (one per outer iteration).
+    pub mcmc_phases: usize,
+    /// Outer (merge + MCMC) iterations of the agglomerative search.
+    pub outer_iterations: usize,
+    /// Vertex-move proposals evaluated.
+    pub proposals: u64,
+    /// Vertex-move proposals accepted.
+    pub accepted: u64,
+}
+
+impl RunStats {
+    /// Fresh stats configured for `cfg`'s simulated thread counts.
+    pub fn new(cfg: &SbpConfig) -> Self {
+        let sim = SimAccumulator::new(
+            &cfg.sim_thread_counts,
+            cfg.sim_chunking,
+            cfg.cost_model.barrier,
+        );
+        Self {
+            timer: PhaseTimer::new(),
+            sim_mcmc: sim.clone(),
+            sim_merge: sim,
+            mcmc_sweeps: 0,
+            mcmc_phases: 0,
+            outer_iterations: 0,
+            proposals: 0,
+            accepted: 0,
+        }
+    }
+
+    /// Fraction of proposals accepted (0 if none evaluated).
+    pub fn acceptance_rate(&self) -> f64 {
+        if self.proposals == 0 {
+            0.0
+        } else {
+            self.accepted as f64 / self.proposals as f64
+        }
+    }
+
+    /// Simulated MCMC-phase time at `threads` virtual threads.
+    pub fn sim_mcmc_time(&self, threads: usize) -> Option<f64> {
+        self.sim_mcmc.total_for(threads)
+    }
+
+    /// Simulated total (MCMC + merge) time at `threads` virtual threads.
+    pub fn sim_total_time(&self, threads: usize) -> Option<f64> {
+        Some(self.sim_mcmc.total_for(threads)? + self.sim_merge.total_for(threads)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_stats_zeroed() {
+        let stats = RunStats::new(&SbpConfig::default());
+        assert_eq!(stats.mcmc_sweeps, 0);
+        assert_eq!(stats.acceptance_rate(), 0.0);
+        assert_eq!(stats.sim_mcmc_time(1), Some(0.0));
+        assert_eq!(stats.sim_total_time(128), Some(0.0));
+    }
+
+    #[test]
+    fn acceptance_rate_computed() {
+        let mut stats = RunStats::new(&SbpConfig::default());
+        stats.proposals = 10;
+        stats.accepted = 4;
+        assert!((stats.acceptance_rate() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sim_time_tracks_config_thread_counts() {
+        let cfg = SbpConfig { sim_thread_counts: vec![1, 3], ..Default::default() };
+        let stats = RunStats::new(&cfg);
+        assert!(stats.sim_mcmc_time(3).is_some());
+        assert!(stats.sim_mcmc_time(2).is_none());
+    }
+}

@@ -1,0 +1,88 @@
+//! Property tests for the SBP phases: no sequence of merge/MCMC phases may
+//! ever corrupt the blockmodel, and the driver must terminate with a valid
+//! partition on arbitrary small graphs.
+
+use hsbp_blockmodel::Blockmodel;
+use hsbp_core::{merge_phase, run_mcmc_phase, run_sbp, RunStats, SbpConfig, Variant};
+use hsbp_graph::Graph;
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (5usize..30).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..120)
+            .prop_map(move |edges| Graph::from_edges(n, &edges))
+    })
+}
+
+fn variant_from(selector: u8) -> Variant {
+    match selector % 3 {
+        0 => Variant::Metropolis,
+        1 => Variant::AsyncGibbs,
+        _ => Variant::Hybrid,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// An MCMC phase on an arbitrary graph/partition leaves a consistent
+    /// model and never increases the MDL beyond rounding.
+    #[test]
+    fn mcmc_phase_preserves_consistency(g in arb_graph(), vsel in any::<u8>(), seed in any::<u64>()) {
+        let n = g.num_vertices();
+        let c = (n / 3).max(1);
+        let assignment: Vec<u32> = (0..n as u32).map(|v| v % c as u32).collect();
+        let mut bm = Blockmodel::from_assignment(&g, assignment, c);
+        let cfg = SbpConfig {
+            variant: variant_from(vsel),
+            seed,
+            max_sweeps: 4,
+            ..Default::default()
+        };
+        let before = hsbp_blockmodel::mdl::mdl(&bm, n, g.total_weight()).total;
+        let mut stats = RunStats::new(&cfg);
+        let out = run_mcmc_phase(&g, &mut bm, &cfg, 0, &mut stats);
+        prop_assert!(bm.check_consistency(&g).is_ok());
+        // MH only accepts good moves deterministically; bad ones with
+        // exponential probability — on average MDL improves, but any single
+        // run may worsen slightly. Permit a generous slack, but it must not
+        // blow up.
+        prop_assert!(out.mdl.total <= before.abs() * 2.0 + before + 50.0,
+            "MDL exploded from {} to {}", before, out.mdl.total);
+    }
+
+    /// The merge phase hits its target whenever enough candidates exist and
+    /// always leaves a consistent, compactly-labelled model.
+    #[test]
+    fn merge_phase_consistent(g in arb_graph(), seed in any::<u64>()) {
+        let n = g.num_vertices();
+        let mut bm = Blockmodel::singleton_partition(&g);
+        let target = (n / 2).max(1);
+        let cfg = SbpConfig { seed, ..Default::default() };
+        let mut stats = RunStats::new(&cfg);
+        let out = merge_phase(&g, &mut bm, target, &cfg, 0, &mut stats);
+        prop_assert!(bm.check_consistency(&g).is_ok());
+        prop_assert!(out.num_blocks >= 1);
+        prop_assert!(bm.assignment().iter().all(|&b| (b as usize) < bm.num_blocks()));
+    }
+
+    /// The full driver terminates on arbitrary graphs with a valid result.
+    #[test]
+    fn driver_terminates_validly(g in arb_graph(), vsel in any::<u8>(), seed in any::<u64>()) {
+        let cfg = SbpConfig {
+            variant: variant_from(vsel),
+            seed,
+            max_sweeps: 5,
+            ..Default::default()
+        };
+        let result = run_sbp(&g, &cfg);
+        prop_assert_eq!(result.assignment.len(), g.num_vertices());
+        prop_assert!(result.num_blocks >= 1);
+        prop_assert!(result.assignment.iter().all(|&b| (b as usize) < result.num_blocks));
+        prop_assert!(result.mdl.total.is_finite());
+        // The returned partition's MDL matches the best of the trajectory.
+        if let Some(best) = result.trajectory.iter().map(|&(_, m)| m).reduce(f64::min) {
+            prop_assert!(result.mdl.total <= best + 1e-6);
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! End-to-end tests of the full SBP driver on generated DCSBM graphs:
+//! accuracy (NMI against planted truth), determinism, the paper's headline
+//! speedup ordering under the simulated scheduler, and edge cases.
+
+use hsbp_core::{run_sbp, SbpConfig, Variant};
+use hsbp_generator::{generate, DcsbmConfig};
+use hsbp_graph::Graph;
+use hsbp_metrics::nmi;
+
+fn strong_graph(seed: u64) -> (hsbp_graph::Graph, Vec<u32>) {
+    let data = generate(DcsbmConfig {
+        num_vertices: 600,
+        num_communities: 6,
+        target_num_edges: 6000,
+        within_between_ratio: 3.0,
+        degree_exponent: 2.5,
+        min_degree: 2,
+        max_degree: 60,
+        community_size_exponent: 0.5,
+        seed,
+    });
+    (data.graph, data.ground_truth)
+}
+
+#[test]
+fn all_variants_recover_planted_communities() {
+    let (graph, truth) = strong_graph(42);
+    for variant in [Variant::Metropolis, Variant::AsyncGibbs, Variant::Hybrid] {
+        let result = run_sbp(&graph, &SbpConfig::new(variant, 7));
+        let score = nmi(&truth, &result.assignment);
+        assert!(
+            score > 0.85,
+            "{}: NMI {score} too low ({} blocks found)",
+            variant.name(),
+            result.num_blocks
+        );
+        assert!(
+            result.normalized_mdl < 1.0,
+            "{}: normalized MDL {} should beat the null",
+            variant.name(),
+            result.normalized_mdl
+        );
+        // Block count in the right ballpark of the planted 6.
+        assert!(
+            (3..=12).contains(&result.num_blocks),
+            "{}: found {} blocks",
+            variant.name(),
+            result.num_blocks
+        );
+    }
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let (graph, _) = strong_graph(1);
+    for variant in [Variant::Metropolis, Variant::Hybrid] {
+        let a = run_sbp(&graph, &SbpConfig::new(variant, 33));
+        let b = run_sbp(&graph, &SbpConfig::new(variant, 33));
+        assert_eq!(a.assignment, b.assignment, "{} not deterministic", variant.name());
+        assert_eq!(a.mdl.total, b.mdl.total);
+    }
+}
+
+#[test]
+fn different_seeds_explore_differently() {
+    let (graph, _) = strong_graph(2);
+    let a = run_sbp(&graph, &SbpConfig::new(Variant::Metropolis, 1));
+    let b = run_sbp(&graph, &SbpConfig::new(Variant::Metropolis, 2));
+    // Same graph, different seeds: states may coincide at convergence but
+    // the full trajectories (sweeps executed) almost surely differ.
+    assert!(
+        a.assignment != b.assignment || a.stats.mcmc_sweeps != b.stats.mcmc_sweeps,
+        "two seeds produced byte-identical runs"
+    );
+}
+
+#[test]
+fn simulated_speedup_ordering_matches_paper() {
+    // Paper headline: at high thread counts, A-SBP's MCMC phase is fastest,
+    // H-SBP in between, serial SBP slowest (Figs. 4b/6); SBP does not scale
+    // at all.
+    let (graph, _) = strong_graph(3);
+    let mut mcmc_time = std::collections::HashMap::new();
+    for variant in [Variant::Metropolis, Variant::AsyncGibbs, Variant::Hybrid] {
+        let result = run_sbp(&graph, &SbpConfig::new(variant, 5));
+        mcmc_time.insert(
+            variant.name(),
+            (result.stats.sim_mcmc_time(1).unwrap(), result.stats.sim_mcmc_time(128).unwrap()),
+        );
+    }
+    let (sbp_1, sbp_128) = mcmc_time["SBP"];
+    assert_eq!(sbp_1, sbp_128, "serial SBP must not scale");
+    let (_, asbp_128) = mcmc_time["A-SBP"];
+    let (_, hsbp_128) = mcmc_time["H-SBP"];
+    let asbp_speedup = sbp_128 / asbp_128;
+    let hsbp_speedup = sbp_128 / hsbp_128;
+    assert!(
+        asbp_speedup > hsbp_speedup,
+        "A-SBP speedup {asbp_speedup} should exceed H-SBP {hsbp_speedup}"
+    );
+    assert!(hsbp_speedup > 1.0, "H-SBP should still beat serial SBP, got {hsbp_speedup}");
+    assert!(
+        (1.5..30.0).contains(&asbp_speedup),
+        "A-SBP speedup {asbp_speedup} outside plausible envelope"
+    );
+}
+
+#[test]
+fn parallel_variants_need_at_least_comparable_sweeps() {
+    // Paper Fig. 8a: asynchronous processing needs *more* MCMC iterations on
+    // synthetic graphs. Allow slack, but A-SBP should not need dramatically
+    // fewer sweeps than SBP.
+    let (graph, _) = strong_graph(4);
+    let sbp = run_sbp(&graph, &SbpConfig::new(Variant::Metropolis, 9));
+    let asbp = run_sbp(&graph, &SbpConfig::new(Variant::AsyncGibbs, 9));
+    assert!(
+        asbp.stats.mcmc_sweeps as f64 >= 0.8 * sbp.stats.mcmc_sweeps as f64,
+        "A-SBP used {} sweeps vs SBP {}",
+        asbp.stats.mcmc_sweeps,
+        sbp.stats.mcmc_sweeps
+    );
+}
+
+#[test]
+fn weak_structure_yields_high_normalized_mdl() {
+    // A near-structureless graph (the p2p-Gnutella31 situation, §5.3): the
+    // fitted normalized MDL stays close to 1.
+    let data = generate(DcsbmConfig {
+        num_vertices: 400,
+        num_communities: 8,
+        target_num_edges: 1200,
+        within_between_ratio: 0.12,
+        degree_exponent: 3.5,
+        min_degree: 1,
+        max_degree: 8,
+        community_size_exponent: 0.2,
+        seed: 77,
+    });
+    let result = run_sbp(&data.graph, &SbpConfig::new(Variant::Metropolis, 3));
+    assert!(
+        result.normalized_mdl > 0.9,
+        "structureless graph fitted suspiciously well: {}",
+        result.normalized_mdl
+    );
+    // And the recovered labels share little information with the "truth".
+    let score = nmi(&data.ground_truth, &result.assignment);
+    assert!(score < 0.5, "NMI {score} should be low on a structureless graph");
+}
+
+#[test]
+fn mcmc_dominates_wall_clock() {
+    // Fig. 2: the MCMC phase takes the bulk of execution time.
+    let (graph, _) = strong_graph(5);
+    let result = run_sbp(&graph, &SbpConfig::new(Variant::Metropolis, 2));
+    let fraction = result.stats.timer.fraction(hsbp_timing::Phase::Mcmc);
+    assert!(fraction > 0.4, "MCMC fraction {fraction} unexpectedly small");
+}
+
+#[test]
+fn empty_graph_handled() {
+    let graph = Graph::from_edges(0, &[]);
+    let result = run_sbp(&graph, &SbpConfig::default());
+    assert_eq!(result.num_blocks, 0);
+    assert!(result.assignment.is_empty());
+}
+
+#[test]
+fn edgeless_graph_handled() {
+    let graph = Graph::from_edges(5, &[]);
+    let result = run_sbp(&graph, &SbpConfig::default());
+    assert_eq!(result.assignment.len(), 5);
+    assert!(result.num_blocks >= 1);
+}
+
+#[test]
+fn tiny_graph_handled() {
+    let graph = Graph::from_edges(2, &[(0, 1), (1, 0)]);
+    for variant in [Variant::Metropolis, Variant::AsyncGibbs, Variant::Hybrid] {
+        let result = run_sbp(&graph, &SbpConfig::new(variant, 0));
+        assert_eq!(result.assignment.len(), 2);
+        assert!(result.num_blocks >= 1 && result.num_blocks <= 2);
+    }
+}
+
+#[test]
+fn batched_asbp_end_to_end() {
+    let (graph, truth) = strong_graph(6);
+    let cfg = SbpConfig { variant: Variant::AsyncGibbs, asbp_batches: 4, seed: 11, ..Default::default() };
+    let result = run_sbp(&graph, &cfg);
+    let score = nmi(&truth, &result.assignment);
+    assert!(score > 0.8, "batched A-SBP NMI {score}");
+}
+
+#[test]
+fn hybrid_fraction_sweep_stays_accurate() {
+    let (graph, truth) = strong_graph(8);
+    for fraction in [0.05, 0.30] {
+        let cfg = SbpConfig {
+            variant: Variant::Hybrid,
+            hybrid_serial_fraction: fraction,
+            seed: 13,
+            ..Default::default()
+        };
+        let result = run_sbp(&graph, &cfg);
+        let score = nmi(&truth, &result.assignment);
+        assert!(score > 0.8, "H-SBP f={fraction}: NMI {score}");
+    }
+}

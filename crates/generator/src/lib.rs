@@ -1,0 +1,24 @@
+//! Synthetic graph generation for hsbp.
+//!
+//! The paper generates its synthetic evaluation graphs (Table 1) with
+//! `graph-tool`'s DCSBM sampler, varying the degree distribution (min/max
+//! degree, power-law exponent) and the within/between community edge ratio
+//! `r`. That library is not available here, so [`dcsbm`] reimplements the
+//! sampler from scratch: a degree-corrected planted-partition model with
+//! power-law degree propensities and power-law community sizes — the same
+//! family, with exactly the knobs the paper varies.
+//!
+//! [`catalog`] holds the dataset catalogs:
+//!
+//! * [`catalog::table1`] — the 24 synthetic graphs S1–S24 with the paper's
+//!   exact target sizes, shrinkable by a scale factor,
+//! * [`catalog::table2`] — deterministic *surrogates* for the 14 SuiteSparse
+//!   real-world datasets (which cannot be downloaded in this environment):
+//!   per-domain generator configurations matched to each dataset's V, E and
+//!   degree character, again shrinkable.
+
+pub mod catalog;
+pub mod dcsbm;
+
+pub use catalog::{table1, table1_reported, table2, table2_by_id, SyntheticSpec};
+pub use dcsbm::{generate, DcsbmConfig, GeneratedGraph};

@@ -1,0 +1,87 @@
+//! Property tests for the DCSBM sampler: structural validity, determinism
+//! and parameter adherence over random configurations.
+
+use hsbp_generator::{generate, DcsbmConfig};
+use hsbp_graph::stats::within_between_ratio;
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = DcsbmConfig> {
+    (
+        50usize..300,          // vertices
+        1usize..8,             // communities
+        1usize..10,            // edges per vertex
+        0.1f64..5.0,           // ratio r
+        1.5f64..4.0,           // degree exponent
+        1u64..4,               // min degree
+        any::<u64>(),          // seed
+    )
+        .prop_map(|(n, c, epv, r, gamma, min_d, seed)| DcsbmConfig {
+            num_vertices: n,
+            num_communities: c.min(n),
+            target_num_edges: n * epv,
+            within_between_ratio: r,
+            degree_exponent: gamma,
+            min_degree: min_d,
+            max_degree: min_d + 40,
+            community_size_exponent: 0.5,
+            seed,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Generated graphs are structurally valid, the right size, loop-free,
+    /// and the planted assignment covers exactly the requested communities.
+    #[test]
+    fn generated_graphs_are_valid(cfg in arb_config()) {
+        let data = generate(cfg.clone());
+        prop_assert!(data.graph.validate().is_ok());
+        prop_assert_eq!(data.graph.num_vertices(), cfg.num_vertices);
+        prop_assert_eq!(data.ground_truth.len(), cfg.num_vertices);
+        // No self-loops by construction.
+        for v in 0..cfg.num_vertices as u32 {
+            prop_assert_eq!(data.graph.self_loop(v), 0);
+        }
+        // Every planted label in range and every community non-empty.
+        let mut seen = vec![false; cfg.num_communities];
+        for &b in &data.ground_truth {
+            prop_assert!((b as usize) < cfg.num_communities);
+            seen[b as usize] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+        // Dense-enough configs place nearly all edges.
+        prop_assert!(data.graph.num_edges() as f64 >= 0.5 * cfg.target_num_edges as f64);
+    }
+
+    /// Same config => identical output; different seed => different graph.
+    #[test]
+    fn generation_is_deterministic(cfg in arb_config()) {
+        let a = generate(cfg.clone());
+        let b = generate(cfg.clone());
+        prop_assert_eq!(a.graph, b.graph.clone());
+        prop_assert_eq!(&a.ground_truth, &b.ground_truth);
+        let mut other = cfg;
+        other.seed = other.seed.wrapping_add(1);
+        let c = generate(other);
+        // With ≥ 50 edges the chance of an identical graph is negligible.
+        prop_assert!(c.graph != b.graph || c.ground_truth != b.ground_truth);
+    }
+
+    /// The realised within/between ratio moves in the direction of r.
+    #[test]
+    fn ratio_direction_holds(seed in any::<u64>()) {
+        let base = DcsbmConfig {
+            num_vertices: 300,
+            num_communities: 5,
+            target_num_edges: 3000,
+            seed,
+            ..Default::default()
+        };
+        let strong = generate(DcsbmConfig { within_between_ratio: 4.0, ..base.clone() });
+        let weak = generate(DcsbmConfig { within_between_ratio: 0.25, ..base });
+        let r_strong = within_between_ratio(&strong.graph, &strong.ground_truth);
+        let r_weak = within_between_ratio(&weak.graph, &weak.ground_truth);
+        prop_assert!(r_strong > r_weak, "strong {} <= weak {}", r_strong, r_weak);
+    }
+}

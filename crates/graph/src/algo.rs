@@ -1,0 +1,170 @@
+//! Basic graph algorithms: weakly connected components and induced
+//! subgraphs.
+//!
+//! Community detection treats edge direction statistically, but
+//! *reachability* ignoring direction still matters operationally: vertices
+//! in different weak components share no evidence, so SBP will never merge
+//! them for likelihood reasons (see the `disconnected_components` test in
+//! the workspace integration suite), and preprocessing pipelines routinely
+//! run detection per-component.
+
+use crate::{Graph, GraphBuilder, Vertex};
+
+/// Label every vertex with its weakly-connected-component id (ids are
+/// compact, `0..num_components`, assigned in order of first discovery).
+pub fn weakly_connected_components(graph: &Graph) -> Vec<u32> {
+    let n = graph.num_vertices();
+    let mut component = vec![u32::MAX; n];
+    let mut next = 0u32;
+    let mut stack: Vec<Vertex> = Vec::new();
+    for start in 0..n as Vertex {
+        if component[start as usize] != u32::MAX {
+            continue;
+        }
+        component[start as usize] = next;
+        stack.push(start);
+        while let Some(v) = stack.pop() {
+            for u in graph
+                .out_neighbors(v)
+                .iter()
+                .chain(graph.in_neighbors(v))
+                .copied()
+            {
+                if component[u as usize] == u32::MAX {
+                    component[u as usize] = next;
+                    stack.push(u);
+                }
+            }
+        }
+        next += 1;
+    }
+    component
+}
+
+/// Number of weakly connected components.
+pub fn num_weak_components(graph: &Graph) -> usize {
+    weakly_connected_components(graph)
+        .into_iter()
+        .max()
+        .map_or(0, |m| m as usize + 1)
+}
+
+/// Extract the subgraph induced by `keep` (vertices where `keep[v]`),
+/// relabelling retained vertices compactly. Returns the subgraph and the
+/// mapping `old id -> new id` (`None` for dropped vertices).
+pub fn induced_subgraph(graph: &Graph, keep: &[bool]) -> (Graph, Vec<Option<Vertex>>) {
+    assert_eq!(keep.len(), graph.num_vertices(), "mask length mismatch");
+    let mut mapping: Vec<Option<Vertex>> = vec![None; keep.len()];
+    let mut next: Vertex = 0;
+    for (v, &k) in keep.iter().enumerate() {
+        if k {
+            mapping[v] = Some(next);
+            next += 1;
+        }
+    }
+    let mut builder = GraphBuilder::new(next as usize);
+    for (u, v, w) in graph.edges() {
+        if let (Some(nu), Some(nv)) = (mapping[u as usize], mapping[v as usize]) {
+            builder.add_edge_weighted(nu, nv, w);
+        }
+    }
+    (builder.build(), mapping)
+}
+
+/// The subgraph of the largest weak component (with its id mapping). For a
+/// graph with no vertices, returns an empty graph.
+pub fn largest_component_subgraph(graph: &Graph) -> (Graph, Vec<Option<Vertex>>) {
+    let components = weakly_connected_components(graph);
+    let num = components.iter().copied().max().map_or(0, |m| m as usize + 1);
+    if num == 0 {
+        return (GraphBuilder::new(0).build(), Vec::new());
+    }
+    let mut sizes = vec![0usize; num];
+    for &c in &components {
+        sizes[c as usize] += 1;
+    }
+    let largest = sizes
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, &s)| s)
+        .map(|(i, _)| i as u32)
+        .unwrap();
+    let keep: Vec<bool> = components.iter().map(|&c| c == largest).collect();
+    induced_subgraph(graph, &keep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_component_ring() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let c = weakly_connected_components(&g);
+        assert!(c.iter().all(|&x| x == 0));
+        assert_eq!(num_weak_components(&g), 1);
+    }
+
+    #[test]
+    fn direction_ignored() {
+        // 0 -> 1, 2 -> 1: all weakly connected despite no directed path
+        // from 0 to 2.
+        let g = Graph::from_edges(3, &[(0, 1), (2, 1)]);
+        assert_eq!(num_weak_components(&g), 1);
+    }
+
+    #[test]
+    fn isolated_vertices_are_own_components() {
+        let g = Graph::from_edges(4, &[(0, 1)]);
+        let c = weakly_connected_components(&g);
+        assert_eq!(c[0], c[1]);
+        assert_ne!(c[2], c[0]);
+        assert_ne!(c[3], c[2]);
+        assert_eq!(num_weak_components(&g), 3);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::from_edges(0, &[]);
+        assert_eq!(num_weak_components(&g), 0);
+        let (sub, map) = largest_component_subgraph(&g);
+        assert_eq!(sub.num_vertices(), 0);
+        assert!(map.is_empty());
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges_only() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let (sub, map) = induced_subgraph(&g, &[true, true, false, true]);
+        assert_eq!(sub.num_vertices(), 3);
+        // Surviving edges: 0->1 and 3->0 (relabelled).
+        assert_eq!(sub.num_edges(), 2);
+        assert_eq!(map[2], None);
+        let n0 = map[0].unwrap();
+        let n1 = map[1].unwrap();
+        let n3 = map[3].unwrap();
+        assert_eq!(sub.out_neighbors(n0), &[n1]);
+        assert_eq!(sub.out_neighbors(n3), &[n0]);
+        sub.validate().unwrap();
+    }
+
+    #[test]
+    fn largest_component_extracted() {
+        // Component A: 0-1-2 triangle; component B: 3-4 edge; isolate: 5.
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4)]);
+        let (sub, map) = largest_component_subgraph(&g);
+        assert_eq!(sub.num_vertices(), 3);
+        assert_eq!(sub.num_edges(), 3);
+        assert!(map[3].is_none() && map[4].is_none() && map[5].is_none());
+    }
+
+    #[test]
+    fn weighted_edges_survive_extraction() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge_weighted(0, 1, 7);
+        b.add_edge_weighted(1, 2, 3);
+        let g = b.build();
+        let (sub, _) = induced_subgraph(&g, &[true, true, false]);
+        assert_eq!(sub.total_weight(), 7);
+    }
+}

@@ -1,0 +1,421 @@
+//! Compressed-sparse-row directed multigraph.
+//!
+//! Both directions of adjacency are materialised: the DCSBM proposal step
+//! draws a uniformly random *incident* edge of a vertex (in- or out-), and
+//! the delta-MDL computation needs the blocks of all in- and out-neighbours.
+//! Parallel sweeps read the structure concurrently, so everything here is
+//! immutable after construction (`&Graph` is `Sync`).
+
+use crate::{Vertex, Weight};
+
+/// Immutable directed multigraph in CSR form (out- and in-adjacency).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    num_vertices: usize,
+    num_edges: usize,
+    total_weight: Weight,
+    // Out-adjacency.
+    out_offsets: Vec<usize>,
+    out_targets: Vec<Vertex>,
+    out_weights: Vec<Weight>,
+    // In-adjacency (transpose).
+    in_offsets: Vec<usize>,
+    in_sources: Vec<Vertex>,
+    in_weights: Vec<Weight>,
+}
+
+impl Graph {
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of stored (directed) edges. Parallel edges are collapsed at
+    /// build time, so this counts distinct `(u, v)` pairs.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Sum of all edge weights (equals `num_edges` for unweighted graphs).
+    #[inline]
+    pub fn total_weight(&self) -> Weight {
+        self.total_weight
+    }
+
+    /// Out-neighbours of `v` with weights.
+    #[inline]
+    pub fn out_edges(&self, v: Vertex) -> impl Iterator<Item = (Vertex, Weight)> + '_ {
+        let range = self.out_offsets[v as usize]..self.out_offsets[v as usize + 1];
+        self.out_targets[range.clone()].iter().copied().zip(self.out_weights[range].iter().copied())
+    }
+
+    /// In-neighbours of `v` with weights.
+    #[inline]
+    pub fn in_edges(&self, v: Vertex) -> impl Iterator<Item = (Vertex, Weight)> + '_ {
+        let range = self.in_offsets[v as usize]..self.in_offsets[v as usize + 1];
+        self.in_sources[range.clone()].iter().copied().zip(self.in_weights[range].iter().copied())
+    }
+
+    /// Out-neighbour vertex ids only.
+    #[inline]
+    pub fn out_neighbors(&self, v: Vertex) -> &[Vertex] {
+        &self.out_targets[self.out_offsets[v as usize]..self.out_offsets[v as usize + 1]]
+    }
+
+    /// In-neighbour vertex ids only.
+    #[inline]
+    pub fn in_neighbors(&self, v: Vertex) -> &[Vertex] {
+        &self.in_sources[self.in_offsets[v as usize]..self.in_offsets[v as usize + 1]]
+    }
+
+    /// Weighted out-degree of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: Vertex) -> Weight {
+        let range = self.out_offsets[v as usize]..self.out_offsets[v as usize + 1];
+        self.out_weights[range].iter().sum()
+    }
+
+    /// Weighted in-degree of `v`.
+    #[inline]
+    pub fn in_degree(&self, v: Vertex) -> Weight {
+        let range = self.in_offsets[v as usize]..self.in_offsets[v as usize + 1];
+        self.in_weights[range].iter().sum()
+    }
+
+    /// Total (in + out) weighted degree of `v`. Self-loops count once in
+    /// each direction, matching the blockmodel's degree bookkeeping.
+    #[inline]
+    pub fn degree(&self, v: Vertex) -> Weight {
+        self.out_degree(v) + self.in_degree(v)
+    }
+
+    /// Number of distinct out-edges of `v` (unweighted out-degree).
+    #[inline]
+    pub fn out_arity(&self, v: Vertex) -> usize {
+        self.out_offsets[v as usize + 1] - self.out_offsets[v as usize]
+    }
+
+    /// Number of distinct in-edges of `v` (unweighted in-degree).
+    #[inline]
+    pub fn in_arity(&self, v: Vertex) -> usize {
+        self.in_offsets[v as usize + 1] - self.in_offsets[v as usize]
+    }
+
+    /// Iterate over every stored edge as `(source, target, weight)`.
+    pub fn edges(&self) -> impl Iterator<Item = (Vertex, Vertex, Weight)> + '_ {
+        (0..self.num_vertices as Vertex)
+            .flat_map(move |u| self.out_edges(u).map(move |(v, w)| (u, v, w)))
+    }
+
+    /// The `k`-th incident edge of `v`, counting out-edges first then
+    /// in-edges. Returns `(neighbor, weight, is_out_edge)`.
+    ///
+    /// This underlies the MCMC proposal: draw `k` uniformly from
+    /// `0..(out_arity + in_arity)` to get a uniformly random incident edge.
+    #[inline]
+    pub fn incident_edge(&self, v: Vertex, k: usize) -> (Vertex, Weight, bool) {
+        let out_n = self.out_arity(v);
+        if k < out_n {
+            let idx = self.out_offsets[v as usize] + k;
+            (self.out_targets[idx], self.out_weights[idx], true)
+        } else {
+            let idx = self.in_offsets[v as usize] + (k - out_n);
+            (self.in_sources[idx], self.in_weights[idx], false)
+        }
+    }
+
+    /// Total number of incident edge slots of `v` (`out_arity + in_arity`).
+    #[inline]
+    pub fn incident_arity(&self, v: Vertex) -> usize {
+        self.out_arity(v) + self.in_arity(v)
+    }
+
+    /// Self-loop weight of `v` (0 if none).
+    pub fn self_loop(&self, v: Vertex) -> Weight {
+        self.out_edges(v).filter(|&(t, _)| t == v).map(|(_, w)| w).sum()
+    }
+
+    /// Symmetrised copy: every directed edge `(u,v,w)` also contributes
+    /// `(v,u,w)`; duplicate pairs collapse by weight addition. Self-loops are
+    /// kept once. (Paper §6 lists undirected support as future work; this is
+    /// the entry point for it.)
+    pub fn to_undirected(&self) -> Graph {
+        let mut builder = GraphBuilder::new(self.num_vertices);
+        for (u, v, w) in self.edges() {
+            builder.add_edge_weighted(u, v, w);
+            if u != v {
+                builder.add_edge_weighted(v, u, w);
+            }
+        }
+        builder.build()
+    }
+
+    /// Internal consistency check (used by tests and debug assertions):
+    /// offsets monotone, in/out views describe the same edge multiset.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.out_offsets.len() != self.num_vertices + 1
+            || self.in_offsets.len() != self.num_vertices + 1
+        {
+            return Err("offset array length mismatch".into());
+        }
+        if self.out_offsets.windows(2).any(|w| w[0] > w[1])
+            || self.in_offsets.windows(2).any(|w| w[0] > w[1])
+        {
+            return Err("offsets not monotone".into());
+        }
+        if *self.out_offsets.last().unwrap() != self.out_targets.len() {
+            return Err("out offsets do not cover targets".into());
+        }
+        if *self.in_offsets.last().unwrap() != self.in_sources.len() {
+            return Err("in offsets do not cover sources".into());
+        }
+        let mut fwd: Vec<(Vertex, Vertex, Weight)> = self.edges().collect();
+        let mut bwd: Vec<(Vertex, Vertex, Weight)> = (0..self.num_vertices as Vertex)
+            .flat_map(|v| self.in_edges(v).map(move |(u, w)| (u, v, w)))
+            .collect();
+        fwd.sort_unstable();
+        bwd.sort_unstable();
+        if fwd != bwd {
+            return Err("in-adjacency is not the transpose of out-adjacency".into());
+        }
+        let wsum: Weight = self.out_weights.iter().sum();
+        if wsum != self.total_weight {
+            return Err("total weight mismatch".into());
+        }
+        Ok(())
+    }
+}
+
+/// Accumulates edges and produces an immutable [`Graph`].
+///
+/// Duplicate `(u, v)` pairs are collapsed into a single edge whose weight is
+/// the sum — the DCSBM treats parallel edges as weight, and collapsing keeps
+/// adjacency scans proportional to distinct neighbours.
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    num_vertices: usize,
+    edges: Vec<(Vertex, Vertex, Weight)>,
+}
+
+impl GraphBuilder {
+    /// Builder for a graph with `num_vertices` vertices (ids `0..n`).
+    pub fn new(num_vertices: usize) -> Self {
+        Self { num_vertices, edges: Vec::new() }
+    }
+
+    /// Builder with capacity for `num_edges` edge insertions.
+    pub fn with_capacity(num_vertices: usize, num_edges: usize) -> Self {
+        Self { num_vertices, edges: Vec::with_capacity(num_edges) }
+    }
+
+    /// Number of raw (pre-collapse) edge insertions so far.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True if no edges have been added.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Add an unweighted directed edge `u -> v`.
+    #[inline]
+    pub fn add_edge(&mut self, u: Vertex, v: Vertex) {
+        self.add_edge_weighted(u, v, 1);
+    }
+
+    /// Add a weighted directed edge `u -> v`.
+    #[inline]
+    pub fn add_edge_weighted(&mut self, u: Vertex, v: Vertex, w: Weight) {
+        debug_assert!((u as usize) < self.num_vertices, "source {u} out of range");
+        debug_assert!((v as usize) < self.num_vertices, "target {v} out of range");
+        self.num_vertices = self.num_vertices.max(u as usize + 1).max(v as usize + 1);
+        self.edges.push((u, v, w));
+    }
+
+    /// Finalise into an immutable CSR graph.
+    pub fn build(mut self) -> Graph {
+        let n = self.num_vertices;
+        // Sort + collapse duplicates.
+        self.edges.sort_unstable_by_key(|&(u, v, _)| (u, v));
+        let mut collapsed: Vec<(Vertex, Vertex, Weight)> = Vec::with_capacity(self.edges.len());
+        for (u, v, w) in self.edges {
+            match collapsed.last_mut() {
+                Some(last) if last.0 == u && last.1 == v => last.2 += w,
+                _ => collapsed.push((u, v, w)),
+            }
+        }
+        let m = collapsed.len();
+
+        // Out-CSR straight from the sorted list.
+        let mut out_offsets = vec![0usize; n + 1];
+        for &(u, _, _) in &collapsed {
+            out_offsets[u as usize + 1] += 1;
+        }
+        for i in 0..n {
+            out_offsets[i + 1] += out_offsets[i];
+        }
+        let mut out_targets = Vec::with_capacity(m);
+        let mut out_weights = Vec::with_capacity(m);
+        let mut total_weight: Weight = 0;
+        for &(_, v, w) in &collapsed {
+            out_targets.push(v);
+            out_weights.push(w);
+            total_weight += w;
+        }
+
+        // In-CSR by counting sort on target.
+        let mut in_offsets = vec![0usize; n + 1];
+        for &(_, v, _) in &collapsed {
+            in_offsets[v as usize + 1] += 1;
+        }
+        for i in 0..n {
+            in_offsets[i + 1] += in_offsets[i];
+        }
+        let mut cursor = in_offsets.clone();
+        let mut in_sources = vec![0 as Vertex; m];
+        let mut in_weights = vec![0 as Weight; m];
+        for &(u, v, w) in &collapsed {
+            let slot = cursor[v as usize];
+            in_sources[slot] = u;
+            in_weights[slot] = w;
+            cursor[v as usize] += 1;
+        }
+
+        Graph {
+            num_vertices: n,
+            num_edges: m,
+            total_weight,
+            out_offsets,
+            out_targets,
+            out_weights,
+            in_offsets,
+            in_sources,
+            in_weights,
+        }
+    }
+}
+
+impl Graph {
+    /// Build directly from an edge list (convenience for tests/examples).
+    pub fn from_edges(num_vertices: usize, edges: &[(Vertex, Vertex)]) -> Graph {
+        let mut b = GraphBuilder::with_capacity(num_vertices, edges.len());
+        for &(u, v) in edges {
+            b.add_edge(u, v);
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Graph {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3, 3 -> 0 (cycle back), 1 -> 1 (loop)
+        Graph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 0), (1, 1)])
+    }
+
+    #[test]
+    fn basic_counts() {
+        let g = diamond();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 6);
+        assert_eq!(g.total_weight(), 6);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn adjacency_is_correct() {
+        let g = diamond();
+        assert_eq!(g.out_neighbors(0), &[1, 2]);
+        assert_eq!(g.out_neighbors(1), &[1, 3]);
+        assert_eq!(g.in_neighbors(3), &[1, 2]);
+        assert_eq!(g.in_neighbors(0), &[3]);
+    }
+
+    #[test]
+    fn degrees() {
+        let g = diamond();
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.in_degree(0), 1);
+        assert_eq!(g.degree(0), 3);
+        // vertex 1: out = {1,3} (2), in = {0,1} (2)
+        assert_eq!(g.degree(1), 4);
+        assert_eq!(g.self_loop(1), 1);
+        assert_eq!(g.self_loop(0), 0);
+    }
+
+    #[test]
+    fn duplicate_edges_collapse_to_weight() {
+        let g = Graph::from_edges(2, &[(0, 1), (0, 1), (0, 1)]);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.total_weight(), 3);
+        assert_eq!(g.out_edges(0).collect::<Vec<_>>(), vec![(1, 3)]);
+        assert_eq!(g.in_edges(1).collect::<Vec<_>>(), vec![(0, 3)]);
+    }
+
+    #[test]
+    fn incident_edges_cover_both_directions() {
+        let g = diamond();
+        // vertex 3: out {0}, in {1, 2}
+        assert_eq!(g.incident_arity(3), 3);
+        let incidents: Vec<_> = (0..3).map(|k| g.incident_edge(3, k)).collect();
+        assert_eq!(incidents[0], (0, 1, true));
+        assert!(incidents[1..].iter().all(|&(_, _, is_out)| !is_out));
+        let mut in_nbrs: Vec<_> = incidents[1..].iter().map(|&(n, _, _)| n).collect();
+        in_nbrs.sort_unstable();
+        assert_eq!(in_nbrs, vec![1, 2]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::from_edges(3, &[]);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.degree(0), 0);
+        assert_eq!(g.incident_arity(2), 0);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn isolated_vertices_allowed() {
+        let g = Graph::from_edges(5, &[(0, 1)]);
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.degree(4), 0);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn edges_iterator_matches_input() {
+        let edges = [(0, 1), (2, 0), (1, 2)];
+        let g = Graph::from_edges(3, &edges);
+        let mut got: Vec<_> = g.edges().map(|(u, v, _)| (u, v)).collect();
+        got.sort_unstable();
+        let mut want = edges.to_vec();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn undirected_symmetrises() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2), (2, 2)]);
+        let u = g.to_undirected();
+        assert_eq!(u.out_neighbors(1), &[0, 2]);
+        assert_eq!(u.out_neighbors(0), &[1]);
+        assert_eq!(u.self_loop(2), 1);
+        u.validate().unwrap();
+    }
+
+    #[test]
+    fn weighted_builder() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge_weighted(0, 1, 5);
+        b.add_edge_weighted(1, 0, 2);
+        let g = b.build();
+        assert_eq!(g.total_weight(), 7);
+        assert_eq!(g.out_degree(0), 5);
+        assert_eq!(g.in_degree(0), 2);
+    }
+}

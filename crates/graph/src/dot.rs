@@ -1,0 +1,122 @@
+//! GraphViz DOT export with optional community colouring — handy for eyeballing
+//! small graphs and detected partitions (Fig. 1 of the paper is exactly such
+//! a picture).
+
+use crate::{Graph, Vertex};
+use std::io::Write;
+
+/// A palette of visually distinct fill colours; communities beyond its
+/// length wrap around.
+const PALETTE: [&str; 12] = [
+    "#8dd3c7", "#ffffb3", "#bebada", "#fb8072", "#80b1d3", "#fdb462", "#b3de69", "#fccde5",
+    "#d9d9d9", "#bc80bd", "#ccebc5", "#ffed6f",
+];
+
+/// Write `graph` as a DOT digraph. When `communities` is given (one label
+/// per vertex) vertices are filled by community colour and grouped into
+/// clusters, which makes the block structure visible in most DOT layouts.
+pub fn write_dot<W: Write>(
+    graph: &Graph,
+    communities: Option<&[u32]>,
+    mut writer: W,
+) -> std::io::Result<()> {
+    if let Some(c) = communities {
+        assert_eq!(c.len(), graph.num_vertices(), "community labels must cover all vertices");
+    }
+    writeln!(writer, "digraph hsbp {{")?;
+    writeln!(writer, "  node [style=filled, shape=circle, fontsize=10];")?;
+    match communities {
+        Some(labels) => {
+            // Group vertices per community into subgraph clusters.
+            let max_label = labels.iter().copied().max().unwrap_or(0);
+            for community in 0..=max_label {
+                let members: Vec<Vertex> = (0..graph.num_vertices() as Vertex)
+                    .filter(|&v| labels[v as usize] == community)
+                    .collect();
+                if members.is_empty() {
+                    continue;
+                }
+                let color = PALETTE[community as usize % PALETTE.len()];
+                writeln!(writer, "  subgraph cluster_{community} {{")?;
+                writeln!(writer, "    label=\"community {community}\";")?;
+                for v in members {
+                    writeln!(writer, "    v{v} [fillcolor=\"{color}\"];")?;
+                }
+                writeln!(writer, "  }}")?;
+            }
+        }
+        None => {
+            for v in 0..graph.num_vertices() {
+                writeln!(writer, "  v{v};")?;
+            }
+        }
+    }
+    for (u, v, w) in graph.edges() {
+        if w > 1 {
+            writeln!(writer, "  v{u} -> v{v} [label=\"{w}\"];")?;
+        } else {
+            writeln!(writer, "  v{u} -> v{v};")?;
+        }
+    }
+    writeln!(writer, "}}")?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn render(graph: &Graph, communities: Option<&[u32]>) -> String {
+        let mut buf = Vec::new();
+        write_dot(graph, communities, &mut buf).unwrap();
+        String::from_utf8(buf).unwrap()
+    }
+
+    #[test]
+    fn plain_export_lists_all_vertices_and_edges() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let dot = render(&g, None);
+        assert!(dot.starts_with("digraph"));
+        for v in 0..3 {
+            assert!(dot.contains(&format!("v{v}")));
+        }
+        assert!(dot.contains("v0 -> v1;"));
+        assert!(dot.contains("v1 -> v2;"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn communities_become_clusters() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        let dot = render(&g, Some(&[0, 0, 1, 1]));
+        assert!(dot.contains("cluster_0"));
+        assert!(dot.contains("cluster_1"));
+        assert!(dot.contains("fillcolor"));
+    }
+
+    #[test]
+    fn weighted_edges_labelled() {
+        let mut b = crate::GraphBuilder::new(2);
+        b.add_edge_weighted(0, 1, 5);
+        let g = b.build();
+        let dot = render(&g, None);
+        assert!(dot.contains("label=\"5\""));
+    }
+
+    #[test]
+    fn empty_communities_skipped() {
+        // Label space {0, 2}: cluster_1 must not appear.
+        let g = Graph::from_edges(2, &[(0, 1)]);
+        let dot = render(&g, Some(&[0, 2]));
+        assert!(dot.contains("cluster_0"));
+        assert!(!dot.contains("cluster_1 "));
+        assert!(dot.contains("cluster_2"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_label_count_panics() {
+        let g = Graph::from_edges(2, &[(0, 1)]);
+        render(&g, Some(&[0]));
+    }
+}

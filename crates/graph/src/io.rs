@@ -1,0 +1,343 @@
+//! Graph I/O: Matrix Market (the SuiteSparse interchange format) and TSV
+//! edge lists.
+//!
+//! The paper's real-world datasets ship from the SuiteSparse Matrix
+//! Collection as `.mtx` coordinate files; the reader here accepts the
+//! `matrix coordinate {pattern|integer|real} general` headers those use.
+//! Vertices in Matrix Market are 1-based; [`Graph`] ids are 0-based.
+
+use crate::{Graph, GraphBuilder, Vertex, Weight};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Error raised by the readers.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying stream failure.
+    Io(std::io::Error),
+    /// Structured parse failure with a 1-based line number.
+    Parse { line: usize, message: String },
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+fn parse_err(line: usize, message: impl Into<String>) -> IoError {
+    IoError::Parse { line, message: message.into() }
+}
+
+/// Read a Matrix Market coordinate file as a directed graph.
+///
+/// Supports `pattern` (unweighted), `integer` and `real` value types with
+/// `general` symmetry; `symmetric` inputs are expanded to both directions.
+/// Real weights are rounded to the nearest positive integer (the DCSBM works
+/// on integer edge counts).
+pub fn read_matrix_market<R: Read>(reader: R) -> Result<Graph, IoError> {
+    let mut lines = BufReader::new(reader).lines();
+    let mut lineno = 0usize;
+
+    // Header line: %%MatrixMarket matrix coordinate <field> <symmetry>
+    let header = loop {
+        match lines.next() {
+            Some(line) => {
+                lineno += 1;
+                let line = line?;
+                if !line.trim().is_empty() {
+                    break line;
+                }
+            }
+            None => return Err(parse_err(lineno, "empty file")),
+        }
+    };
+    let tokens: Vec<String> = header.split_whitespace().map(|t| t.to_ascii_lowercase()).collect();
+    if tokens.len() < 5 || !tokens[0].starts_with("%%matrixmarket") {
+        return Err(parse_err(lineno, "missing %%MatrixMarket header"));
+    }
+    if tokens[1] != "matrix" || tokens[2] != "coordinate" {
+        return Err(parse_err(lineno, "only `matrix coordinate` files are supported"));
+    }
+    let field = tokens[3].clone();
+    if !matches!(field.as_str(), "pattern" | "integer" | "real") {
+        return Err(parse_err(lineno, format!("unsupported field type `{field}`")));
+    }
+    let symmetry = tokens[4].clone();
+    if !matches!(symmetry.as_str(), "general" | "symmetric") {
+        return Err(parse_err(lineno, format!("unsupported symmetry `{symmetry}`")));
+    }
+
+    // Size line (after comments).
+    let size_line = loop {
+        match lines.next() {
+            Some(line) => {
+                lineno += 1;
+                let line = line?;
+                let trimmed = line.trim().to_string();
+                if trimmed.is_empty() || trimmed.starts_with('%') {
+                    continue;
+                }
+                break trimmed;
+            }
+            None => return Err(parse_err(lineno, "missing size line")),
+        }
+    };
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|t| t.parse::<usize>())
+        .collect::<Result<_, _>>()
+        .map_err(|e| parse_err(lineno, format!("bad size line: {e}")))?;
+    if dims.len() != 3 {
+        return Err(parse_err(lineno, "size line must be `rows cols nnz`"));
+    }
+    let (rows, cols, nnz) = (dims[0], dims[1], dims[2]);
+    let n = rows.max(cols);
+
+    let mut builder = GraphBuilder::with_capacity(n, nnz);
+    let mut seen = 0usize;
+    for line in lines {
+        lineno += 1;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let u: usize = parts
+            .next()
+            .ok_or_else(|| parse_err(lineno, "missing row index"))?
+            .parse()
+            .map_err(|e| parse_err(lineno, format!("bad row index: {e}")))?;
+        let v: usize = parts
+            .next()
+            .ok_or_else(|| parse_err(lineno, "missing column index"))?
+            .parse()
+            .map_err(|e| parse_err(lineno, format!("bad column index: {e}")))?;
+        if u == 0 || v == 0 || u > n || v > n {
+            return Err(parse_err(lineno, format!("index ({u}, {v}) outside 1..={n}")));
+        }
+        let w: Weight = match field.as_str() {
+            "pattern" => 1,
+            "integer" => {
+                let raw: i64 = parts
+                    .next()
+                    .ok_or_else(|| parse_err(lineno, "missing integer value"))?
+                    .parse()
+                    .map_err(|e| parse_err(lineno, format!("bad integer value: {e}")))?;
+                raw.unsigned_abs().max(1)
+            }
+            _ => {
+                let raw: f64 = parts
+                    .next()
+                    .ok_or_else(|| parse_err(lineno, "missing real value"))?
+                    .parse()
+                    .map_err(|e| parse_err(lineno, format!("bad real value: {e}")))?;
+                (raw.abs().round() as Weight).max(1)
+            }
+        };
+        let (u, v) = ((u - 1) as Vertex, (v - 1) as Vertex);
+        builder.add_edge_weighted(u, v, w);
+        if symmetry == "symmetric" && u != v {
+            builder.add_edge_weighted(v, u, w);
+        }
+        seen += 1;
+    }
+    if seen != nnz {
+        return Err(parse_err(lineno, format!("expected {nnz} entries, found {seen}")));
+    }
+    Ok(builder.build())
+}
+
+/// Write a graph as a Matrix Market `coordinate integer general` file.
+pub fn write_matrix_market<W: Write>(graph: &Graph, mut writer: W) -> std::io::Result<()> {
+    writeln!(writer, "%%MatrixMarket matrix coordinate integer general")?;
+    writeln!(writer, "% written by hsbp-graph")?;
+    writeln!(writer, "{} {} {}", graph.num_vertices(), graph.num_vertices(), graph.num_edges())?;
+    for (u, v, w) in graph.edges() {
+        writeln!(writer, "{} {} {}", u + 1, v + 1, w)?;
+    }
+    Ok(())
+}
+
+/// Read a whitespace-separated 0-based edge list: `src dst [weight]` per
+/// line; `#`-prefixed lines are comments. The vertex count is
+/// `max id + 1` unless `num_vertices` is given.
+pub fn read_edge_list<R: Read>(reader: R, num_vertices: Option<usize>) -> Result<Graph, IoError> {
+    let mut edges: Vec<(Vertex, Vertex, Weight)> = Vec::new();
+    let mut max_id: usize = 0;
+    for (idx, line) in BufReader::new(reader).lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let u: Vertex = parts
+            .next()
+            .unwrap()
+            .parse()
+            .map_err(|e| parse_err(lineno, format!("bad source: {e}")))?;
+        let v: Vertex = parts
+            .next()
+            .ok_or_else(|| parse_err(lineno, "missing target"))?
+            .parse()
+            .map_err(|e| parse_err(lineno, format!("bad target: {e}")))?;
+        let w: Weight = match parts.next() {
+            Some(tok) => tok.parse().map_err(|e| parse_err(lineno, format!("bad weight: {e}")))?,
+            None => 1,
+        };
+        max_id = max_id.max(u as usize).max(v as usize);
+        edges.push((u, v, w));
+    }
+    let n = num_vertices.unwrap_or(if edges.is_empty() { 0 } else { max_id + 1 });
+    if n <= max_id && !edges.is_empty() {
+        return Err(parse_err(0, format!("num_vertices {n} too small for max id {max_id}")));
+    }
+    let mut builder = GraphBuilder::with_capacity(n, edges.len());
+    for (u, v, w) in edges {
+        builder.add_edge_weighted(u, v, w);
+    }
+    Ok(builder.build())
+}
+
+/// Write a graph as a 0-based TSV edge list (`src\tdst\tweight`).
+pub fn write_edge_list<W: Write>(graph: &Graph, mut writer: W) -> std::io::Result<()> {
+    for (u, v, w) in graph.edges() {
+        writeln!(writer, "{u}\t{v}\t{w}")?;
+    }
+    Ok(())
+}
+
+/// Load a graph from a path, dispatching on extension: `.mtx` (Matrix
+/// Market), `.graph`/`.metis` (METIS), anything else as an edge list.
+pub fn load_path(path: impl AsRef<Path>) -> Result<Graph, IoError> {
+    let path = path.as_ref();
+    let file = std::fs::File::open(path)?;
+    let ext = path.extension().map(|e| e.to_string_lossy().to_ascii_lowercase());
+    match ext.as_deref() {
+        Some("mtx") => read_matrix_market(file),
+        Some("graph" | "metis") => crate::metis::read_metis(file),
+        _ => read_edge_list(file, None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_market_pattern_roundtrip() {
+        let input = "%%MatrixMarket matrix coordinate pattern general\n\
+                     % a comment\n\
+                     3 3 4\n\
+                     1 2\n\
+                     2 3\n\
+                     3 1\n\
+                     1 3\n";
+        let g = read_matrix_market(input.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.out_neighbors(0), &[1, 2]);
+
+        let mut out = Vec::new();
+        write_matrix_market(&g, &mut out).unwrap();
+        let g2 = read_matrix_market(out.as_slice()).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn matrix_market_symmetric_expands() {
+        let input = "%%MatrixMarket matrix coordinate pattern symmetric\n\
+                     2 2 1\n\
+                     1 2\n";
+        let g = read_matrix_market(input.as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.out_neighbors(0), &[1]);
+        assert_eq!(g.out_neighbors(1), &[0]);
+    }
+
+    #[test]
+    fn matrix_market_integer_weights() {
+        let input = "%%MatrixMarket matrix coordinate integer general\n\
+                     2 2 1\n\
+                     1 2 7\n";
+        let g = read_matrix_market(input.as_bytes()).unwrap();
+        assert_eq!(g.total_weight(), 7);
+    }
+
+    #[test]
+    fn matrix_market_real_weights_round() {
+        let input = "%%MatrixMarket matrix coordinate real general\n\
+                     2 2 2\n\
+                     1 2 2.6\n\
+                     2 1 0.2\n";
+        let g = read_matrix_market(input.as_bytes()).unwrap();
+        assert_eq!(g.out_degree(0), 3); // 2.6 -> 3
+        assert_eq!(g.out_degree(1), 1); // 0.2 -> clamped to 1
+    }
+
+    #[test]
+    fn matrix_market_rejects_bad_header() {
+        assert!(read_matrix_market("not a header\n1 1 0\n".as_bytes()).is_err());
+        assert!(read_matrix_market(
+            "%%MatrixMarket matrix array real general\n1 1 0\n".as_bytes()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn matrix_market_rejects_out_of_range() {
+        let input = "%%MatrixMarket matrix coordinate pattern general\n\
+                     2 2 1\n\
+                     1 5\n";
+        assert!(read_matrix_market(input.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn matrix_market_rejects_wrong_count() {
+        let input = "%%MatrixMarket matrix coordinate pattern general\n\
+                     2 2 3\n\
+                     1 2\n";
+        assert!(read_matrix_market(input.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn edge_list_roundtrip() {
+        let input = "# comment\n0 1\n1 2 4\n2 0\n";
+        let g = read_edge_list(input.as_bytes(), None).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.total_weight(), 6);
+
+        let mut out = Vec::new();
+        write_edge_list(&g, &mut out).unwrap();
+        let g2 = read_edge_list(out.as_slice(), None).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn edge_list_respects_explicit_vertex_count() {
+        let g = read_edge_list("0 1\n".as_bytes(), Some(10)).unwrap();
+        assert_eq!(g.num_vertices(), 10);
+        assert!(read_edge_list("0 5\n".as_bytes(), Some(3)).is_err());
+    }
+
+    #[test]
+    fn empty_edge_list() {
+        let g = read_edge_list("".as_bytes(), Some(4)).unwrap();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

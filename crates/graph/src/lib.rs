@@ -1,0 +1,36 @@
+//! Directed multigraph substrate for hsbp.
+//!
+//! Stochastic block partitioning operates on directed, optionally weighted
+//! graphs; the paper evaluates on directed, unweighted datasets. This crate
+//! provides:
+//!
+//! * [`csr`] — the [`Graph`] type: a compressed-sparse-row representation
+//!   with both out- and in-adjacency (the MCMC proposal machinery walks both
+//!   directions of every vertex), plus a flexible [`GraphBuilder`],
+//! * [`io`] — Matrix Market (SuiteSparse's native format) and TSV edge-list
+//!   readers/writers,
+//! * [`stats`] — degree distributions, density, power-law exponent
+//!   estimation, and the within/between community edge ratio `r` used when
+//!   characterising the paper's synthetic graphs,
+//! * [`metis`] — METIS graph-file reader/writer (the HPC partitioning
+//!   ecosystem's interchange format),
+//! * [`algo`] — weak components and induced subgraphs for preprocessing,
+//! * [`dot`] — GraphViz export with community colouring.
+
+pub mod algo;
+pub mod csr;
+pub mod dot;
+pub mod io;
+pub mod metis;
+pub mod stats;
+
+pub use algo::{induced_subgraph, largest_component_subgraph, num_weak_components, weakly_connected_components};
+pub use csr::{Graph, GraphBuilder};
+pub use stats::GraphStats;
+
+/// Vertex identifier. `u32` keeps hot arrays compact; graphs beyond 4 B
+/// vertices are out of scope (the paper's largest has ~0.8 M).
+pub type Vertex = u32;
+
+/// Integer edge weight (1 for the paper's unweighted datasets).
+pub type Weight = u64;

@@ -1,0 +1,252 @@
+//! METIS graph-file support.
+//!
+//! METIS is the lingua franca of HPC graph partitioning tools, so an HPC
+//! community-detection library should read and write it. The format is
+//! undirected: line 1 is `n m [fmt [ncon]]` (`m` = number of *undirected*
+//! edges), then line `i` lists the 1-based neighbours of vertex `i`
+//! (each undirected edge appears in both endpoint lines). `fmt` is a
+//! three-digit flag string `[vertex-sizes][vertex-weights][edge-weights]`;
+//! only edge weights (`fmt % 10 == 1`) affect the topology and are
+//! supported here (vertex weights are parsed and skipped).
+
+use crate::{Graph, GraphBuilder, Vertex, Weight};
+use crate::io::IoError;
+use std::io::{BufRead, BufReader, Read, Write};
+
+fn parse_err(line: usize, message: impl Into<String>) -> IoError {
+    IoError::Parse { line, message: message.into() }
+}
+
+/// Read a METIS graph file. Each undirected edge `{u, v}` becomes the two
+/// directed edges `u -> v` and `v -> u`.
+pub fn read_metis<R: Read>(reader: R) -> Result<Graph, IoError> {
+    let mut lines = BufReader::new(reader).lines();
+    let mut lineno = 0usize;
+    // Header (comments start with '%').
+    let header = loop {
+        match lines.next() {
+            Some(line) => {
+                lineno += 1;
+                let line = line?;
+                let trimmed = line.trim().to_string();
+                if trimmed.is_empty() || trimmed.starts_with('%') {
+                    continue;
+                }
+                break trimmed;
+            }
+            None => return Err(parse_err(lineno, "empty file")),
+        }
+    };
+    let head: Vec<u64> = header
+        .split_whitespace()
+        .map(|t| t.parse::<u64>())
+        .collect::<Result<_, _>>()
+        .map_err(|e| parse_err(lineno, format!("bad header: {e}")))?;
+    if head.len() < 2 || head.len() > 4 {
+        return Err(parse_err(lineno, "header must be `n m [fmt [ncon]]`"));
+    }
+    let n = head[0] as usize;
+    let m = head[1] as usize;
+    let fmt = head.get(2).copied().unwrap_or(0);
+    let has_edge_weights = fmt % 10 == 1;
+    let has_vertex_weights = (fmt / 10) % 10 == 1;
+    let ncon = head.get(3).copied().unwrap_or(u64::from(has_vertex_weights)) as usize;
+    if (fmt / 100) % 10 == 1 {
+        return Err(parse_err(lineno, "vertex sizes (fmt=1xx) are not supported"));
+    }
+
+    let mut builder = GraphBuilder::with_capacity(n, 2 * m);
+    let mut vertex = 0usize;
+    let mut directed_edges = 0usize;
+    for line in lines {
+        lineno += 1;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.starts_with('%') {
+            continue;
+        }
+        if vertex >= n {
+            if trimmed.is_empty() {
+                continue;
+            }
+            return Err(parse_err(lineno, "more adjacency lines than vertices"));
+        }
+        let mut tokens = trimmed
+            .split_whitespace()
+            .map(|t| t.parse::<u64>().map_err(|e| parse_err(lineno, format!("bad token: {e}"))));
+        // Skip vertex weights.
+        for _ in 0..ncon {
+            if tokens.next().transpose()?.is_none() {
+                return Err(parse_err(lineno, "missing vertex weight"));
+            }
+        }
+        while let Some(nbr) = tokens.next().transpose()? {
+            if nbr == 0 || nbr as usize > n {
+                return Err(parse_err(lineno, format!("neighbour {nbr} outside 1..={n}")));
+            }
+            let weight: Weight = if has_edge_weights {
+                tokens
+                    .next()
+                    .transpose()?
+                    .ok_or_else(|| parse_err(lineno, "missing edge weight"))?
+                    .max(1)
+            } else {
+                1
+            };
+            builder.add_edge_weighted(vertex as Vertex, (nbr - 1) as Vertex, weight);
+            directed_edges += 1;
+        }
+        vertex += 1;
+    }
+    if vertex != n {
+        return Err(parse_err(lineno, format!("expected {n} adjacency lines, got {vertex}")));
+    }
+    if directed_edges != 2 * m {
+        return Err(parse_err(
+            lineno,
+            format!("header promises {m} undirected edges but lists {directed_edges} endpoints"),
+        ));
+    }
+    Ok(builder.build())
+}
+
+/// Write a graph as a METIS file. METIS is undirected, so each vertex pair
+/// `{u, v}` becomes one undirected edge whose weight is the *maximum* of
+/// the two directed weights (a symmetric graph therefore round-trips
+/// exactly). Self-loops are dropped — METIS forbids them. Edge weights are
+/// emitted when any merged weight exceeds 1.
+pub fn write_metis<W: Write>(graph: &Graph, mut writer: W) -> std::io::Result<()> {
+    let n = graph.num_vertices();
+    // Merge directions: pair (min, max) -> weight.
+    let mut builder = GraphBuilder::new(n);
+    for (u, v, w) in graph.edges() {
+        if u != v {
+            builder.add_edge_weighted(u.min(v), u.max(v), w);
+        }
+    }
+    // Collapse duplicates via the builder, then take the max against the
+    // reverse direction by re-walking the original graph.
+    let merged = builder.build();
+    let pair_weight = |u: Vertex, v: Vertex| -> Weight {
+        let fwd = graph.out_edges(u).find(|&(t, _)| t == v).map_or(0, |(_, w)| w);
+        let bwd = graph.out_edges(v).find(|&(t, _)| t == u).map_or(0, |(_, w)| w);
+        fwd.max(bwd)
+    };
+    let mut m = 0usize;
+    let mut weighted = false;
+    let mut pairs: Vec<Vec<(Vertex, Weight)>> = vec![Vec::new(); n];
+    for (u, v, _) in merged.edges() {
+        let w = pair_weight(u, v);
+        m += 1;
+        weighted |= w > 1;
+        pairs[u as usize].push((v, w));
+        pairs[v as usize].push((u, w));
+    }
+    if weighted {
+        writeln!(writer, "{n} {m} 001")?;
+    } else {
+        writeln!(writer, "{n} {m}")?;
+    }
+    for adjacency in &pairs {
+        let mut first = true;
+        for &(v, w) in adjacency {
+            if !first {
+                write!(writer, " ")?;
+            }
+            first = false;
+            if weighted {
+                write!(writer, "{} {}", v + 1, w)?;
+            } else {
+                write!(writer, "{}", v + 1)?;
+            }
+        }
+        writeln!(writer)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_classic_example() {
+        // The 7-vertex example from the METIS manual (unweighted).
+        let input = "%% comment\n7 11\n5 3 2\n1 3 4\n5 4 2 1\n2 3 6 7\n1 3 6\n5 4 7\n6 4\n";
+        let g = read_metis(input.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 7);
+        assert_eq!(g.num_edges(), 22); // 11 undirected = 22 directed
+        // Symmetry: u->v implies v->u.
+        for (u, v, _) in g.edges() {
+            assert!(g.out_neighbors(v).contains(&u), "missing reverse of {u}->{v}");
+        }
+    }
+
+    #[test]
+    fn reads_edge_weights() {
+        let input = "3 3 001\n2 5 3 1\n1 5 3 2\n1 1 2 2\n";
+        let g = read_metis(input.as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 6);
+        assert_eq!(g.out_edges(0).find(|&(v, _)| v == 1).unwrap().1, 5);
+    }
+
+    #[test]
+    fn skips_vertex_weights() {
+        // fmt=010, ncon=1: first token of each line is a vertex weight.
+        let input = "2 1 010 1\n9 2\n4 1\n";
+        let g = read_metis(input.as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.out_neighbors(0), &[1]);
+    }
+
+    #[test]
+    fn isolated_vertices_have_empty_lines() {
+        let input = "3 1\n2\n1\n\n";
+        let g = read_metis(input.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.degree(2), 0);
+    }
+
+    #[test]
+    fn rejects_inconsistent_edge_count() {
+        let input = "2 5\n2\n1\n";
+        assert!(read_metis(input.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_neighbor() {
+        let input = "2 1\n7\n\n";
+        assert!(read_metis(input.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn roundtrip_undirected() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 0), (1, 2), (2, 1), (3, 4), (4, 3)]);
+        let mut buf = Vec::new();
+        write_metis(&g, &mut buf).unwrap();
+        let g2 = read_metis(buf.as_slice()).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn write_symmetrises_and_drops_loops() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2), (2, 2)]);
+        let mut buf = Vec::new();
+        write_metis(&g, &mut buf).unwrap();
+        let g2 = read_metis(buf.as_slice()).unwrap();
+        assert_eq!(g2.num_edges(), 4); // {0,1} and {1,2}, both directions
+        assert_eq!(g2.self_loop(2), 0);
+    }
+
+    #[test]
+    fn weighted_roundtrip() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge_weighted(0, 1, 7);
+        b.add_edge_weighted(1, 0, 7);
+        let g = b.build();
+        let mut buf = Vec::new();
+        write_metis(&g, &mut buf).unwrap();
+        let g2 = read_metis(buf.as_slice()).unwrap();
+        assert_eq!(g2.total_weight(), 14);
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests for the graph substrate.
+
+use hsbp_graph::io::{read_edge_list, read_matrix_market, write_edge_list, write_matrix_market};
+use hsbp_graph::{Graph, GraphBuilder, Vertex};
+use proptest::prelude::*;
+
+fn arb_edges(max_n: u32, max_m: usize) -> impl Strategy<Value = (u32, Vec<(Vertex, Vertex)>)> {
+    (2..max_n).prop_flat_map(move |n| {
+        (
+            Just(n),
+            proptest::collection::vec((0..n, 0..n), 0..max_m),
+        )
+    })
+}
+
+proptest! {
+    /// A built graph always passes internal validation.
+    #[test]
+    fn built_graphs_validate((n, edges) in arb_edges(40, 200)) {
+        let g = Graph::from_edges(n as usize, &edges);
+        prop_assert!(g.validate().is_ok());
+    }
+
+    /// Sum of out-degrees = sum of in-degrees = total weight.
+    #[test]
+    fn degree_sums_balance((n, edges) in arb_edges(40, 200)) {
+        let g = Graph::from_edges(n as usize, &edges);
+        let out_sum: u64 = (0..n).map(|v| g.out_degree(v)).sum();
+        let in_sum: u64 = (0..n).map(|v| g.in_degree(v)).sum();
+        prop_assert_eq!(out_sum, g.total_weight());
+        prop_assert_eq!(in_sum, g.total_weight());
+        prop_assert_eq!(out_sum, edges.len() as u64);
+    }
+
+    /// incident_edge enumerates exactly the multiset of in- and out-edges.
+    #[test]
+    fn incident_edges_enumerate_all((n, edges) in arb_edges(25, 80)) {
+        let g = Graph::from_edges(n as usize, &edges);
+        for v in 0..n {
+            let mut listed: Vec<(Vertex, bool)> = (0..g.incident_arity(v))
+                .map(|k| {
+                    let (nbr, _, is_out) = g.incident_edge(v, k);
+                    (nbr, is_out)
+                })
+                .collect();
+            listed.sort_unstable();
+            let mut expected: Vec<(Vertex, bool)> = g
+                .out_neighbors(v).iter().map(|&t| (t, true))
+                .chain(g.in_neighbors(v).iter().map(|&s| (s, false)))
+                .collect();
+            expected.sort_unstable();
+            prop_assert_eq!(listed, expected);
+        }
+    }
+
+    /// Matrix Market writer/reader roundtrip is the identity.
+    #[test]
+    fn matrix_market_roundtrip((n, edges) in arb_edges(30, 120)) {
+        let g = Graph::from_edges(n as usize, &edges);
+        let mut buf = Vec::new();
+        write_matrix_market(&g, &mut buf).unwrap();
+        let g2 = read_matrix_market(buf.as_slice()).unwrap();
+        // Vertex count can only shrink if trailing vertices are isolated and
+        // the original n was larger than any edge endpoint; the writer
+        // records n explicitly, so equality must hold.
+        prop_assert_eq!(g, g2);
+    }
+
+    /// Edge-list writer/reader roundtrip preserves edges and weights.
+    #[test]
+    fn edge_list_roundtrip((n, edges) in arb_edges(30, 120)) {
+        let g = Graph::from_edges(n as usize, &edges);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(buf.as_slice(), Some(n as usize)).unwrap();
+        prop_assert_eq!(g, g2);
+    }
+
+    /// Symmetrisation makes in- and out-degree equal everywhere.
+    #[test]
+    fn undirected_balances_degrees((n, edges) in arb_edges(25, 80)) {
+        let g = Graph::from_edges(n as usize, &edges);
+        let u = g.to_undirected();
+        for v in 0..n {
+            prop_assert_eq!(u.out_degree(v), u.in_degree(v));
+        }
+        prop_assert!(u.validate().is_ok());
+    }
+
+    /// Weighted duplicate insertion behaves additively.
+    #[test]
+    fn duplicates_add_weight(w1 in 1u64..100, w2 in 1u64..100) {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge_weighted(0, 1, w1);
+        b.add_edge_weighted(0, 1, w2);
+        let g = b.build();
+        prop_assert_eq!(g.num_edges(), 1);
+        prop_assert_eq!(g.total_weight(), w1 + w2);
+    }
+}

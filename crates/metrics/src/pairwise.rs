@@ -1,0 +1,135 @@
+//! Pairwise-counting agreement metrics: precision, recall and F1 over
+//! vertex pairs.
+//!
+//! The Graph Challenge (Kao et al., HPEC 2017) — the benchmark the paper's
+//! SBP baseline comes from — scores partitions by treating every vertex
+//! pair as a binary classification: *positive* if the pair shares a
+//! community in the ground truth. Precision/recall of the detected
+//! partition against that labelling complements NMI (which can look
+//! forgiving on very unbalanced community sizes).
+
+use hsbp_collections::FxHashMap;
+
+/// Pairwise precision/recall/F1 of `detected` against `truth`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairwiseScores {
+    /// Of the pairs the detection put together, the fraction that belong
+    /// together.
+    pub precision: f64,
+    /// Of the pairs that belong together, the fraction the detection put
+    /// together.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+}
+
+fn choose2(k: u64) -> f64 {
+    (k as f64) * (k as f64 - 1.0) / 2.0
+}
+
+/// Compute pairwise scores from two assignments over the same vertices.
+///
+/// Degenerate conventions: with no same-community pairs in the truth,
+/// recall is 1; with none in the detection, precision is 1 (nothing was
+/// asserted, so nothing was asserted wrongly).
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn pairwise_scores(truth: &[u32], detected: &[u32]) -> PairwiseScores {
+    assert_eq!(truth.len(), detected.len(), "assignments must cover the same vertices");
+    let mut joint: FxHashMap<(u32, u32), u64> = FxHashMap::default();
+    let mut truth_sizes: FxHashMap<u32, u64> = FxHashMap::default();
+    let mut detected_sizes: FxHashMap<u32, u64> = FxHashMap::default();
+    for (&t, &d) in truth.iter().zip(detected) {
+        *joint.entry((t, d)).or_insert(0) += 1;
+        *truth_sizes.entry(t).or_insert(0) += 1;
+        *detected_sizes.entry(d).or_insert(0) += 1;
+    }
+    // True positives: pairs together in both.
+    let tp: f64 = joint.values().map(|&c| choose2(c)).sum();
+    let truth_pairs: f64 = truth_sizes.values().map(|&c| choose2(c)).sum();
+    let detected_pairs: f64 = detected_sizes.values().map(|&c| choose2(c)).sum();
+    let precision = if detected_pairs == 0.0 { 1.0 } else { tp / detected_pairs };
+    let recall = if truth_pairs == 0.0 { 1.0 } else { tp / truth_pairs };
+    let f1 = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    PairwiseScores { precision, recall, f1 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_partitions_perfect() {
+        let x = vec![0, 0, 1, 1, 2, 2];
+        let s = pairwise_scores(&x, &x);
+        assert_eq!(s.precision, 1.0);
+        assert_eq!(s.recall, 1.0);
+        assert_eq!(s.f1, 1.0);
+    }
+
+    #[test]
+    fn relabeling_is_free() {
+        let x = vec![0, 0, 1, 1];
+        let y = vec![9, 9, 3, 3];
+        let s = pairwise_scores(&x, &y);
+        assert_eq!(s.f1, 1.0);
+    }
+
+    #[test]
+    fn over_merging_hurts_precision_not_recall() {
+        let truth = vec![0, 0, 1, 1];
+        let merged = vec![0, 0, 0, 0];
+        let s = pairwise_scores(&truth, &merged);
+        assert_eq!(s.recall, 1.0);
+        // truth pairs: 2; detected pairs: 6; tp: 2.
+        assert!((s.precision - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn over_splitting_hurts_recall_not_precision() {
+        let truth = vec![0, 0, 0, 0];
+        let split = vec![0, 0, 1, 1];
+        let s = pairwise_scores(&truth, &split);
+        assert_eq!(s.precision, 1.0);
+        assert!((s.recall - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singletons_vs_structure() {
+        let truth = vec![0, 0, 1, 1];
+        let singles = vec![0, 1, 2, 3];
+        let s = pairwise_scores(&truth, &singles);
+        assert_eq!(s.precision, 1.0, "no asserted pairs, vacuous precision");
+        assert_eq!(s.recall, 0.0);
+        assert_eq!(s.f1, 0.0);
+    }
+
+    #[test]
+    fn all_singletons_both_sides() {
+        let x = vec![0, 1, 2];
+        let s = pairwise_scores(&x, &x);
+        assert_eq!(s.precision, 1.0);
+        assert_eq!(s.recall, 1.0);
+    }
+
+    #[test]
+    fn f1_is_harmonic_mean() {
+        let truth = vec![0, 0, 0, 1, 1, 1];
+        let detected = vec![0, 0, 1, 1, 1, 0];
+        let s = pairwise_scores(&truth, &detected);
+        let expected = 2.0 * s.precision * s.recall / (s.precision + s.recall);
+        assert!((s.f1 - expected).abs() < 1e-12);
+        assert!(s.f1 > 0.0 && s.f1 < 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn length_mismatch_panics() {
+        pairwise_scores(&[0, 1], &[0]);
+    }
+}

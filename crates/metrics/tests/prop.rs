@@ -1,0 +1,102 @@
+//! Property tests for the metrics: invariances and bounds that must hold
+//! for arbitrary assignments.
+
+use hsbp_graph::Graph;
+use hsbp_metrics::{
+    adjusted_rand_index, directed_modularity, entropy, mutual_information, nmi,
+    pairwise_scores, pearson,
+};
+use proptest::prelude::*;
+
+fn arb_assignment(n: usize, labels: u32) -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::vec(0..labels, n)
+}
+
+proptest! {
+    /// NMI is symmetric, bounded in [0,1], and 1 on identical inputs.
+    #[test]
+    fn nmi_properties(x in arb_assignment(30, 5), y in arb_assignment(30, 5)) {
+        let v = nmi(&x, &y);
+        prop_assert!((0.0..=1.0).contains(&v));
+        prop_assert!((nmi(&y, &x) - v).abs() < 1e-9);
+        prop_assert!((nmi(&x, &x) - 1.0).abs() < 1e-9);
+    }
+
+    /// NMI is invariant under relabelling either side.
+    #[test]
+    fn nmi_relabel_invariant(x in arb_assignment(30, 5), y in arb_assignment(30, 5), offset in 1u32..100) {
+        let y2: Vec<u32> = y.iter().map(|&b| b.wrapping_mul(3).wrapping_add(offset)).collect();
+        // wrapping_mul(3) is injective on u32 (3 is odd), so y2 is a relabelling.
+        prop_assert!((nmi(&x, &y) - nmi(&x, &y2)).abs() < 1e-9);
+    }
+
+    /// I(X;Y) <= min(H(X), H(Y)).
+    #[test]
+    fn mutual_information_bounded(x in arb_assignment(40, 6), y in arb_assignment(40, 6)) {
+        let i = mutual_information(&x, &y);
+        prop_assert!(i >= -1e-12);
+        prop_assert!(i <= entropy(&x) + 1e-9);
+        prop_assert!(i <= entropy(&y) + 1e-9);
+    }
+
+    /// ARI is 1 on identical partitions and <= 1 always.
+    #[test]
+    fn ari_bounds(x in arb_assignment(30, 4), y in arb_assignment(30, 4)) {
+        let v = adjusted_rand_index(&x, &y);
+        prop_assert!(v <= 1.0 + 1e-12);
+        prop_assert!((adjusted_rand_index(&x, &x) - 1.0).abs() < 1e-9);
+        // Symmetry.
+        prop_assert!((adjusted_rand_index(&y, &x) - v).abs() < 1e-9);
+    }
+
+    /// Pairwise precision/recall/F1 live in [0,1]; F1 = 1 iff both are 1.
+    #[test]
+    fn pairwise_bounds(x in arb_assignment(25, 4), y in arb_assignment(25, 4)) {
+        let s = pairwise_scores(&x, &y);
+        for v in [s.precision, s.recall, s.f1] {
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&v));
+        }
+        let perfect = pairwise_scores(&x, &x);
+        prop_assert!((perfect.f1 - 1.0).abs() < 1e-12);
+    }
+
+    /// Precision(x, y) == Recall(y, x): the definitions are transposes.
+    #[test]
+    fn pairwise_transpose(x in arb_assignment(25, 4), y in arb_assignment(25, 4)) {
+        let a = pairwise_scores(&x, &y);
+        let b = pairwise_scores(&y, &x);
+        prop_assert!((a.precision - b.recall).abs() < 1e-12);
+        prop_assert!((a.recall - b.precision).abs() < 1e-12);
+    }
+
+    /// Modularity is invariant under community relabelling and bounded by 1.
+    #[test]
+    fn modularity_relabel_invariant(
+        edges in proptest::collection::vec((0u32..20, 0u32..20), 1..60),
+        assignment in arb_assignment(20, 4),
+    ) {
+        let g = Graph::from_edges(20, &edges);
+        let q = directed_modularity(&g, &assignment);
+        prop_assert!(q <= 1.0 + 1e-12);
+        let relabeled: Vec<u32> = assignment.iter().map(|&b| b + 17).collect();
+        prop_assert!((directed_modularity(&g, &relabeled) - q).abs() < 1e-9);
+    }
+
+    /// Pearson r is symmetric, bounded, and scale-invariant.
+    #[test]
+    fn pearson_properties(pairs in proptest::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 4..40)) {
+        let x: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let y: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        let c = pearson(&x, &y);
+        if c.r.is_finite() {
+            prop_assert!((-1.0..=1.0).contains(&c.r));
+            prop_assert!((pearson(&y, &x).r - c.r).abs() < 1e-9);
+            let x_scaled: Vec<f64> = x.iter().map(|v| 3.0 * v + 5.0).collect();
+            let c2 = pearson(&x_scaled, &y);
+            prop_assert!((c2.r - c.r).abs() < 1e-6);
+            if c.p_value.is_finite() {
+                prop_assert!((0.0..=1.0 + 1e-12).contains(&c.p_value));
+            }
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! Phase timing: wall-clock timers and a deterministic simulated-thread cost
+//! model.
+//!
+//! The paper's speedup numbers (Figs. 4b, 6, 7) were measured on a 128-core
+//! AMD EPYC node. This reproduction also runs on single-core containers, so
+//! wall-clock alone cannot exhibit parallel speedup. The [`sim`] module
+//! substitutes the testbed: every MCMC sweep *accounts* the abstract work
+//! each vertex costs (a proposal touches each incident edge once, an
+//! accepted serial move updates the blockmodel, a rebuild touches every
+//! edge), and schedules parallel sections onto `T` virtual threads the same
+//! way OpenMP's default static schedule would — contiguous chunks, makespan
+//! = the slowest thread, plus a barrier. Simulated speedups therefore show
+//! the same *shape* (who wins, where scaling tapers) as the paper's
+//! hardware, deterministically, on any host.
+//!
+//! The [`timer`] module is a plain wall-clock phase accumulator used for the
+//! execution-time-breakdown experiment (Fig. 2), which is a ratio and thus
+//! meaningful on any machine.
+
+pub mod cost;
+pub mod sim;
+pub mod timer;
+
+pub use cost::CostModel;
+pub use sim::{Chunking, SimAccumulator, DEFAULT_THREAD_COUNTS};
+pub use timer::{Phase, PhaseTimer};

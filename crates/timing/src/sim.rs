@@ -1,0 +1,265 @@
+//! Deterministic simulated-thread scheduler.
+//!
+//! Parallel loop sections are scheduled onto `T` virtual threads; the
+//! section's simulated time is the *makespan* (the busiest thread's load)
+//! plus a barrier. Two schedules are modelled:
+//!
+//! * [`Chunking::Static`] — OpenMP's default: the iteration space is split
+//!   into `T` contiguous, equal-count chunks. On power-law graphs the chunk
+//!   containing the hub vertices dominates, which is exactly the load
+//!   imbalance the paper blames for the scaling taper past 8–16 threads
+//!   (§5.5).
+//! * [`Chunking::Dynamic`] — work-queue scheduling with a fixed chunk size:
+//!   chunks are handed to the least-loaded thread in order. Used by the
+//!   load-balancing ablation.
+
+/// Thread counts used by the strong-scaling experiment (paper Fig. 7 sweeps
+/// 1..128 on a 128-core EPYC).
+pub const DEFAULT_THREAD_COUNTS: &[usize] = &[1, 2, 4, 8, 16, 32, 64, 128];
+
+/// Parallel-loop scheduling policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Chunking {
+    /// `T` contiguous equal-count chunks (OpenMP `schedule(static)`).
+    Static,
+    /// Work queue of fixed-size chunks, greedily assigned to the
+    /// least-loaded thread (OpenMP `schedule(dynamic, chunk)`).
+    Dynamic {
+        /// Iterations per work-queue chunk.
+        chunk_size: usize,
+    },
+}
+
+/// Makespan of scheduling `costs` (one entry per loop iteration, in
+/// iteration order) onto `threads` virtual threads.
+pub fn makespan(costs: &[f64], threads: usize, chunking: Chunking) -> f64 {
+    if costs.is_empty() {
+        return 0.0;
+    }
+    let threads = threads.max(1);
+    if threads == 1 {
+        return costs.iter().sum();
+    }
+    match chunking {
+        Chunking::Static => {
+            let n = costs.len();
+            let per = n.div_ceil(threads);
+            costs
+                .chunks(per.max(1))
+                .map(|chunk| chunk.iter().sum::<f64>())
+                .fold(0.0f64, f64::max)
+        }
+        Chunking::Dynamic { chunk_size } => {
+            let chunk_size = chunk_size.max(1);
+            // Greedy: each chunk (in order) goes to the least-loaded thread.
+            // A binary heap of (load, thread) would be O(n log T); T <= 128
+            // so a linear scan is fine and avoids float-ordering pitfalls.
+            let mut loads = vec![0.0f64; threads];
+            for chunk in costs.chunks(chunk_size) {
+                let (idx, _) = loads
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .unwrap();
+                loads[idx] += chunk.iter().sum::<f64>();
+            }
+            loads.into_iter().fold(0.0f64, f64::max)
+        }
+    }
+}
+
+/// Accumulates simulated time for a whole phase, tracked simultaneously for
+/// several thread counts (so one instrumented run yields a full scaling
+/// curve).
+#[derive(Debug, Clone)]
+pub struct SimAccumulator {
+    thread_counts: Vec<usize>,
+    totals: Vec<f64>,
+    chunking: Chunking,
+    barrier: f64,
+}
+
+impl SimAccumulator {
+    /// Accumulator for the given thread counts.
+    pub fn new(thread_counts: &[usize], chunking: Chunking, barrier: f64) -> Self {
+        assert!(!thread_counts.is_empty());
+        Self {
+            thread_counts: thread_counts.to_vec(),
+            totals: vec![0.0; thread_counts.len()],
+            chunking,
+            barrier,
+        }
+    }
+
+    /// Accumulator over [`DEFAULT_THREAD_COUNTS`] with static chunking.
+    pub fn with_defaults(barrier: f64) -> Self {
+        Self::new(DEFAULT_THREAD_COUNTS, Chunking::Static, barrier)
+    }
+
+    /// The tracked thread counts.
+    pub fn thread_counts(&self) -> &[usize] {
+        &self.thread_counts
+    }
+
+    /// Serial section: costs the same at every thread count.
+    pub fn add_serial(&mut self, cost: f64) {
+        for t in &mut self.totals {
+            *t += cost;
+        }
+    }
+
+    /// Parallel loop section with per-iteration `costs` (in iteration
+    /// order); adds the schedule's makespan plus one barrier per thread
+    /// count.
+    pub fn add_parallel(&mut self, costs: &[f64]) {
+        if costs.is_empty() {
+            return;
+        }
+        for (i, &threads) in self.thread_counts.iter().enumerate() {
+            let span = makespan(costs, threads, self.chunking);
+            self.totals[i] += span + if threads > 1 { self.barrier } else { 0.0 };
+        }
+    }
+
+    /// Perfectly divisible parallel work of `total` units with a serial
+    /// fraction (Amdahl): `total·f + total·(1−f)/T` plus a barrier.
+    pub fn add_parallel_uniform(&mut self, total: f64, serial_fraction: f64) {
+        let f = serial_fraction.clamp(0.0, 1.0);
+        for (i, &threads) in self.thread_counts.iter().enumerate() {
+            let t = threads.max(1) as f64;
+            let time = total * f + total * (1.0 - f) / t;
+            self.totals[i] += time + if threads > 1 { self.barrier } else { 0.0 };
+        }
+    }
+
+    /// Simulated total at `threads` (must be one of the tracked counts).
+    pub fn total_for(&self, threads: usize) -> Option<f64> {
+        self.thread_counts.iter().position(|&t| t == threads).map(|i| self.totals[i])
+    }
+
+    /// `(threads, simulated_total)` pairs.
+    pub fn curve(&self) -> Vec<(usize, f64)> {
+        self.thread_counts.iter().copied().zip(self.totals.iter().copied()).collect()
+    }
+
+    /// Fold another accumulator (same configuration) into this one.
+    pub fn merge(&mut self, other: &SimAccumulator) {
+        assert_eq!(self.thread_counts, other.thread_counts, "mismatched accumulators");
+        for (a, b) in self.totals.iter_mut().zip(&other.totals) {
+            *a += b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn makespan_single_thread_is_sum() {
+        let costs = [1.0, 2.0, 3.0];
+        assert_eq!(makespan(&costs, 1, Chunking::Static), 6.0);
+    }
+
+    #[test]
+    fn makespan_uniform_static_scales_linearly() {
+        let costs = vec![1.0; 128];
+        let m4 = makespan(&costs, 4, Chunking::Static);
+        assert!((m4 - 32.0).abs() < 1e-12);
+        let m128 = makespan(&costs, 128, Chunking::Static);
+        assert!((m128 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn makespan_static_skew_hurts() {
+        // One heavy iteration at the front: the first chunk dominates.
+        let mut costs = vec![1.0; 64];
+        costs[0] = 100.0;
+        let m = makespan(&costs, 8, Chunking::Static);
+        // chunk 0 = 100 + 7 = 107.
+        assert!((m - 107.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dynamic_beats_static_on_skew() {
+        let mut costs = vec![1.0; 256];
+        costs[0] = 200.0;
+        let s = makespan(&costs, 8, Chunking::Static);
+        let d = makespan(&costs, 8, Chunking::Dynamic { chunk_size: 4 });
+        assert!(d < s, "dynamic {d} should beat static {s}");
+    }
+
+    #[test]
+    fn makespan_never_below_critical_path() {
+        let costs = [5.0, 1.0, 1.0, 1.0];
+        for t in [1, 2, 4, 8] {
+            for chunking in [Chunking::Static, Chunking::Dynamic { chunk_size: 1 }] {
+                assert!(makespan(&costs, t, chunking) >= 5.0);
+            }
+        }
+    }
+
+    #[test]
+    fn makespan_monotone_in_threads() {
+        let costs: Vec<f64> = (0..100).map(|i| 1.0 + (i % 7) as f64).collect();
+        let mut prev = f64::INFINITY;
+        for t in [1, 2, 4, 8, 16] {
+            let m = makespan(&costs, t, Chunking::Static);
+            assert!(m <= prev + 1e-9, "makespan grew from {prev} to {m} at T={t}");
+            prev = m;
+        }
+    }
+
+    #[test]
+    fn empty_costs_cost_nothing() {
+        assert_eq!(makespan(&[], 8, Chunking::Static), 0.0);
+        let mut acc = SimAccumulator::with_defaults(10.0);
+        acc.add_parallel(&[]);
+        assert_eq!(acc.total_for(1), Some(0.0));
+    }
+
+    #[test]
+    fn accumulator_serial_equal_everywhere() {
+        let mut acc = SimAccumulator::with_defaults(0.0);
+        acc.add_serial(42.0);
+        for &(_, total) in &acc.curve() {
+            assert_eq!(total, 42.0);
+        }
+    }
+
+    #[test]
+    fn accumulator_parallel_improves_with_threads() {
+        let mut acc = SimAccumulator::with_defaults(1.0);
+        let costs = vec![1.0; 4096];
+        acc.add_parallel(&costs);
+        let t1 = acc.total_for(1).unwrap();
+        let t128 = acc.total_for(128).unwrap();
+        assert!(t128 < t1 / 50.0, "t1 {t1} vs t128 {t128}");
+    }
+
+    #[test]
+    fn accumulator_uniform_amdahl() {
+        let mut acc = SimAccumulator::new(&[1, 10], Chunking::Static, 0.0);
+        acc.add_parallel_uniform(100.0, 0.5);
+        assert_eq!(acc.total_for(1), Some(100.0));
+        assert_eq!(acc.total_for(10), Some(55.0));
+    }
+
+    #[test]
+    fn accumulator_merge_adds() {
+        let mut a = SimAccumulator::with_defaults(0.0);
+        a.add_serial(5.0);
+        let mut b = SimAccumulator::with_defaults(0.0);
+        b.add_serial(7.0);
+        a.merge(&b);
+        assert_eq!(a.total_for(1), Some(12.0));
+    }
+
+    #[test]
+    fn barrier_charged_only_when_parallel() {
+        let mut acc = SimAccumulator::new(&[1, 2], Chunking::Static, 100.0);
+        acc.add_parallel(&[1.0, 1.0]);
+        assert_eq!(acc.total_for(1), Some(2.0)); // no barrier at T=1
+        assert_eq!(acc.total_for(2), Some(101.0));
+    }
+}

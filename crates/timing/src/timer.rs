@@ -1,0 +1,127 @@
+//! Wall-clock phase accumulation (Fig. 2 measures the fraction of execution
+//! time the MCMC phase takes versus the rest of the algorithm).
+
+use std::time::{Duration, Instant};
+
+/// The phases SBP spends time in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// The (parallelisable) agglomerative block-merge phase (Algorithm 1).
+    BlockMerge,
+    /// The MCMC phase (Algorithms 2–4) — the paper's target of attack.
+    Mcmc,
+    /// Everything else: initialisation, bookkeeping, the outer search.
+    Other,
+}
+
+const PHASES: [Phase; 3] = [Phase::BlockMerge, Phase::Mcmc, Phase::Other];
+
+fn index(phase: Phase) -> usize {
+    match phase {
+        Phase::BlockMerge => 0,
+        Phase::Mcmc => 1,
+        Phase::Other => 2,
+    }
+}
+
+/// Accumulates wall-clock time per [`Phase`].
+#[derive(Debug, Clone, Default)]
+pub struct PhaseTimer {
+    totals: [Duration; 3],
+}
+
+impl PhaseTimer {
+    /// Fresh timer with all phases at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Time `f`, attributing its duration to `phase`.
+    pub fn time<T>(&mut self, phase: Phase, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let result = f();
+        self.totals[index(phase)] += start.elapsed();
+        result
+    }
+
+    /// Add an externally measured duration to `phase`.
+    pub fn add(&mut self, phase: Phase, d: Duration) {
+        self.totals[index(phase)] += d;
+    }
+
+    /// Accumulated time in `phase`.
+    pub fn total(&self, phase: Phase) -> Duration {
+        self.totals[index(phase)]
+    }
+
+    /// Sum over all phases.
+    pub fn grand_total(&self) -> Duration {
+        self.totals.iter().sum()
+    }
+
+    /// Fraction of total time spent in `phase` (0 if nothing recorded).
+    pub fn fraction(&self, phase: Phase) -> f64 {
+        let total = self.grand_total().as_secs_f64();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.total(phase).as_secs_f64() / total
+        }
+    }
+
+    /// Merge another timer's totals into this one.
+    pub fn merge(&mut self, other: &PhaseTimer) {
+        for phase in PHASES {
+            self.totals[index(phase)] += other.totals[index(phase)];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_attributes_duration() {
+        let mut timer = PhaseTimer::new();
+        let out = timer.time(Phase::Mcmc, || {
+            std::thread::sleep(Duration::from_millis(5));
+            42
+        });
+        assert_eq!(out, 42);
+        assert!(timer.total(Phase::Mcmc) >= Duration::from_millis(4));
+        assert_eq!(timer.total(Phase::BlockMerge), Duration::ZERO);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let mut timer = PhaseTimer::new();
+        timer.add(Phase::Mcmc, Duration::from_millis(30));
+        timer.add(Phase::BlockMerge, Duration::from_millis(10));
+        timer.add(Phase::Other, Duration::from_millis(10));
+        let sum: f64 = [Phase::Mcmc, Phase::BlockMerge, Phase::Other]
+            .iter()
+            .map(|&p| timer.fraction(p))
+            .sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!((timer.fraction(Phase::Mcmc) - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_timer_fraction_zero() {
+        let timer = PhaseTimer::new();
+        assert_eq!(timer.fraction(Phase::Mcmc), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_totals() {
+        let mut a = PhaseTimer::new();
+        a.add(Phase::Mcmc, Duration::from_secs(1));
+        let mut b = PhaseTimer::new();
+        b.add(Phase::Mcmc, Duration::from_secs(2));
+        b.add(Phase::Other, Duration::from_secs(1));
+        a.merge(&b);
+        assert_eq!(a.total(Phase::Mcmc), Duration::from_secs(3));
+        assert_eq!(a.total(Phase::Other), Duration::from_secs(1));
+    }
+}

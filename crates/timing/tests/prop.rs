@@ -1,0 +1,74 @@
+//! Property tests for the simulated-thread scheduler: makespan bounds that
+//! must hold for every schedule.
+
+use hsbp_timing::{sim::makespan, Chunking, SimAccumulator};
+use proptest::prelude::*;
+
+fn arb_costs() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0f64..100.0, 0..200)
+}
+
+proptest! {
+    /// Lower/upper bounds: max(critical path, total/T) <= makespan <= total.
+    #[test]
+    fn makespan_bounds(costs in arb_costs(), threads in 1usize..64, chunk in 1usize..16) {
+        let total: f64 = costs.iter().sum();
+        let critical = costs.iter().copied().fold(0.0, f64::max);
+        for chunking in [Chunking::Static, Chunking::Dynamic { chunk_size: chunk }] {
+            let m = makespan(&costs, threads, chunking);
+            prop_assert!(m <= total + 1e-9, "makespan {} > total {}", m, total);
+            prop_assert!(m + 1e-9 >= total / threads as f64, "makespan {} below perfect split", m);
+            if !costs.is_empty() {
+                prop_assert!(m + 1e-9 >= critical, "makespan {} below critical path {}", m, critical);
+            }
+        }
+    }
+
+    /// One thread always equals the serial sum; `threads >= n` with chunk 1
+    /// dynamic equals the critical path.
+    #[test]
+    fn makespan_degenerate_cases(costs in arb_costs()) {
+        let total: f64 = costs.iter().sum();
+        prop_assert!((makespan(&costs, 1, Chunking::Static) - total).abs() < 1e-9);
+        let many = costs.len().max(1) * 2;
+        let m = makespan(&costs, many, Chunking::Dynamic { chunk_size: 1 });
+        let critical = costs.iter().copied().fold(0.0, f64::max);
+        prop_assert!((m - critical).abs() < 1e-9);
+    }
+
+    /// Dynamic scheduling with chunk 1 never loses to static by more than
+    /// numerical noise on uniform workloads, and the accumulator's serial
+    /// sections are thread-count-independent.
+    #[test]
+    fn accumulator_invariants(costs in arb_costs(), serial in 0.0f64..1000.0) {
+        let mut acc = SimAccumulator::new(&[1, 4, 16], Chunking::Static, 0.0);
+        acc.add_serial(serial);
+        acc.add_parallel(&costs);
+        let t1 = acc.total_for(1).unwrap();
+        let t4 = acc.total_for(4).unwrap();
+        let t16 = acc.total_for(16).unwrap();
+        // More threads never hurt (barrier is zero here).
+        prop_assert!(t4 <= t1 + 1e-9);
+        prop_assert!(t16 <= t4 + 1e-9);
+        // Serial floor.
+        prop_assert!(t16 + 1e-9 >= serial);
+    }
+
+    /// Merging accumulators equals accumulating jointly.
+    #[test]
+    fn accumulator_merge_linear(a in arb_costs(), b in arb_costs()) {
+        let mut separate_a = SimAccumulator::new(&[1, 8], Chunking::Static, 3.0);
+        separate_a.add_parallel(&a);
+        let mut separate_b = SimAccumulator::new(&[1, 8], Chunking::Static, 3.0);
+        separate_b.add_parallel(&b);
+        separate_a.merge(&separate_b);
+
+        let mut joint = SimAccumulator::new(&[1, 8], Chunking::Static, 3.0);
+        joint.add_parallel(&a);
+        joint.add_parallel(&b);
+
+        for t in [1usize, 8] {
+            prop_assert!((separate_a.total_for(t).unwrap() - joint.total_for(t).unwrap()).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Distributed A-SBP emulation (the paper's §6 future work: "how best to
+//! distribute A-SBP and H-SBP"): what happens to convergence when workers
+//! evaluate against a blockmodel that is `d` sweeps stale (synchronisation
+//! every `d` rounds), and how batched rebuilds (the paper's proposed
+//! "batched A-SBP") recover accuracy without any serial processing.
+//!
+//! ```text
+//! cargo run --release --example distributed_emulation
+//! ```
+
+use hsbp::generator::{generate, DcsbmConfig};
+use hsbp::metrics::nmi;
+use hsbp::{run_sbp, SbpConfig, Variant};
+
+fn main() {
+    let data = generate(DcsbmConfig {
+        num_vertices: 1200,
+        num_communities: 8,
+        target_num_edges: 12_000,
+        within_between_ratio: 2.0,
+        seed: 33,
+        ..Default::default()
+    });
+    println!(
+        "graph: {} vertices, {} edges, 8 planted communities\n",
+        data.graph.num_vertices(),
+        data.graph.num_edges()
+    );
+
+    println!("--- staleness (sync every d sweeps; d = 1 is the paper's A-SBP) ---");
+    println!("{:>4} {:>8} {:>10} {:>8}", "d", "NMI", "MDL_norm", "sweeps");
+    for staleness in [1usize, 2, 4, 8] {
+        let cfg = SbpConfig {
+            variant: Variant::AsyncGibbs,
+            asbp_staleness: staleness,
+            seed: 5,
+            ..Default::default()
+        };
+        let result = run_sbp(&data.graph, &cfg);
+        println!(
+            "{:>4} {:>8.3} {:>10.4} {:>8}",
+            staleness,
+            nmi(&data.ground_truth, &result.assignment),
+            result.normalized_mdl,
+            result.stats.mcmc_sweeps
+        );
+    }
+
+    println!("\n--- batched A-SBP (k rebuilds per sweep; paper conclusion) ---");
+    println!("{:>4} {:>8} {:>10} {:>8}", "k", "NMI", "MDL_norm", "sweeps");
+    for batches in [1usize, 2, 4, 8] {
+        let cfg = SbpConfig {
+            variant: Variant::AsyncGibbs,
+            asbp_batches: batches,
+            seed: 5,
+            ..Default::default()
+        };
+        let result = run_sbp(&data.graph, &cfg);
+        println!(
+            "{:>4} {:>8.3} {:>10.4} {:>8}",
+            batches,
+            nmi(&data.ground_truth, &result.assignment),
+            result.normalized_mdl,
+            result.stats.mcmc_sweeps
+        );
+    }
+}

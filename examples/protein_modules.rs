@@ -1,0 +1,64 @@
+//! Functional-module detection in a protein-interaction-style network
+//! (the paper's second motivating domain, §1): many small, dense modules
+//! with sparse cross-talk, loaded from a Matrix Market file exactly the way
+//! a SuiteSparse download would be.
+//!
+//! ```text
+//! cargo run --release --example protein_modules
+//! ```
+
+use hsbp::generator::{generate, DcsbmConfig};
+use hsbp::graph::io::{read_matrix_market, write_matrix_market};
+use hsbp::metrics::{adjusted_rand_index, nmi};
+use hsbp::{run_sbp, SbpConfig, Variant};
+
+fn main() {
+    // Synthesize a PPI-like network: 25 small functional modules of varying
+    // size, strong within-module interaction (r = 4), near-flat degrees
+    // (proteins rarely have social-network-style hubs).
+    let data = generate(DcsbmConfig {
+        num_vertices: 1200,
+        num_communities: 25,
+        target_num_edges: 9000,
+        within_between_ratio: 4.0,
+        degree_exponent: 3.0,
+        min_degree: 3,
+        max_degree: 40,
+        community_size_exponent: 0.7,
+        seed: 17,
+    });
+
+    // Round-trip through Matrix Market to demonstrate the interchange path
+    // a real dataset would take.
+    let mut buffer = Vec::new();
+    write_matrix_market(&data.graph, &mut buffer).expect("serialize");
+    let graph = read_matrix_market(buffer.as_slice()).expect("parse");
+    println!(
+        "protein-interaction surrogate: {} proteins, {} interactions (via .mtx round-trip)",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+
+    let result = run_sbp(&graph, &SbpConfig::new(Variant::Hybrid, 4));
+    println!(
+        "H-SBP found {} modules (planted: 25), MDL_norm {:.4}",
+        result.num_blocks, result.normalized_mdl
+    );
+    println!(
+        "agreement with planted modules: NMI {:.3}, adjusted Rand {:.3}",
+        nmi(&data.ground_truth, &result.assignment),
+        adjusted_rand_index(&data.ground_truth, &result.assignment)
+    );
+
+    // Print the five largest recovered modules.
+    let mut sizes = std::collections::HashMap::new();
+    for &b in &result.assignment {
+        *sizes.entry(b).or_insert(0usize) += 1;
+    }
+    let mut sizes: Vec<(u32, usize)> = sizes.into_iter().collect();
+    sizes.sort_by_key(|&(_, s)| std::cmp::Reverse(s));
+    println!("\nlargest recovered modules:");
+    for (label, size) in sizes.into_iter().take(5) {
+        println!("  module {label:>3}: {size} proteins");
+    }
+}

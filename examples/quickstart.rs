@@ -1,0 +1,65 @@
+//! Quickstart: sample a graph with planted communities, recover them with
+//! all three SBP variants, and compare accuracy and (simulated) speedup.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use hsbp::generator::{generate, DcsbmConfig};
+use hsbp::metrics::{directed_modularity, nmi};
+use hsbp::{run_sbp, SbpConfig, Variant};
+
+fn main() {
+    // A medium-strength community structure: 8 communities, ratio r = 2.5
+    // within- to between-community edges, power-law degrees.
+    let data = generate(DcsbmConfig {
+        num_vertices: 1500,
+        num_communities: 10,
+        target_num_edges: 15_000,
+        within_between_ratio: 2.5,
+        degree_exponent: 2.5,
+        min_degree: 2,
+        max_degree: 150,
+        community_size_exponent: 0.5,
+        seed: 2022,
+    });
+    println!(
+        "generated DCSBM graph: {} vertices, {} edges, {} planted communities\n",
+        data.graph.num_vertices(),
+        data.graph.num_edges(),
+        data.config.num_communities
+    );
+
+    println!(
+        "{:<8} {:>7} {:>7} {:>9} {:>11} {:>7} {:>14} {:>14}",
+        "variant", "blocks", "NMI", "mod.", "MDL_norm", "sweeps", "sim t (1 thr)", "sim t (128)"
+    );
+    let mut sbp_mcmc_128 = None;
+    for variant in [Variant::Metropolis, Variant::AsyncGibbs, Variant::Hybrid] {
+        let result = run_sbp(&data.graph, &SbpConfig::new(variant, 1));
+        let t1 = result.stats.sim_mcmc_time(1).unwrap();
+        let t128 = result.stats.sim_mcmc_time(128).unwrap();
+        if variant == Variant::Metropolis {
+            sbp_mcmc_128 = Some(t128);
+        }
+        println!(
+            "{:<8} {:>7} {:>7.3} {:>9.3} {:>11.4} {:>7} {:>14.0} {:>14.0}",
+            variant.name(),
+            result.num_blocks,
+            nmi(&data.ground_truth, &result.assignment),
+            directed_modularity(&data.graph, &result.assignment),
+            result.normalized_mdl,
+            result.stats.mcmc_sweeps,
+            t1,
+            t128,
+        );
+        if let Some(base) = sbp_mcmc_128 {
+            if variant != Variant::Metropolis {
+                println!(
+                    "         -> simulated MCMC-phase speedup over SBP at 128 threads: {:.1}x",
+                    base / t128
+                );
+            }
+        }
+    }
+}

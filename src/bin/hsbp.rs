@@ -1,0 +1,210 @@
+//! `hsbp` — command-line community detection.
+//!
+//! ```text
+//! hsbp detect  --input graph.mtx [--variant sbp|asbp|hsbp] [--seed N]
+//!              [--output labels.tsv] [--restarts N]
+//! hsbp stats   --input graph.mtx
+//! hsbp generate --vertices N --edges M [--communities C] [--ratio R]
+//!              [--seed K] --output graph.mtx [--truth truth.tsv]
+//! ```
+//!
+//! `detect` reads a Matrix Market (`.mtx`) or whitespace edge-list file,
+//! runs the chosen SBP variant (default: H-SBP) with the best-of-restarts
+//! protocol, and writes one `vertex<TAB>community` line per vertex.
+
+use hsbp::generator::{generate, DcsbmConfig};
+use hsbp::graph::io::{load_path, write_matrix_market};
+use hsbp::graph::GraphStats;
+use hsbp::metrics::{directed_modularity, normalized_mdl};
+use hsbp::{run_sbp, SbpConfig, Variant};
+use std::collections::HashMap;
+use std::io::Write;
+use std::process::ExitCode;
+
+fn usage(msg: &str) -> ExitCode {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}\n");
+    }
+    eprintln!(
+        "usage:\n  hsbp detect --input FILE [--variant sbp|asbp|hsbp] [--seed N] \\\n\
+         \x20             [--restarts N] [--output FILE]\n\
+         \x20 hsbp stats --input FILE\n\
+         \x20 hsbp generate --vertices N --edges M [--communities C] [--ratio R] \\\n\
+         \x20             [--seed N] --output FILE [--truth FILE]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let Some(name) = flag.strip_prefix("--") else {
+            return Err(format!("unexpected argument `{flag}`"));
+        };
+        let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
+        flags.insert(name.to_string(), value.clone());
+    }
+    Ok(flags)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        return usage("");
+    };
+    let flags = match parse_flags(rest) {
+        Ok(f) => f,
+        Err(e) => return usage(&e),
+    };
+    match command.as_str() {
+        "detect" => detect(&flags),
+        "stats" => stats(&flags),
+        "generate" => generate_cmd(&flags),
+        other => usage(&format!("unknown command `{other}`")),
+    }
+}
+
+fn detect(flags: &HashMap<String, String>) -> ExitCode {
+    let Some(input) = flags.get("input") else {
+        return usage("detect requires --input");
+    };
+    let variant = match flags.get("variant").map(String::as_str) {
+        None | Some("hsbp") => Variant::Hybrid,
+        Some("sbp") => Variant::Metropolis,
+        Some("asbp") => Variant::AsyncGibbs,
+        Some(other) => return usage(&format!("unknown variant `{other}`")),
+    };
+    let seed: u64 = flags.get("seed").map_or(Ok(0), |s| s.parse()).unwrap_or(0);
+    let restarts: usize = flags.get("restarts").map_or(Ok(1), |s| s.parse()).unwrap_or(1);
+
+    let graph = match load_path(input) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("cannot load {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "loaded {}: {} vertices, {} edges; running {} ({} restart(s))",
+        input,
+        graph.num_vertices(),
+        graph.num_edges(),
+        variant.name(),
+        restarts.max(1)
+    );
+
+    let mut best: Option<hsbp::SbpResult> = None;
+    for restart in 0..restarts.max(1) {
+        let cfg = SbpConfig::new(variant, seed.wrapping_add(restart as u64 * 7919));
+        let result = run_sbp(&graph, &cfg);
+        if best.as_ref().is_none_or(|b| result.mdl.total < b.mdl.total) {
+            best = Some(result);
+        }
+    }
+    let result = best.expect("at least one restart");
+    eprintln!(
+        "found {} communities  MDL {:.1}  MDL_norm {:.4}  modularity {:.4}  ({} MCMC sweeps)",
+        result.num_blocks,
+        result.mdl.total,
+        normalized_mdl(&graph, &result.assignment),
+        directed_modularity(&graph, &result.assignment),
+        result.stats.mcmc_sweeps
+    );
+
+    let write_result = || -> std::io::Result<()> {
+        match flags.get("output") {
+            Some(path) => {
+                let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+                for (v, b) in result.assignment.iter().enumerate() {
+                    writeln!(f, "{v}\t{b}")?;
+                }
+                f.flush()?;
+                eprintln!("labels written to {path}");
+                Ok(())
+            }
+            None => {
+                let stdout = std::io::stdout();
+                let mut lock = stdout.lock();
+                for (v, b) in result.assignment.iter().enumerate() {
+                    writeln!(lock, "{v}\t{b}")?;
+                }
+                Ok(())
+            }
+        }
+    };
+    if let Err(e) = write_result() {
+        eprintln!("cannot write labels: {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn stats(flags: &HashMap<String, String>) -> ExitCode {
+    let Some(input) = flags.get("input") else {
+        return usage("stats requires --input");
+    };
+    let graph = match load_path(input) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("cannot load {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let s = GraphStats::compute(&graph);
+    println!("vertices            {}", s.num_vertices);
+    println!("edges               {}", s.num_edges);
+    println!("total weight        {}", s.total_weight);
+    println!("degree min/mean/max {} / {:.2} / {}", s.min_degree, s.mean_degree, s.max_degree);
+    println!("density             {:.3e}", s.density);
+    println!("self loops          {}", s.self_loops);
+    println!("power-law exponent  {:.3}", s.power_law_exponent);
+    ExitCode::SUCCESS
+}
+
+fn generate_cmd(flags: &HashMap<String, String>) -> ExitCode {
+    let parse = |key: &str| flags.get(key).and_then(|s| s.parse::<usize>().ok());
+    let (Some(vertices), Some(edges), Some(output)) =
+        (parse("vertices"), parse("edges"), flags.get("output"))
+    else {
+        return usage("generate requires --vertices, --edges and --output");
+    };
+    let communities =
+        parse("communities").unwrap_or_else(|| ((vertices as f64).sqrt() / 2.0) as usize);
+    let ratio: f64 = flags.get("ratio").and_then(|s| s.parse().ok()).unwrap_or(2.5);
+    let seed: u64 = flags.get("seed").and_then(|s| s.parse().ok()).unwrap_or(0);
+
+    let data = generate(DcsbmConfig {
+        num_vertices: vertices,
+        num_communities: communities.clamp(1, vertices),
+        target_num_edges: edges,
+        within_between_ratio: ratio,
+        seed,
+        ..Default::default()
+    });
+    let write = || -> std::io::Result<()> {
+        let mut f = std::io::BufWriter::new(std::fs::File::create(output)?);
+        write_matrix_market(&data.graph, &mut f)?;
+        f.flush()?;
+        if let Some(truth_path) = flags.get("truth") {
+            let mut f = std::io::BufWriter::new(std::fs::File::create(truth_path)?);
+            for (v, b) in data.ground_truth.iter().enumerate() {
+                writeln!(f, "{v}\t{b}")?;
+            }
+            f.flush()?;
+        }
+        Ok(())
+    };
+    if let Err(e) = write() {
+        eprintln!("cannot write output: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "wrote {} ({} vertices, {} edges, {} communities, r = {ratio})",
+        output,
+        data.graph.num_vertices(),
+        data.graph.num_edges(),
+        communities
+    );
+    ExitCode::SUCCESS
+}

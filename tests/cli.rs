@@ -1,0 +1,107 @@
+//! End-to-end tests of the `hsbp` command-line binary: generate a graph,
+//! inspect it, detect communities, check the emitted labels.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn hsbp() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_hsbp"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("hsbp-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn generate_stats_detect_roundtrip() {
+    let mtx = tmp("roundtrip.mtx");
+    let truth = tmp("roundtrip-truth.tsv");
+    let labels = tmp("roundtrip-labels.tsv");
+
+    // generate
+    let out = hsbp()
+        .args(["generate", "--vertices", "400", "--edges", "3200", "--communities", "5"])
+        .args(["--ratio", "3.0", "--seed", "7"])
+        .args(["--output", mtx.to_str().unwrap(), "--truth", truth.to_str().unwrap()])
+        .output()
+        .expect("run hsbp generate");
+    assert!(out.status.success(), "generate failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(mtx.exists() && truth.exists());
+
+    // stats
+    let out = hsbp()
+        .args(["stats", "--input", mtx.to_str().unwrap()])
+        .output()
+        .expect("run hsbp stats");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("vertices            400"), "stats output:\n{stdout}");
+
+    // detect
+    let out = hsbp()
+        .args(["detect", "--input", mtx.to_str().unwrap(), "--variant", "hsbp"])
+        .args(["--seed", "3", "--output", labels.to_str().unwrap()])
+        .output()
+        .expect("run hsbp detect");
+    assert!(out.status.success(), "detect failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("communities"), "detect stderr:\n{stderr}");
+
+    // labels cover every vertex with small community ids
+    let body = std::fs::read_to_string(&labels).unwrap();
+    let lines: Vec<&str> = body.lines().collect();
+    assert_eq!(lines.len(), 400);
+    for (i, line) in lines.iter().enumerate() {
+        let mut parts = line.split('\t');
+        assert_eq!(parts.next().unwrap().parse::<usize>().unwrap(), i);
+        let label: usize = parts.next().unwrap().parse().unwrap();
+        assert!(label < 400);
+    }
+}
+
+#[test]
+fn detect_writes_labels_to_stdout_by_default() {
+    let mtx = tmp("stdout.mtx");
+    let status = hsbp()
+        .args(["generate", "--vertices", "60", "--edges", "400", "--seed", "1"])
+        .args(["--output", mtx.to_str().unwrap()])
+        .status()
+        .unwrap();
+    assert!(status.success());
+    let out = hsbp()
+        .args(["detect", "--input", mtx.to_str().unwrap(), "--variant", "sbp"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert_eq!(String::from_utf8_lossy(&out.stdout).lines().count(), 60);
+}
+
+#[test]
+fn bad_usage_exits_nonzero() {
+    let out = hsbp().output().unwrap();
+    assert!(!out.status.success());
+
+    let out = hsbp().args(["detect"]).output().unwrap();
+    assert!(!out.status.success());
+
+    let out = hsbp().args(["detect", "--input", "/nonexistent/file.mtx"]).output().unwrap();
+    assert!(!out.status.success());
+
+    let out = hsbp().args(["frobnicate", "--x", "1"]).output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn detect_reads_plain_edge_lists() {
+    let path = tmp("edges.tsv");
+    // Two triangles joined by one edge.
+    std::fs::write(&path, "0 1\n1 2\n2 0\n3 4\n4 5\n5 3\n2 3\n").unwrap();
+    let out = hsbp()
+        .args(["detect", "--input", path.to_str().unwrap(), "--seed", "2"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(String::from_utf8_lossy(&out.stdout).lines().count(), 6);
+}

@@ -1,0 +1,158 @@
+//! Cross-crate integration tests through the `hsbp` facade: the full
+//! pipeline a downstream user would run — generate (or load) a graph,
+//! detect communities, evaluate quality — plus the paper's headline
+//! qualitative claims at miniature scale.
+
+use hsbp::generator::{generate, table1_reported, table2_by_id, DcsbmConfig};
+use hsbp::graph::io::{read_matrix_market, write_matrix_market};
+use hsbp::metrics::{directed_modularity, nmi, normalized_mdl, pearson};
+use hsbp::{run_sbp, SbpConfig, Variant};
+
+fn quick_cfg(variant: Variant, seed: u64) -> SbpConfig {
+    SbpConfig { variant, seed, ..Default::default() }
+}
+
+#[test]
+fn facade_exposes_full_pipeline() {
+    let data = generate(DcsbmConfig {
+        num_vertices: 400,
+        num_communities: 5,
+        target_num_edges: 3600,
+        within_between_ratio: 3.0,
+        seed: 5,
+        ..Default::default()
+    });
+    let result = run_sbp(&data.graph, &quick_cfg(Variant::Hybrid, 1));
+    assert!(nmi(&data.ground_truth, &result.assignment) > 0.8);
+    assert!(normalized_mdl(&data.graph, &result.assignment) < 1.0);
+    assert!(directed_modularity(&data.graph, &result.assignment) > 0.2);
+}
+
+#[test]
+fn matrix_market_to_communities() {
+    // The SuiteSparse user journey: graph arrives as .mtx, leaves as labels.
+    let data = generate(DcsbmConfig {
+        num_vertices: 300,
+        num_communities: 4,
+        target_num_edges: 2400,
+        within_between_ratio: 3.0,
+        seed: 6,
+        ..Default::default()
+    });
+    let mut mtx = Vec::new();
+    write_matrix_market(&data.graph, &mut mtx).unwrap();
+    let graph = read_matrix_market(mtx.as_slice()).unwrap();
+    assert_eq!(graph, data.graph);
+    let result = run_sbp(&graph, &quick_cfg(Variant::Metropolis, 2));
+    assert_eq!(result.assignment.len(), 300);
+    assert!(nmi(&data.ground_truth, &result.assignment) > 0.7);
+}
+
+#[test]
+fn catalog_specs_run_end_to_end() {
+    // One sparse and one dense Table 1 entry, miniature scale.
+    for id in ["S2", "S5"] {
+        let spec = table1_reported().into_iter().find(|s| s.id == id).unwrap();
+        let data = generate(spec.config(0.002));
+        let result = run_sbp(&data.graph, &quick_cfg(Variant::Hybrid, 3));
+        assert!(result.num_blocks >= 1, "{id}: no blocks found");
+        assert!(result.normalized_mdl.is_finite());
+    }
+}
+
+#[test]
+fn paper_claim_hsbp_matches_sbp_quality() {
+    // §5.3: H-SBP matches SBP's result quality. At miniature scale allow a
+    // small tolerance in normalized MDL.
+    let spec = table2_by_id("wiki-Vote").unwrap();
+    let data = generate(spec.config(0.1));
+    let sbp = run_sbp(&data.graph, &quick_cfg(Variant::Metropolis, 4));
+    let hsbp = run_sbp(&data.graph, &quick_cfg(Variant::Hybrid, 4));
+    assert!(
+        (hsbp.normalized_mdl - sbp.normalized_mdl).abs() < 0.05,
+        "H-SBP {} vs SBP {}",
+        hsbp.normalized_mdl,
+        sbp.normalized_mdl
+    );
+}
+
+#[test]
+fn paper_claim_mdl_norm_tracks_nmi() {
+    // Fig. 3's direction: across graphs of varying community strength,
+    // normalized MDL correlates negatively with NMI.
+    let mut nmis = Vec::new();
+    let mut norms = Vec::new();
+    for (i, ratio) in [0.2, 0.8, 1.5, 3.0, 5.0].iter().enumerate() {
+        let data = generate(DcsbmConfig {
+            num_vertices: 300,
+            num_communities: 5,
+            target_num_edges: 2700,
+            within_between_ratio: *ratio,
+            seed: 100 + i as u64,
+            ..Default::default()
+        });
+        let result = run_sbp(&data.graph, &quick_cfg(Variant::Metropolis, 9));
+        nmis.push(nmi(&data.ground_truth, &result.assignment));
+        norms.push(result.normalized_mdl);
+    }
+    let c = pearson(&nmis, &norms);
+    assert!(c.r < -0.5, "expected strong negative correlation, got r = {}", c.r);
+}
+
+#[test]
+fn paper_claim_simulated_speedup_ordering() {
+    // Figs. 4b/6 at miniature scale: A-SBP MCMC > H-SBP MCMC > 1x.
+    let data = generate(DcsbmConfig {
+        num_vertices: 500,
+        num_communities: 6,
+        target_num_edges: 5000,
+        within_between_ratio: 2.5,
+        seed: 11,
+        ..Default::default()
+    });
+    let mut t128 = std::collections::HashMap::new();
+    for variant in [Variant::Metropolis, Variant::Hybrid, Variant::AsyncGibbs] {
+        let result = run_sbp(&data.graph, &quick_cfg(variant, 5));
+        t128.insert(variant.name(), result.stats.sim_mcmc_time(128).unwrap());
+    }
+    let sbp = t128["SBP"];
+    assert!(sbp / t128["A-SBP"] > sbp / t128["H-SBP"]);
+    assert!(sbp / t128["H-SBP"] > 1.0);
+}
+
+#[test]
+fn deterministic_across_facade() {
+    let data = generate(DcsbmConfig { num_vertices: 200, seed: 12, ..Default::default() });
+    let a = run_sbp(&data.graph, &quick_cfg(Variant::AsyncGibbs, 8));
+    let b = run_sbp(&data.graph, &quick_cfg(Variant::AsyncGibbs, 8));
+    assert_eq!(a.assignment, b.assignment);
+}
+
+#[test]
+fn returned_partition_is_best_of_trajectory() {
+    let data = generate(DcsbmConfig {
+        num_vertices: 250,
+        num_communities: 5,
+        target_num_edges: 2000,
+        within_between_ratio: 2.5,
+        seed: 21,
+        ..Default::default()
+    });
+    let result = run_sbp(&data.graph, &quick_cfg(Variant::Metropolis, 6));
+    assert!(!result.trajectory.is_empty());
+    let best_seen = result
+        .trajectory
+        .iter()
+        .map(|&(_, mdl)| mdl)
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        result.mdl.total <= best_seen + 1e-6,
+        "returned {} but trajectory saw {}",
+        result.mdl.total,
+        best_seen
+    );
+    // The search explored more than one block count.
+    let counts: std::collections::HashSet<usize> =
+        result.trajectory.iter().map(|&(b, _)| b).collect();
+    assert!(counts.len() >= 2);
+}

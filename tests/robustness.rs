@@ -1,0 +1,132 @@
+//! Robustness tests: weighted and symmetrised graphs (paper §6 future
+//! work), pathological topologies, and the influence heuristics.
+
+use hsbp::generator::{generate, DcsbmConfig};
+use hsbp::graph::GraphBuilder;
+use hsbp::metrics::nmi;
+use hsbp::sbp::{asbp_convergence_risk, degree_concentration, AsbpRisk};
+use hsbp::{run_sbp, Graph, SbpConfig, Variant};
+
+#[test]
+fn weighted_graph_detection() {
+    // Two communities connected internally by heavy edges and externally by
+    // light ones: the DCSBM treats weight as multiplicity, so the planted
+    // split must be recovered.
+    let k = 20u32;
+    let mut builder = GraphBuilder::new(2 * k as usize);
+    let mut state = 7u64;
+    let mut rnd = move |m: u32| {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        ((state >> 33) as u32) % m
+    };
+    for g in 0..2u32 {
+        for _ in 0..150 {
+            let a = g * k + rnd(k);
+            let b = g * k + rnd(k);
+            if a != b {
+                builder.add_edge_weighted(a, b, 4);
+            }
+        }
+    }
+    for _ in 0..30 {
+        let a = rnd(k);
+        let b = k + rnd(k);
+        builder.add_edge_weighted(a, b, 1);
+    }
+    let graph = builder.build();
+    let truth: Vec<u32> = (0..2 * k).map(|v| v / k).collect();
+    let result = run_sbp(&graph, &SbpConfig::new(Variant::Hybrid, 3));
+    let score = nmi(&truth, &result.assignment);
+    assert!(score > 0.9, "weighted NMI {score}");
+}
+
+#[test]
+fn symmetrised_graph_detection() {
+    // §6 lists undirected graphs as future work; symmetrisation is the
+    // supported path. Quality must survive the conversion.
+    let data = generate(DcsbmConfig {
+        num_vertices: 300,
+        num_communities: 4,
+        target_num_edges: 2400,
+        within_between_ratio: 3.0,
+        seed: 9,
+        ..Default::default()
+    });
+    let undirected = data.graph.to_undirected();
+    let result = run_sbp(&undirected, &SbpConfig::new(Variant::Hybrid, 5));
+    let score = nmi(&data.ground_truth, &result.assignment);
+    assert!(score > 0.8, "undirected NMI {score}");
+}
+
+#[test]
+fn disconnected_components_found_as_separate_communities() {
+    // Two totally disconnected dense blobs: trivially two communities.
+    let k = 15u32;
+    let mut edges = Vec::new();
+    for g in 0..2u32 {
+        for a in 0..k {
+            for b in 0..k {
+                if a != b {
+                    edges.push((g * k + a, g * k + b));
+                }
+            }
+        }
+    }
+    let graph = Graph::from_edges(2 * k as usize, &edges);
+    let truth: Vec<u32> = (0..2 * k).map(|v| v / k).collect();
+    let result = run_sbp(&graph, &SbpConfig::new(Variant::Metropolis, 1));
+    assert_eq!(result.num_blocks, 2);
+    assert!((nmi(&truth, &result.assignment) - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn star_graph_terminates() {
+    // Degenerate hub topology must not wedge the search.
+    let edges: Vec<(u32, u32)> = (1..200u32).map(|v| (0, v)).collect();
+    let graph = Graph::from_edges(200, &edges);
+    for variant in [Variant::Metropolis, Variant::AsyncGibbs, Variant::Hybrid] {
+        let result = run_sbp(&graph, &SbpConfig::new(variant, 2));
+        assert!(result.num_blocks >= 1);
+        assert_eq!(result.assignment.len(), 200);
+    }
+}
+
+#[test]
+fn self_loop_heavy_graph_terminates() {
+    let mut edges: Vec<(u32, u32)> = (0..50u32).map(|v| (v, v)).collect();
+    edges.extend((0..49u32).map(|v| (v, v + 1)));
+    let graph = Graph::from_edges(50, &edges);
+    let result = run_sbp(&graph, &SbpConfig::new(Variant::Hybrid, 4));
+    assert_eq!(result.assignment.len(), 50);
+}
+
+#[test]
+fn influence_heuristic_separates_domains() {
+    // Hub-heavy social surrogate: low/moderate A-SBP risk; near-regular
+    // p2p-style graph: high risk — the paper's failing regime.
+    let social = generate(DcsbmConfig {
+        num_vertices: 1000,
+        num_communities: 8,
+        target_num_edges: 8000,
+        degree_exponent: 2.0,
+        min_degree: 1,
+        max_degree: 300,
+        seed: 3,
+        ..Default::default()
+    });
+    let regular = generate(DcsbmConfig {
+        num_vertices: 1000,
+        num_communities: 8,
+        target_num_edges: 3000,
+        degree_exponent: 5.0,
+        min_degree: 2,
+        max_degree: 8,
+        seed: 4,
+        ..Default::default()
+    });
+    let c_social = degree_concentration(&social.graph, 0.15);
+    let c_regular = degree_concentration(&regular.graph, 0.15);
+    assert!(c_social > c_regular, "social {c_social} vs regular {c_regular}");
+    assert_eq!(asbp_convergence_risk(&regular.graph), AsbpRisk::High);
+    assert_ne!(asbp_convergence_risk(&social.graph), AsbpRisk::High);
+}
