@@ -24,14 +24,18 @@ fn bench(c: &mut Criterion) {
             seed: 7,
             ..Default::default()
         };
-        group.bench_with_input(BenchmarkId::new("one_sweep", variant.name()), &cfg, |b, cfg| {
-            b.iter(|| {
-                let mut bm =
-                    Blockmodel::from_assignment(&data.graph, data.ground_truth.clone(), 12);
-                let mut stats = RunStats::new(cfg);
-                black_box(run_mcmc_phase(&data.graph, &mut bm, cfg, 0, &mut stats))
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("one_sweep", variant.name()),
+            &cfg,
+            |b, cfg| {
+                b.iter(|| {
+                    let mut bm =
+                        Blockmodel::from_assignment(&data.graph, data.ground_truth.clone(), 12);
+                    let mut stats = RunStats::new(cfg);
+                    black_box(run_mcmc_phase(&data.graph, &mut bm, cfg, 0, &mut stats))
+                })
+            },
+        );
     }
     group.finish();
 }

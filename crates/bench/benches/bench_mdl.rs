@@ -16,12 +16,17 @@ fn bench(c: &mut Criterion) {
     });
     let mut group = c.benchmark_group("mdl");
     for blocks in [4usize, 64, 512] {
-        let assignment: Vec<u32> =
-            (0..data.graph.num_vertices() as u32).map(|v| v % blocks as u32).collect();
+        let assignment: Vec<u32> = (0..data.graph.num_vertices() as u32)
+            .map(|v| v % blocks as u32)
+            .collect();
         let bm = Blockmodel::from_assignment(&data.graph, assignment, blocks);
         group.bench_with_input(BenchmarkId::new("full_mdl", blocks), &bm, |b, bm| {
             b.iter(|| {
-                black_box(mdl::mdl(bm, data.graph.num_vertices(), data.graph.total_weight()))
+                black_box(mdl::mdl(
+                    bm,
+                    data.graph.num_vertices(),
+                    data.graph.total_weight(),
+                ))
             })
         });
     }

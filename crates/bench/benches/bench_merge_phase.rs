@@ -16,8 +16,9 @@ fn bench(c: &mut Criterion) {
     });
     let cfg = SbpConfig::default();
     c.bench_function("merge_phase/halve_from_128_blocks", |b| {
-        let assignment: Vec<u32> =
-            (0..data.graph.num_vertices() as u32).map(|v| v % 128).collect();
+        let assignment: Vec<u32> = (0..data.graph.num_vertices() as u32)
+            .map(|v| v % 128)
+            .collect();
         b.iter(|| {
             let mut bm = Blockmodel::from_assignment(&data.graph, assignment.clone(), 128);
             let mut stats = RunStats::new(&cfg);

@@ -13,8 +13,7 @@ fn bench(c: &mut Criterion) {
         seed: 8,
         ..Default::default()
     });
-    let shuffled: Vec<u32> =
-        data.ground_truth.iter().map(|&b| (b + 1) % 32).collect();
+    let shuffled: Vec<u32> = data.ground_truth.iter().map(|&b| (b + 1) % 32).collect();
 
     c.bench_function("metrics/nmi", |b| {
         b.iter(|| black_box(nmi(&data.ground_truth, &shuffled)))

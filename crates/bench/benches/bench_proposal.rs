@@ -21,13 +21,22 @@ fn bench(c: &mut Criterion) {
         let mut v = 0u32;
         b.iter(|| {
             v = (v + 1) % data.graph.num_vertices() as u32;
-            black_box(propose_block(&data.graph, &bm, bm.assignment(), v, &mut rng))
+            black_box(propose_block(
+                &data.graph,
+                &bm,
+                bm.assignment(),
+                v,
+                &mut rng,
+            ))
         })
     });
 
     c.bench_function("proposal/accept_move", |b| {
         let mut rng = SplitMix64::new(11);
-        let eval = MoveEval { delta_mdl: 0.3, hastings: 0.9 };
+        let eval = MoveEval {
+            delta_mdl: 0.3,
+            hastings: 0.9,
+        };
         b.iter(|| black_box(accept_move(&eval, 3.0, &mut rng)))
     });
 }

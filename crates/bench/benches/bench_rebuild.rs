@@ -17,16 +17,12 @@ fn bench(c: &mut Criterion) {
             ..Default::default()
         });
         let mut bm = Blockmodel::from_assignment(&data.graph, data.ground_truth.clone(), 16);
-        group.bench_with_input(
-            BenchmarkId::new("dense", edges),
-            &data,
-            |b, data| {
-                b.iter(|| {
-                    bm.rebuild_dense(&data.graph, data.ground_truth.clone());
-                    black_box(bm.num_blocks())
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("dense", edges), &data, |b, data| {
+            b.iter(|| {
+                bm.rebuild_dense(&data.graph, data.ground_truth.clone());
+                black_box(bm.num_blocks())
+            })
+        });
         group.bench_with_input(
             BenchmarkId::new("sparse_partials", edges),
             &data,

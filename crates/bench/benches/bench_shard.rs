@@ -1,0 +1,50 @@
+//! Benchmark: the sharded divide-and-conquer pipeline at 1/2/4/8 shards
+//! vs. the single-model driver on the same DCSBM graph — the wall-clock
+//! cost of partition → per-shard SBP → golden-section stitch. (The *emulated*
+//! distributed speedup comes from the simulated cost model and is reported
+//! by `hsbp shard` / the `distributed_emulation` example; this measures the
+//! real host cost of the whole pipeline.)
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hsbp_core::{run_sbp, SbpConfig};
+use hsbp_generator::{generate, DcsbmConfig};
+use hsbp_shard::{run_sharded_sbp, ShardConfig};
+
+fn bench(c: &mut Criterion) {
+    let data = generate(DcsbmConfig {
+        num_vertices: 1000,
+        num_communities: 8,
+        target_num_edges: 8000,
+        seed: 7,
+        ..Default::default()
+    });
+
+    let mut group = c.benchmark_group("shard");
+    group.sample_size(10);
+
+    group.bench_function("single_model", |b| {
+        let cfg = SbpConfig {
+            seed: 3,
+            ..Default::default()
+        };
+        b.iter(|| black_box(run_sbp(&data.graph, &cfg)))
+    });
+
+    for shards in [1usize, 2, 4, 8] {
+        let cfg = ShardConfig {
+            num_shards: shards,
+            sbp: SbpConfig {
+                seed: 3,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::new("sharded", shards), &cfg, |b, cfg| {
+            b.iter(|| black_box(run_sharded_sbp(&data.graph, cfg)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

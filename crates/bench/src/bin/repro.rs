@@ -36,22 +36,34 @@ fn main() {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--scale" => {
-                ctx.scale = it.next().unwrap_or_else(|| usage()).parse().unwrap_or_else(|e| {
-                    eprintln!("bad --scale: {e}");
-                    usage()
-                });
+                ctx.scale = it
+                    .next()
+                    .unwrap_or_else(|| usage())
+                    .parse()
+                    .unwrap_or_else(|e| {
+                        eprintln!("bad --scale: {e}");
+                        usage()
+                    });
             }
             "--restarts" => {
-                ctx.restarts = it.next().unwrap_or_else(|| usage()).parse().unwrap_or_else(|e| {
-                    eprintln!("bad --restarts: {e}");
-                    usage()
-                });
+                ctx.restarts = it
+                    .next()
+                    .unwrap_or_else(|| usage())
+                    .parse()
+                    .unwrap_or_else(|e| {
+                        eprintln!("bad --restarts: {e}");
+                        usage()
+                    });
             }
             "--seed" => {
-                ctx.seed = it.next().unwrap_or_else(|| usage()).parse().unwrap_or_else(|e| {
-                    eprintln!("bad --seed: {e}");
-                    usage()
-                });
+                ctx.seed = it
+                    .next()
+                    .unwrap_or_else(|| usage())
+                    .parse()
+                    .unwrap_or_else(|e| {
+                        eprintln!("bad --seed: {e}");
+                        usage()
+                    });
             }
             "--out" => out = PathBuf::from(it.next().unwrap_or_else(|| usage())),
             "--quiet" => ctx.verbose = false,
@@ -70,9 +82,14 @@ fn main() {
     }
     let experiment = experiment.unwrap_or_else(|| usage());
 
-    let needs_synth =
-        matches!(experiment.as_str(), "fig2" | "fig3" | "fig4a" | "fig4b" | "fig8a" | "synth");
-    let needs_real = matches!(experiment.as_str(), "fig5a" | "fig5b" | "fig6" | "fig8b" | "real");
+    let needs_synth = matches!(
+        experiment.as_str(),
+        "fig2" | "fig3" | "fig4a" | "fig4b" | "fig8a" | "synth"
+    );
+    let needs_real = matches!(
+        experiment.as_str(),
+        "fig5a" | "fig5b" | "fig6" | "fig8b" | "real"
+    );
     let synth = needs_synth.then(|| run_synthetic_suite(&ctx));
     let real = needs_real.then(|| run_realworld_suite(&ctx));
 

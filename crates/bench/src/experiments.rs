@@ -4,7 +4,9 @@
 
 use crate::plot::{scaling_curve, BarChart};
 use crate::report::{fmt, Table};
-use crate::runner::{run_realworld_suite, run_synthetic_suite, ExperimentContext, RealRun, SyntheticRun};
+use crate::runner::{
+    run_realworld_suite, run_synthetic_suite, ExperimentContext, RealRun, SyntheticRun,
+};
 use hsbp_core::{run_sbp, SbpConfig, Variant};
 use hsbp_generator::{generate, table1, table2, table2_by_id};
 use hsbp_graph::stats::within_between_ratio;
@@ -16,7 +18,14 @@ use std::path::Path;
 /// sizes and community strength at the chosen scale.
 pub fn table1_report(ctx: &ExperimentContext, out: &Path) {
     let mut t = Table::new(&[
-        "ID", "paper V", "paper E", "gen V", "gen E", "target r", "realised r", "gamma_hat",
+        "ID",
+        "paper V",
+        "paper E",
+        "gen V",
+        "gen E",
+        "target r",
+        "realised r",
+        "gamma_hat",
     ]);
     for spec in table1() {
         if ctx.verbose {
@@ -45,7 +54,14 @@ pub fn table1_report(ctx: &ExperimentContext, out: &Path) {
 /// Table 2: the real-world surrogate catalog.
 pub fn table2_report(ctx: &ExperimentContext, out: &Path) {
     let mut t = Table::new(&[
-        "ID", "domain", "paper V", "paper E", "gen V", "gen E", "max deg", "gamma_hat",
+        "ID",
+        "domain",
+        "paper V",
+        "paper E",
+        "gen V",
+        "gen E",
+        "max deg",
+        "gamma_hat",
     ]);
     for spec in table2() {
         if ctx.verbose {
@@ -83,9 +99,17 @@ pub fn fig2_report(synth: &[SyntheticRun], out: &Path) {
         t.row(vec![s.id.clone(), fmt(pct, 1), fmt(100.0 - pct, 1)]);
     }
     if !synth.is_empty() {
-        t.row(vec!["mean".into(), fmt(total / synth.len() as f64, 1), "".into()]);
+        t.row(vec![
+            "mean".into(),
+            fmt(total / synth.len() as f64, 1),
+            "".into(),
+        ]);
     }
-    t.emit("Fig 2: SBP execution-time breakdown (MCMC vs rest)", out, "fig2");
+    t.emit(
+        "Fig 2: SBP execution-time breakdown (MCMC vs rest)",
+        out,
+        "fig2",
+    );
 }
 
 /// Fig. 3: correlation of NMI with modularity and with normalized MDL
@@ -109,7 +133,11 @@ pub fn fig3_report(synth: &[SyntheticRun], out: &Path) {
             }
         }
     }
-    scatter.emit("Fig 3 (scatter data): NMI vs modularity vs MDL_norm", out, "fig3_scatter");
+    scatter.emit(
+        "Fig 3 (scatter data): NMI vs modularity vs MDL_norm",
+        out,
+        "fig3_scatter",
+    );
 
     let c_mod = pearson(&nmis, &mods);
     let c_norm = pearson(&nmis, &norms);
@@ -128,7 +156,11 @@ pub fn fig3_report(synth: &[SyntheticRun], out: &Path) {
         format!("{:.2e}", c_norm.p_value),
         c_norm.n.to_string(),
     ]);
-    t.emit("Fig 3: correlation strength (paper: MDL_norm r^2=0.85 > modularity r^2=0.75)", out, "fig3");
+    t.emit(
+        "Fig 3: correlation strength (paper: MDL_norm r^2=0.85 > modularity r^2=0.75)",
+        out,
+        "fig3",
+    );
 }
 
 /// Fig. 4a: NMI of SBP / H-SBP / A-SBP on the synthetic graphs.
@@ -154,7 +186,11 @@ pub fn fig4a_report(synth: &[SyntheticRun], out: &Path) {
 /// Amdahl-limited overall speedup.
 pub fn fig4b_report(synth: &[SyntheticRun], out: &Path) {
     let mut t = Table::new(&[
-        "ID", "H-SBP mcmc", "A-SBP mcmc", "H-SBP overall", "A-SBP overall",
+        "ID",
+        "H-SBP mcmc",
+        "A-SBP mcmc",
+        "H-SBP overall",
+        "A-SBP overall",
     ]);
     for s in synth {
         let base_mcmc = s.runs[0].sim_mcmc_128;
@@ -167,12 +203,21 @@ pub fn fig4b_report(synth: &[SyntheticRun], out: &Path) {
             fmt(base_total / s.runs[2].sim_total_128, 2),
         ]);
     }
-    t.emit("Fig 4b: speedup over SBP on synthetic graphs (128 simulated threads)", out, "fig4b");
-    let mut chart =
-        BarChart::new("Fig 4b (chart): MCMC-phase speedup over SBP", &["H-SBP", "A-SBP"]);
+    t.emit(
+        "Fig 4b: speedup over SBP on synthetic graphs (128 simulated threads)",
+        out,
+        "fig4b",
+    );
+    let mut chart = BarChart::new(
+        "Fig 4b (chart): MCMC-phase speedup over SBP",
+        &["H-SBP", "A-SBP"],
+    );
     for s in synth {
         let base = s.runs[0].sim_mcmc_128;
-        chart.item(&s.id, &[base / s.runs[1].sim_mcmc_128, base / s.runs[2].sim_mcmc_128]);
+        chart.item(
+            &s.id,
+            &[base / s.runs[1].sim_mcmc_128, base / s.runs[2].sim_mcmc_128],
+        );
     }
     println!("{}", chart.render());
 }
@@ -189,11 +234,18 @@ pub fn fig8a_report(synth: &[SyntheticRun], out: &Path) {
         ]);
     }
     t.emit("Fig 8a: MCMC iterations on synthetic graphs", out, "fig8a");
-    let mut chart = BarChart::new("Fig 8a (chart): MCMC iterations", &["SBP", "H-SBP", "A-SBP"]);
+    let mut chart = BarChart::new(
+        "Fig 8a (chart): MCMC iterations",
+        &["SBP", "H-SBP", "A-SBP"],
+    );
     for s in synth {
         chart.item(
             &s.id,
-            &[s.runs[0].mcmc_sweeps as f64, s.runs[1].mcmc_sweeps as f64, s.runs[2].mcmc_sweeps as f64],
+            &[
+                s.runs[0].mcmc_sweeps as f64,
+                s.runs[1].mcmc_sweeps as f64,
+                s.runs[2].mcmc_sweeps as f64,
+            ],
         );
     }
     println!("{}", chart.render());
@@ -203,7 +255,11 @@ pub fn fig8a_report(synth: &[SyntheticRun], out: &Path) {
 pub fn fig5a_report(real: &[RealRun], out: &Path) {
     let mut t = Table::new(&["ID", "SBP", "H-SBP"]);
     for r in real {
-        t.row(vec![r.id.clone(), fmt(r.runs[0].mdl_norm, 4), fmt(r.runs[1].mdl_norm, 4)]);
+        t.row(vec![
+            r.id.clone(),
+            fmt(r.runs[0].mdl_norm, 4),
+            fmt(r.runs[1].mdl_norm, 4),
+        ]);
     }
     t.emit("Fig 5a: normalized MDL on real-world graphs", out, "fig5a");
     let mut chart = BarChart::new("Fig 5a (chart): normalized MDL", &["SBP", "H-SBP"]);
@@ -217,7 +273,11 @@ pub fn fig5a_report(real: &[RealRun], out: &Path) {
 pub fn fig5b_report(real: &[RealRun], out: &Path) {
     let mut t = Table::new(&["ID", "SBP", "H-SBP"]);
     for r in real {
-        t.row(vec![r.id.clone(), fmt(r.runs[0].modularity, 4), fmt(r.runs[1].modularity, 4)]);
+        t.row(vec![
+            r.id.clone(),
+            fmt(r.runs[0].modularity, 4),
+            fmt(r.runs[1].modularity, 4),
+        ]);
     }
     t.emit("Fig 5b: modularity on real-world graphs", out, "fig5b");
     let mut chart = BarChart::new("Fig 5b (chart): modularity", &["SBP", "H-SBP"]);
@@ -238,7 +298,11 @@ pub fn fig6_report(real: &[RealRun], out: &Path) {
             fmt(r.runs[0].sim_total_128 / r.runs[1].sim_total_128, 2),
         ]);
     }
-    t.emit("Fig 6: H-SBP speedup over SBP on real-world graphs (128 simulated threads)", out, "fig6");
+    t.emit(
+        "Fig 6: H-SBP speedup over SBP on real-world graphs (128 simulated threads)",
+        out,
+        "fig6",
+    );
     let mut chart = BarChart::new("Fig 6 (chart): H-SBP MCMC speedup", &["H-SBP"]);
     for r in real {
         chart.item(&r.id, &[r.runs[0].sim_mcmc_128 / r.runs[1].sim_mcmc_128]);
@@ -259,7 +323,10 @@ pub fn fig8b_report(real: &[RealRun], out: &Path) {
     t.emit("Fig 8b: MCMC iterations on real-world graphs", out, "fig8b");
     let mut chart = BarChart::new("Fig 8b (chart): MCMC iterations", &["SBP", "H-SBP"]);
     for r in real {
-        chart.item(&r.id, &[r.runs[0].mcmc_sweeps as f64, r.runs[1].mcmc_sweeps as f64]);
+        chart.item(
+            &r.id,
+            &[r.runs[0].mcmc_sweeps as f64, r.runs[1].mcmc_sweeps as f64],
+        );
     }
     println!("{}", chart.render());
 }
@@ -284,7 +351,11 @@ pub fn fig7_report(ctx: &ExperimentContext, out: &Path) {
             fmt(100.0 * speedup / threads as f64, 1),
         ]);
     }
-    t.emit("Fig 7: H-SBP strong scaling on soc-Slashdot0902", out, "fig7");
+    t.emit(
+        "Fig 7: H-SBP strong scaling on soc-Slashdot0902",
+        out,
+        "fig7",
+    );
     println!(
         "{}",
         scaling_curve(
@@ -298,7 +369,10 @@ pub fn fig7_report(ctx: &ExperimentContext, out: &Path) {
 /// Ablation (beyond the paper): H-SBP accuracy/speedup across serial
 /// fractions, on one synthetic graph.
 pub fn ablation_serial_fraction(ctx: &ExperimentContext, out: &Path) {
-    let spec = table1().into_iter().find(|s| s.id == "S5").expect("S5 in catalog");
+    let spec = table1()
+        .into_iter()
+        .find(|s| s.id == "S5")
+        .expect("S5 in catalog");
     let data = generate(spec.config(ctx.scale));
     let base = run_sbp(&data.graph, &SbpConfig::new(Variant::Metropolis, ctx.seed));
     let base_mcmc = base.stats.sim_mcmc_time(128).unwrap();
@@ -321,7 +395,11 @@ pub fn ablation_serial_fraction(ctx: &ExperimentContext, out: &Path) {
             fmt(base_mcmc / result.stats.sim_mcmc_time(128).unwrap(), 2),
         ]);
     }
-    t.emit("Ablation: H-SBP serial fraction (paper fixes 15%)", out, "ablation_fraction");
+    t.emit(
+        "Ablation: H-SBP serial fraction (paper fixes 15%)",
+        out,
+        "ablation_fraction",
+    );
 }
 
 /// Ablation (beyond the paper): static vs dynamic chunking in the simulated
@@ -347,16 +425,28 @@ pub fn ablation_chunking(ctx: &ExperimentContext, out: &Path) {
         let t128 = result.stats.sim_mcmc_time(128).unwrap();
         let t1 = result.stats.sim_mcmc_time(1).unwrap();
         base128.get_or_insert(t1);
-        t.row(vec![name.into(), fmt(t16, 0), fmt(t128, 0), fmt(t1 / t128, 2)]);
+        t.row(vec![
+            name.into(),
+            fmt(t16, 0),
+            fmt(t128, 0),
+            fmt(t1 / t128, 2),
+        ]);
     }
-    t.emit("Ablation: static vs dynamic scheduling of the parallel sweep", out, "ablation_chunking");
+    t.emit(
+        "Ablation: static vs dynamic scheduling of the parallel sweep",
+        out,
+        "ablation_chunking",
+    );
 }
 
 /// Ablation (beyond the paper): distributed-A-SBP staleness — how result
 /// quality and iteration count degrade when workers evaluate against a
 /// model `d` sweeps old (paper §6's "how best to distribute A-SBP").
 pub fn ablation_staleness(ctx: &ExperimentContext, out: &Path) {
-    let spec = table1().into_iter().find(|s| s.id == "S6").expect("S6 in catalog");
+    let spec = table1()
+        .into_iter()
+        .find(|s| s.id == "S6")
+        .expect("S6 in catalog");
     let data = generate(spec.config(ctx.scale));
     let mut t = Table::new(&["staleness", "NMI", "MDL_norm", "sweeps"]);
     for staleness in [1usize, 2, 4, 8] {
@@ -377,13 +467,20 @@ pub fn ablation_staleness(ctx: &ExperimentContext, out: &Path) {
             result.stats.mcmc_sweeps.to_string(),
         ]);
     }
-    t.emit("Ablation: A-SBP staleness (distributed emulation)", out, "ablation_staleness");
+    t.emit(
+        "Ablation: A-SBP staleness (distributed emulation)",
+        out,
+        "ablation_staleness",
+    );
 }
 
 /// Ablation (beyond the paper): batched A-SBP — the paper's conclusion
 /// suggests rebuilding in batches to shrink staleness without a serial set.
 pub fn ablation_batches(ctx: &ExperimentContext, out: &Path) {
-    let spec = table1().into_iter().find(|s| s.id == "S6").expect("S6 in catalog");
+    let spec = table1()
+        .into_iter()
+        .find(|s| s.id == "S6")
+        .expect("S6 in catalog");
     let data = generate(spec.config(ctx.scale));
     let mut t = Table::new(&["batches", "NMI", "MDL_norm", "sweeps", "sim mcmc @128"]);
     for batches in [1usize, 2, 4, 8] {
@@ -405,7 +502,11 @@ pub fn ablation_batches(ctx: &ExperimentContext, out: &Path) {
             fmt(result.stats.sim_mcmc_time(128).unwrap_or(f64::NAN), 0),
         ]);
     }
-    t.emit("Ablation: batched A-SBP (paper conclusion)", out, "ablation_batches");
+    t.emit(
+        "Ablation: batched A-SBP (paper conclusion)",
+        out,
+        "ablation_batches",
+    );
 }
 
 /// Ablation (beyond the paper): the paper's snapshot A-SBP vs Terenin-style
@@ -413,13 +514,39 @@ pub fn ablation_batches(ctx: &ExperimentContext, out: &Path) {
 /// design) — accuracy is comparable, but the replication cost shows up in
 /// the simulated time.
 pub fn ablation_exact_async(ctx: &ExperimentContext, out: &Path) {
-    let spec = table1().into_iter().find(|s| s.id == "S6").expect("S6 in catalog");
+    let spec = table1()
+        .into_iter()
+        .find(|s| s.id == "S6")
+        .expect("S6 in catalog");
     let data = generate(spec.config(ctx.scale));
     let mut t = Table::new(&["algorithm", "NMI", "MDL_norm", "sweeps", "sim mcmc @128"]);
     let configs = [
-        ("A-SBP (paper)", SbpConfig { variant: Variant::AsyncGibbs, seed: ctx.seed, ..Default::default() }),
-        ("EA-SBP w=8", SbpConfig { variant: Variant::ExactAsync, exact_async_workers: 8, seed: ctx.seed, ..Default::default() }),
-        ("EA-SBP w=32", SbpConfig { variant: Variant::ExactAsync, exact_async_workers: 32, seed: ctx.seed, ..Default::default() }),
+        (
+            "A-SBP (paper)",
+            SbpConfig {
+                variant: Variant::AsyncGibbs,
+                seed: ctx.seed,
+                ..Default::default()
+            },
+        ),
+        (
+            "EA-SBP w=8",
+            SbpConfig {
+                variant: Variant::ExactAsync,
+                exact_async_workers: 8,
+                seed: ctx.seed,
+                ..Default::default()
+            },
+        ),
+        (
+            "EA-SBP w=32",
+            SbpConfig {
+                variant: Variant::ExactAsync,
+                exact_async_workers: 32,
+                seed: ctx.seed,
+                ..Default::default()
+            },
+        ),
     ];
     for (name, cfg) in configs {
         if ctx.verbose {
@@ -445,14 +572,20 @@ pub fn ablation_exact_async(ctx: &ExperimentContext, out: &Path) {
 pub fn run_all(ctx: &ExperimentContext, out: &Path) {
     table1_report(ctx, out);
     table2_report(ctx, out);
-    eprintln!("running synthetic suite (18 graphs x 3 variants x {} restarts)…", ctx.restarts);
+    eprintln!(
+        "running synthetic suite (18 graphs x 3 variants x {} restarts)…",
+        ctx.restarts
+    );
     let synth = run_synthetic_suite(ctx);
     fig2_report(&synth, out);
     fig3_report(&synth, out);
     fig4a_report(&synth, out);
     fig4b_report(&synth, out);
     fig8a_report(&synth, out);
-    eprintln!("running real-world suite (14 graphs x 2 variants x {} restarts)…", ctx.restarts);
+    eprintln!(
+        "running real-world suite (14 graphs x 2 variants x {} restarts)…",
+        ctx.restarts
+    );
     let real = run_realworld_suite(ctx);
     fig5a_report(&real, out);
     fig5b_report(&real, out);

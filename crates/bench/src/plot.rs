@@ -31,7 +31,11 @@ impl BarChart {
 
     /// Add one labelled group of bars (one value per series).
     pub fn item(&mut self, label: &str, values: &[f64]) {
-        assert_eq!(values.len(), self.series_names.len(), "series arity mismatch");
+        assert_eq!(
+            values.len(),
+            self.series_names.len(),
+            "series arity mismatch"
+        );
         self.items.push((label.to_string(), values.to_vec()));
     }
 

@@ -28,7 +28,12 @@ impl Default for ExperimentContext {
         // 1/128 of the paper's graph sizes finishes the full `repro all`
         // pipeline in well under an hour on one core; pass `--scale` and
         // `--restarts 5` for a closer match to the paper's protocol.
-        Self { scale: 1.0 / 128.0, restarts: 2, seed: 1, verbose: true }
+        Self {
+            scale: 1.0 / 128.0,
+            restarts: 2,
+            seed: 1,
+            verbose: true,
+        }
     }
 }
 
@@ -106,7 +111,10 @@ fn best_of_restarts(
         let start = std::time::Instant::now();
         let result = run_sbp(&data.graph, &cfg);
         let wall = start.elapsed().as_secs_f64();
-        if best.as_ref().is_none_or(|(mdl, _, _)| result.mdl.total < *mdl) {
+        if best
+            .as_ref()
+            .is_none_or(|(mdl, _, _)| result.mdl.total < *mdl)
+        {
             best = Some((result.mdl.total, result, wall));
         }
     }
@@ -196,7 +204,10 @@ pub fn run_realworld_suite(ctx: &ExperimentContext) -> Vec<RealRun> {
 
 /// Quality metrics of a run on a graph without ground truth.
 pub fn quality_without_truth(graph: &hsbp_graph::Graph, assignment: &[u32]) -> (f64, f64) {
-    (normalized_mdl(graph, assignment), directed_modularity(graph, assignment))
+    (
+        normalized_mdl(graph, assignment),
+        directed_modularity(graph, assignment),
+    )
 }
 
 #[cfg(test)]
@@ -204,7 +215,12 @@ mod tests {
     use super::*;
 
     fn tiny_ctx() -> ExperimentContext {
-        ExperimentContext { scale: 0.002, restarts: 1, seed: 3, verbose: false }
+        ExperimentContext {
+            scale: 0.002,
+            restarts: 1,
+            seed: 3,
+            verbose: false,
+        }
     }
 
     #[test]
@@ -232,13 +248,19 @@ mod tests {
         let one = best_of_restarts(
             &data,
             Variant::Metropolis,
-            &ExperimentContext { restarts: 1, ..tiny_ctx() },
+            &ExperimentContext {
+                restarts: 1,
+                ..tiny_ctx()
+            },
             Some(&data.ground_truth),
         );
         let three = best_of_restarts(
             &data,
             Variant::Metropolis,
-            &ExperimentContext { restarts: 3, ..tiny_ctx() },
+            &ExperimentContext {
+                restarts: 3,
+                ..tiny_ctx()
+            },
             Some(&data.ground_truth),
         );
         // Restart 0 of both sequences shares a seed, so more restarts can

@@ -5,7 +5,12 @@ use hsbp_bench::experiments as exp;
 use hsbp_bench::runner::{run_realworld_suite, run_synthetic_suite, ExperimentContext};
 
 fn tiny_ctx() -> ExperimentContext {
-    ExperimentContext { scale: 0.0008, restarts: 1, seed: 2, verbose: false }
+    ExperimentContext {
+        scale: 0.0008,
+        restarts: 1,
+        seed: 2,
+        verbose: false,
+    }
 }
 
 fn out_dir(name: &str) -> std::path::PathBuf {
@@ -73,7 +78,11 @@ fn realworld_figures_cover_all_datasets() {
     exp::fig6_report(&real, &out);
     exp::fig8b_report(&real, &out);
     for name in ["fig5a", "fig5b", "fig6", "fig8b"] {
-        assert_eq!(csv_rows(&out.join(format!("{name}.csv"))).len(), 15, "{name}");
+        assert_eq!(
+            csv_rows(&out.join(format!("{name}.csv"))).len(),
+            15,
+            "{name}"
+        );
     }
 }
 
@@ -90,6 +99,9 @@ fn fig7_scaling_curve_is_monotone() {
         .map(|r| r.split(',').nth(1).unwrap().parse().unwrap())
         .collect();
     for pair in times.windows(2) {
-        assert!(pair[1] <= pair[0] + 1e-9, "scaling curve not monotone: {times:?}");
+        assert!(
+            pair[1] <= pair[0] + 1e-9,
+            "scaling curve not monotone: {times:?}"
+        );
     }
 }

@@ -63,7 +63,11 @@ impl NeighborCounts {
         // Sorted output keeps downstream arithmetic deterministic.
         out_counts.sort_unstable();
         in_counts.sort_unstable();
-        NeighborCounts { out_counts, in_counts, self_loops }
+        NeighborCounts {
+            out_counts,
+            in_counts,
+            self_loops,
+        }
     }
 
     /// Total out-degree of the vertex (self-loops included).
@@ -212,8 +216,14 @@ impl AffectedState {
         self.d_in_from -= k_in;
         self.d_in_to += k_in;
         debug_assert!(self.d_out_from >= 0 && self.d_in_from >= 0);
-        debug_assert!(self.row_from.values().all(|&b| b >= 0), "negative cell in row_from");
-        debug_assert!(self.row_to.values().all(|&b| b >= 0), "negative cell in row_to");
+        debug_assert!(
+            self.row_from.values().all(|&b| b >= 0),
+            "negative cell in row_from"
+        );
+        debug_assert!(
+            self.row_to.values().all(|&b| b >= 0),
+            "negative cell in row_to"
+        );
     }
 
     /// `B[t][to] + B[to][t]` in the current image, for the Hastings sum.
@@ -248,7 +258,6 @@ impl AffectedState {
             bm.d_total(t) as i64
         }
     }
-
 }
 
 /// Evaluate a proposed move `v: from → to`: its MDL delta and Hastings
@@ -262,14 +271,12 @@ impl AffectedState {
 /// p_fwd = Σ_t k_t/k_v · (B[t][to]   + B[to][t]   + 1) / (d_t + C)    (old B)
 /// p_bwd = Σ_t k_t/k_v · (B'[t][from] + B'[from][t] + 1) / (d'_t + C)  (new B)
 /// ```
-pub fn evaluate_move(
-    bm: &Blockmodel,
-    from: Block,
-    to: Block,
-    counts: &NeighborCounts,
-) -> MoveEval {
+pub fn evaluate_move(bm: &Blockmodel, from: Block, to: Block, counts: &NeighborCounts) -> MoveEval {
     if from == to {
-        return MoveEval { delta_mdl: 0.0, hastings: 1.0 };
+        return MoveEval {
+            delta_mdl: 0.0,
+            hastings: 1.0,
+        };
     }
     let mut state = AffectedState::snapshot(bm, from, to);
     let old_part = state.likelihood_part(bm, from, to);
@@ -315,8 +322,15 @@ pub fn evaluate_move(
         p_bwd /= k_v as f64;
     }
 
-    let hastings = if p_fwd > 0.0 && k_v > 0 { p_bwd / p_fwd } else { 1.0 };
-    MoveEval { delta_mdl: old_part - new_part, hastings }
+    let hastings = if p_fwd > 0.0 && k_v > 0 {
+        p_bwd / p_fwd
+    } else {
+        1.0
+    };
+    MoveEval {
+        delta_mdl: old_part - new_part,
+        hastings,
+    }
 }
 
 /// MDL delta (likelihood part) of moving `v: from → to`.
@@ -367,7 +381,13 @@ pub fn delta_mdl_merge(bm: &Blockmodel, r: Block, s: Block) -> f64 {
     }
     let d_out_merged = (bm.d_out(r) + bm.d_out(s)) as f64;
     let d_in_merged = (bm.d_in(r) + bm.d_in(s)) as f64;
-    let d_in_of = |t: Block| -> f64 { if t == s { d_in_merged } else { bm.d_in(t) as f64 } };
+    let d_in_of = |t: Block| -> f64 {
+        if t == s {
+            d_in_merged
+        } else {
+            bm.d_in(t) as f64
+        }
+    };
 
     let mut new_part = 0.0;
     for (&t, &b) in &new_row {
@@ -441,7 +461,10 @@ mod tests {
             let counts = NeighborCounts::gather(&g, &bm, v);
             let fast = delta_mdl_move(&bm, from, to, &counts);
             let slow = brute_force_delta(&g, &bm, v, to);
-            assert!((fast - slow).abs() < 1e-9, "v={v}: fast {fast} vs slow {slow}");
+            assert!(
+                (fast - slow).abs() < 1e-9,
+                "v={v}: fast {fast} vs slow {slow}"
+            );
         }
     }
 
@@ -469,7 +492,16 @@ mod tests {
     fn merge_delta_matches_brute_force() {
         let g = Graph::from_edges(
             6,
-            &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3), (0, 0)],
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 0),
+                (3, 4),
+                (4, 5),
+                (5, 3),
+                (2, 3),
+                (0, 0),
+            ],
         );
         let bm = Blockmodel::from_assignment(&g, vec![0, 0, 1, 1, 2, 2], 3);
         for r in 0..3u32 {
@@ -500,8 +532,7 @@ mod tests {
         // Merging r into s or s into r yields the same merged model, so the
         // likelihood delta must match.
         let g = ring(9);
-        let bm =
-            Blockmodel::from_assignment(&g, vec![0, 0, 0, 1, 1, 1, 2, 2, 2], 3);
+        let bm = Blockmodel::from_assignment(&g, vec![0, 0, 0, 1, 1, 1, 2, 2, 2], 3);
         for (r, s) in [(0u32, 1u32), (1, 2), (0, 2)] {
             let a = delta_mdl_merge(&bm, r, s);
             let b = delta_mdl_merge(&bm, s, r);

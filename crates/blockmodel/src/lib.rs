@@ -25,7 +25,9 @@ pub mod mdl;
 pub mod model;
 pub mod propose;
 
-pub use delta::{delta_mdl_merge, delta_mdl_move, evaluate_move, MoveEval, MoveScratch, NeighborCounts};
+pub use delta::{
+    delta_mdl_merge, delta_mdl_move, evaluate_move, MoveEval, MoveScratch, NeighborCounts,
+};
 pub use mdl::{dcsbm_entropy_term, log_likelihood_term, Mdl};
 pub use model::{Block, Blockmodel};
 pub use propose::{accept_move, hastings_correction, propose_block, propose_merge_target};

@@ -28,7 +28,10 @@ pub fn log_likelihood_term(b: f64, d_out: f64, d_in: f64) -> f64 {
     if b <= 0.0 {
         0.0
     } else {
-        debug_assert!(d_out > 0.0 && d_in > 0.0, "non-empty cell with zero block degree");
+        debug_assert!(
+            d_out > 0.0 && d_in > 0.0,
+            "non-empty cell with zero block degree"
+        );
         b * (b.ln() - d_out.ln() - d_in.ln())
     }
 }
@@ -70,7 +73,11 @@ pub fn model_complexity(num_vertices: usize, num_edges: u64, num_blocks: usize) 
 pub fn mdl(bm: &Blockmodel, num_vertices: usize, num_edges: u64) -> Mdl {
     let ll = log_likelihood(bm);
     let mc = model_complexity(num_vertices, num_edges, bm.num_blocks());
-    Mdl { log_likelihood: ll, model_complexity: mc, total: mc - ll }
+    Mdl {
+        log_likelihood: ll,
+        model_complexity: mc,
+        total: mc - ll,
+    }
 }
 
 /// MDL of the structure-less null model (all vertices in one block).
@@ -88,14 +95,8 @@ pub fn null_mdl(num_edges: u64) -> f64 {
 /// Change in the model-complexity part of the MDL when the number of blocks
 /// goes from `c` to `c_new` (used to turn a merge's likelihood delta into a
 /// full MDL delta).
-pub fn model_complexity_delta(
-    num_vertices: usize,
-    num_edges: u64,
-    c: usize,
-    c_new: usize,
-) -> f64 {
-    model_complexity(num_vertices, num_edges, c_new)
-        - model_complexity(num_vertices, num_edges, c)
+pub fn model_complexity_delta(num_vertices: usize, num_edges: u64, c: usize, c_new: usize) -> f64 {
+    model_complexity(num_vertices, num_edges, c_new) - model_complexity(num_vertices, num_edges, c)
 }
 
 #[cfg(test)]

@@ -35,7 +35,11 @@ impl Blockmodel {
     /// Panics if `assignment.len() != graph.num_vertices()` or a label is
     /// `>= num_blocks`.
     pub fn from_assignment(graph: &Graph, assignment: Vec<Block>, num_blocks: usize) -> Self {
-        assert_eq!(assignment.len(), graph.num_vertices(), "assignment length mismatch");
+        assert_eq!(
+            assignment.len(),
+            graph.num_vertices(),
+            "assignment length mismatch"
+        );
         let mut model = Self::empty(num_blocks, assignment);
         model.fill_from_graph(graph);
         model
@@ -62,7 +66,11 @@ impl Blockmodel {
 
     fn fill_from_graph(&mut self, graph: &Graph) {
         for &b in &self.assignment {
-            assert!((b as usize) < self.num_blocks, "label {b} >= num_blocks {}", self.num_blocks);
+            assert!(
+                (b as usize) < self.num_blocks,
+                "label {b} >= num_blocks {}",
+                self.num_blocks
+            );
             self.block_sizes[b as usize] += 1;
         }
         for (u, v, w) in graph.edges() {
@@ -174,14 +182,12 @@ impl Blockmodel {
             })
             .collect();
 
-        let mut merged = partials
-            .pop()
-            .unwrap_or_else(|| Partial {
-                rows: vec![SparseRow::new(); num_blocks],
-                d_out: vec![0; num_blocks],
-                d_in: vec![0; num_blocks],
-                sizes: vec![0; num_blocks],
-            });
+        let mut merged = partials.pop().unwrap_or_else(|| Partial {
+            rows: vec![SparseRow::new(); num_blocks],
+            d_out: vec![0; num_blocks],
+            d_in: vec![0; num_blocks],
+            sizes: vec![0; num_blocks],
+        });
         for p in partials {
             for (r, row) in p.rows.iter().enumerate() {
                 merged.rows[r].absorb(row);
@@ -397,7 +403,10 @@ impl Blockmodel {
                 return Err(format!("col {r} mismatch"));
             }
             if self.d_out[r] != fresh.d_out[r] {
-                return Err(format!("d_out[{r}] {} != {}", self.d_out[r], fresh.d_out[r]));
+                return Err(format!(
+                    "d_out[{r}] {} != {}",
+                    self.d_out[r], fresh.d_out[r]
+                ));
             }
             if self.d_in[r] != fresh.d_in[r] {
                 return Err(format!("d_in[{r}] {} != {}", self.d_in[r], fresh.d_in[r]));

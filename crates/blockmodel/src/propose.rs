@@ -22,11 +22,7 @@ use hsbp_graph::{Graph, Vertex};
 
 /// Draw a uniformly random incident edge of `v` (weight-aware) and return
 /// the neighbour. `None` if `v` has no incident edges.
-fn random_incident_neighbor(
-    graph: &Graph,
-    v: Vertex,
-    rng: &mut SplitMix64,
-) -> Option<Vertex> {
+fn random_incident_neighbor(graph: &Graph, v: Vertex, rng: &mut SplitMix64) -> Option<Vertex> {
     let arity = graph.incident_arity(v);
     if arity == 0 {
         return None;
@@ -195,7 +191,10 @@ mod tests {
                 own += 1;
             }
         }
-        assert!(own > trials / 2, "only {own}/{trials} proposals named the home block");
+        assert!(
+            own > trials / 2,
+            "only {own}/{trials} proposals named the home block"
+        );
     }
 
     #[test]
@@ -225,7 +224,10 @@ mod tests {
 
     #[test]
     fn accept_always_takes_clear_improvements() {
-        let eval = MoveEval { delta_mdl: -10.0, hastings: 1.0 };
+        let eval = MoveEval {
+            delta_mdl: -10.0,
+            hastings: 1.0,
+        };
         let mut rng = SplitMix64::new(1);
         for _ in 0..100 {
             assert!(accept_move(&eval, 3.0, &mut rng));
@@ -234,16 +236,24 @@ mod tests {
 
     #[test]
     fn accept_rejects_terrible_moves_usually() {
-        let eval = MoveEval { delta_mdl: 50.0, hastings: 1.0 };
+        let eval = MoveEval {
+            delta_mdl: 50.0,
+            hastings: 1.0,
+        };
         let mut rng = SplitMix64::new(2);
-        let accepted = (0..1000).filter(|_| accept_move(&eval, 3.0, &mut rng)).count();
+        let accepted = (0..1000)
+            .filter(|_| accept_move(&eval, 3.0, &mut rng))
+            .count();
         assert_eq!(accepted, 0, "exp(-150) acceptance should never fire");
     }
 
     #[test]
     fn accept_rate_matches_probability() {
         // delta such that exp(-beta*delta) = 0.5 at beta = 1.
-        let eval = MoveEval { delta_mdl: std::f64::consts::LN_2, hastings: 1.0 };
+        let eval = MoveEval {
+            delta_mdl: std::f64::consts::LN_2,
+            hastings: 1.0,
+        };
         let mut rng = SplitMix64::new(9);
         let n = 40_000;
         let accepted = (0..n).filter(|_| accept_move(&eval, 1.0, &mut rng)).count();
@@ -254,9 +264,15 @@ mod tests {
     #[test]
     fn accept_extreme_delta_no_panic() {
         let mut rng = SplitMix64::new(4);
-        let good = MoveEval { delta_mdl: -1e9, hastings: 1.0 };
+        let good = MoveEval {
+            delta_mdl: -1e9,
+            hastings: 1.0,
+        };
         assert!(accept_move(&good, 3.0, &mut rng));
-        let bad = MoveEval { delta_mdl: 1e9, hastings: 1.0 };
+        let bad = MoveEval {
+            delta_mdl: 1e9,
+            hastings: 1.0,
+        };
         assert!(!accept_move(&bad, 3.0, &mut rng));
     }
 

@@ -237,7 +237,9 @@ impl CumulativeSampler {
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let x = rng.gen::<f64>() * self.total;
         // partition_point returns the first index with cumulative > x.
-        self.cumulative.partition_point(|&c| c <= x).min(self.cumulative.len() - 1)
+        self.cumulative
+            .partition_point(|&c| c <= x)
+            .min(self.cumulative.len() - 1)
     }
 }
 

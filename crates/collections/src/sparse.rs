@@ -24,7 +24,10 @@ impl SparseRow {
 
     /// Empty row with capacity for `cap` non-zero entries.
     pub fn with_capacity(cap: usize) -> Self {
-        Self { entries: FxHashMap::with_capacity_and_hasher(cap, Default::default()), total: 0 }
+        Self {
+            entries: FxHashMap::with_capacity_and_hasher(cap, Default::default()),
+            total: 0,
+        }
     }
 
     /// Count stored for `key` (zero if absent).

@@ -101,7 +101,11 @@ impl Default for SbpConfig {
 impl SbpConfig {
     /// Convenience constructor: given variant and seed, defaults elsewhere.
     pub fn new(variant: Variant, seed: u64) -> Self {
-        Self { variant, seed, ..Default::default() }
+        Self {
+            variant,
+            seed,
+            ..Default::default()
+        }
     }
 
     /// Validate invariants; called by the driver.
@@ -149,7 +153,12 @@ mod tests {
     #[test]
     fn defaults_are_valid() {
         assert!(SbpConfig::default().validate().is_ok());
-        for v in [Variant::Metropolis, Variant::AsyncGibbs, Variant::Hybrid, Variant::ExactAsync] {
+        for v in [
+            Variant::Metropolis,
+            Variant::AsyncGibbs,
+            Variant::Hybrid,
+            Variant::ExactAsync,
+        ] {
             assert!(SbpConfig::new(v, 3).validate().is_ok());
         }
     }

@@ -59,15 +59,20 @@ pub fn run_sbp(graph: &Graph, cfg: &SbpConfig) -> SbpResult {
         return SbpResult {
             assignment: Vec::new(),
             num_blocks: 0,
-            mdl: mdl::Mdl { log_likelihood: 0.0, model_complexity: 0.0, total: 0.0 },
+            mdl: mdl::Mdl {
+                log_likelihood: 0.0,
+                model_complexity: 0.0,
+                total: 0.0,
+            },
             normalized_mdl: f64::NAN,
             trajectory: Vec::new(),
             stats,
         };
     }
 
-    let mut bm =
-        stats.timer.time(Phase::Other, || Blockmodel::singleton_partition(graph));
+    let mut bm = stats
+        .timer
+        .time(Phase::Other, || Blockmodel::singleton_partition(graph));
     let singleton_mdl = mdl::mdl(&bm, n, graph.total_weight()).total;
 
     // Search state: `upper` starts at the fully-split partition.
@@ -152,8 +157,7 @@ pub fn run_sbp(graph: &Graph, cfg: &SbpConfig) -> SbpResult {
                 let displaced = mid.take().unwrap();
                 if evaluated.num_blocks < displaced.num_blocks {
                     // We improved while moving left: old mid bounds us above.
-                    if displaced.num_blocks < upper.as_ref().map_or(usize::MAX, |u| u.num_blocks)
-                    {
+                    if displaced.num_blocks < upper.as_ref().map_or(usize::MAX, |u| u.num_blocks) {
                         upper = Some(displaced);
                     }
                 } else if displaced.num_blocks > lower.as_ref().map_or(0, |l| l.num_blocks) {
@@ -163,11 +167,16 @@ pub fn run_sbp(graph: &Graph, cfg: &SbpConfig) -> SbpResult {
             }
             Some(m) => {
                 if evaluated.num_blocks < m.num_blocks {
-                    if lower.as_ref().is_none_or(|l| evaluated.num_blocks > l.num_blocks) {
+                    if lower
+                        .as_ref()
+                        .is_none_or(|l| evaluated.num_blocks > l.num_blocks)
+                    {
                         lower = Some(evaluated);
                     }
                 } else if evaluated.num_blocks > m.num_blocks
-                    && upper.as_ref().is_none_or(|u| evaluated.num_blocks < u.num_blocks)
+                    && upper
+                        .as_ref()
+                        .is_none_or(|u| evaluated.num_blocks < u.num_blocks)
                 {
                     upper = Some(evaluated);
                 }
@@ -188,7 +197,11 @@ pub fn run_sbp(graph: &Graph, cfg: &SbpConfig) -> SbpResult {
         assignment: best.assignment,
         num_blocks: best.num_blocks,
         mdl: final_mdl,
-        normalized_mdl: if null == 0.0 { f64::NAN } else { final_mdl.total / null },
+        normalized_mdl: if null == 0.0 {
+            f64::NAN
+        } else {
+            final_mdl.total / null
+        },
         trajectory,
         stats,
     }

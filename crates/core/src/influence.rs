@@ -18,7 +18,10 @@ use hsbp_graph::{Graph, Vertex};
 ///
 /// Near `fraction` for regular graphs; near 1 for extreme hub graphs.
 pub fn degree_concentration(graph: &Graph, fraction: f64) -> f64 {
-    assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&fraction),
+        "fraction must be in [0, 1]"
+    );
     let n = graph.num_vertices();
     if n == 0 {
         return 0.0;
@@ -49,8 +52,11 @@ pub fn degree_gini(graph: &Graph) -> f64 {
     }
     // Gini = (2·Σ i·x_i)/(n·Σ x_i) − (n+1)/n with 1-based ranks of the
     // ascending-sorted values.
-    let weighted: f64 =
-        degrees.iter().enumerate().map(|(i, &d)| (i as f64 + 1.0) * d as f64).sum();
+    let weighted: f64 = degrees
+        .iter()
+        .enumerate()
+        .map(|(i, &d)| (i as f64 + 1.0) * d as f64)
+        .sum();
     (2.0 * weighted) / (n as f64 * total as f64) - (n as f64 + 1.0) / n as f64
 }
 
@@ -96,7 +102,10 @@ mod tests {
     }
 
     fn ring(n: u32) -> Graph {
-        Graph::from_edges(n as usize, &(0..n).map(|v| (v, (v + 1) % n)).collect::<Vec<_>>())
+        Graph::from_edges(
+            n as usize,
+            &(0..n).map(|v| (v, (v + 1) % n)).collect::<Vec<_>>(),
+        )
     }
 
     #[test]
@@ -151,8 +160,7 @@ mod tests {
         // one.
         use hsbp_generator::table2_by_id;
         let web = hsbp_generator::generate(table2_by_id("cnr-2000").unwrap().config(0.01));
-        let p2p =
-            hsbp_generator::generate(table2_by_id("p2p-Gnutella31").unwrap().config(0.02));
+        let p2p = hsbp_generator::generate(table2_by_id("p2p-Gnutella31").unwrap().config(0.02));
         let web_c = degree_concentration(&web.graph, 0.15);
         let p2p_c = degree_concentration(&p2p.graph, 0.15);
         assert!(

@@ -70,7 +70,10 @@ pub(crate) fn sweep(
         })
         .collect();
 
-    let mut counters = SweepCounters { proposals: n as u64, accepted: 0 };
+    let mut counters = SweepCounters {
+        proposals: n as u64,
+        accepted: 0,
+    };
     let mut new_assignment = bm.assignment_snapshot();
     for (start, labels, accepted) in shard_results {
         counters.accepted += accepted;
@@ -83,7 +86,9 @@ pub(crate) fn sweep(
     // memory-bandwidth objection — and the usual rebuild follows.
     stats.sim_mcmc.add_parallel(parallel_costs);
     let clone_cost = cfg.cost_model.rebuild_cost(graph.num_edges());
-    stats.sim_mcmc.add_parallel_uniform(workers as f64 * clone_cost, 0.0);
+    stats
+        .sim_mcmc
+        .add_parallel_uniform(workers as f64 * clone_cost, 0.0);
     stats.sim_mcmc.add_parallel_uniform(
         cfg.cost_model.rebuild_cost(graph.num_edges()),
         cfg.cost_model.rebuild_serial_fraction,

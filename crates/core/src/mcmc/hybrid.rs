@@ -11,7 +11,10 @@ use super::async_gibbs::evaluate_vertex;
 use super::SweepCounters;
 use crate::config::SbpConfig;
 use crate::stats::RunStats;
-use hsbp_blockmodel::{evaluate_move, propose::accept_move, propose_block, Block, Blockmodel, MoveScratch, NeighborCounts};
+use hsbp_blockmodel::{
+    evaluate_move, propose::accept_move, propose_block, Block, Blockmodel, MoveScratch,
+    NeighborCounts,
+};
 use hsbp_collections::SplitMix64;
 use hsbp_graph::{Graph, Vertex};
 use rayon::prelude::*;

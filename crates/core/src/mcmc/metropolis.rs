@@ -6,9 +6,11 @@
 use super::SweepCounters;
 use crate::config::SbpConfig;
 use crate::stats::RunStats;
-use hsbp_blockmodel::{evaluate_move, propose::accept_move, propose_block, Blockmodel, MoveScratch, NeighborCounts};
-use hsbp_graph::{Graph, Vertex};
+use hsbp_blockmodel::{
+    evaluate_move, propose::accept_move, propose_block, Blockmodel, MoveScratch, NeighborCounts,
+};
 use hsbp_collections::SplitMix64;
+use hsbp_graph::{Graph, Vertex};
 
 pub(crate) fn sweep(
     graph: &Graph,

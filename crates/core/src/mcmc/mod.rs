@@ -34,7 +34,9 @@ pub struct McmcOutcome {
 /// Per-vertex proposal costs in a fixed iteration order (static across the
 /// sweeps of one phase, since proposal cost depends only on degree).
 fn proposal_costs(graph: &Graph, order: impl Iterator<Item = Vertex>, cfg: &SbpConfig) -> Vec<f64> {
-    order.map(|v| cfg.cost_model.proposal_cost(graph.incident_arity(v))).collect()
+    order
+        .map(|v| cfg.cost_model.proposal_cost(graph.incident_arity(v)))
+        .collect()
 }
 
 /// Run the MCMC phase of the configured variant on `bm` until convergence.
@@ -75,8 +77,7 @@ pub fn run_mcmc_phase(
     // History of past models for the distributed-staleness emulation (only
     // populated when it is actually consulted).
     let staleness = cfg.asbp_staleness.max(1);
-    let use_stale =
-        cfg.variant == Variant::AsyncGibbs && staleness > 1 && cfg.asbp_batches == 1;
+    let use_stale = cfg.variant == Variant::AsyncGibbs && staleness > 1 && cfg.asbp_batches == 1;
     let mut history: std::collections::VecDeque<Blockmodel> = std::collections::VecDeque::new();
     if use_stale {
         history.push_back(bm.clone());
@@ -88,8 +89,10 @@ pub fn run_mcmc_phase(
             Variant::AsyncGibbs if use_stale => {
                 // Evaluate against the oldest retained model (at most
                 // `staleness` sweeps old), then retire it.
-                let eval_model =
-                    history.front().expect("history seeded before the loop").clone();
+                let eval_model = history
+                    .front()
+                    .expect("history seeded before the loop")
+                    .clone();
                 let counters = async_gibbs::sweep_stale(
                     graph,
                     bm,
@@ -145,7 +148,11 @@ pub fn run_mcmc_phase(
         }
     }
 
-    McmcOutcome { sweeps, mdl: previous, converged }
+    McmcOutcome {
+        sweeps,
+        mdl: previous,
+        converged,
+    }
 }
 
 #[cfg(test)]
@@ -160,7 +167,9 @@ mod tests {
         let mut edges = Vec::new();
         let mut state = seed;
         let mut rnd = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as u32
         };
         for u in 0..n {
@@ -189,7 +198,11 @@ mod tests {
             let wrong: Vec<u32> = (0..g.num_vertices() as u32).map(|v| v % 3).collect();
             let mut bm = Blockmodel::from_assignment(&g, wrong, 3);
             let before = mdl::mdl(&bm, g.num_vertices(), g.total_weight()).total;
-            let cfg = SbpConfig { variant, seed: 5, ..Default::default() };
+            let cfg = SbpConfig {
+                variant,
+                seed: 5,
+                ..Default::default()
+            };
             let mut stats = RunStats::new(&cfg);
             let out = run_mcmc_phase(&g, &mut bm, &cfg, 0, &mut stats);
             assert!(out.sweeps >= 1);
@@ -211,7 +224,12 @@ mod tests {
             let (g, truth) = planted(25, 4, 23);
             let mut bm = Blockmodel::from_assignment(&g, truth.clone(), 4);
             let truth_mdl = mdl::mdl(&bm, g.num_vertices(), g.total_weight()).total;
-            let cfg = SbpConfig { variant, seed: 9, max_sweeps: 20, ..Default::default() };
+            let cfg = SbpConfig {
+                variant,
+                seed: 9,
+                max_sweeps: 20,
+                ..Default::default()
+            };
             let mut stats = RunStats::new(&cfg);
             let out = run_mcmc_phase(&g, &mut bm, &cfg, 0, &mut stats);
             assert!(
@@ -227,7 +245,12 @@ mod tests {
         for variant in [Variant::Metropolis, Variant::AsyncGibbs, Variant::Hybrid] {
             let (g, _) = planted(20, 3, 31);
             let wrong: Vec<u32> = (0..g.num_vertices() as u32).map(|v| v % 3).collect();
-            let cfg = SbpConfig { variant, seed: 77, max_sweeps: 5, ..Default::default() };
+            let cfg = SbpConfig {
+                variant,
+                seed: 77,
+                max_sweeps: 5,
+                ..Default::default()
+            };
             let run = |()| {
                 let mut bm = Blockmodel::from_assignment(&g, wrong.clone(), 3);
                 let mut stats = RunStats::new(&cfg);
@@ -261,7 +284,12 @@ mod tests {
         let (g, _) = planted(25, 3, 51);
         let wrong: Vec<u32> = (0..g.num_vertices() as u32).map(|v| v % 3).collect();
         for variant in [Variant::Metropolis, Variant::AsyncGibbs, Variant::Hybrid] {
-            let cfg = SbpConfig { variant, seed: 3, max_sweeps: 4, ..Default::default() };
+            let cfg = SbpConfig {
+                variant,
+                seed: 3,
+                max_sweeps: 4,
+                ..Default::default()
+            };
             let mut bm = Blockmodel::from_assignment(&g, wrong.clone(), 3);
             let mut stats = RunStats::new(&cfg);
             run_mcmc_phase(&g, &mut bm, &cfg, 0, &mut stats);
@@ -283,7 +311,13 @@ mod tests {
         let wrong: Vec<u32> = (0..g.num_vertices() as u32).map(|v| v % 3).collect();
         let mut times = std::collections::HashMap::new();
         for variant in [Variant::Metropolis, Variant::AsyncGibbs] {
-            let cfg = SbpConfig { variant, seed: 3, max_sweeps: 3, mcmc_threshold: 0.0, ..Default::default() };
+            let cfg = SbpConfig {
+                variant,
+                seed: 3,
+                max_sweeps: 3,
+                mcmc_threshold: 0.0,
+                ..Default::default()
+            };
             let mut bm = Blockmodel::from_assignment(&g, wrong.clone(), 3);
             let mut stats = RunStats::new(&cfg);
             run_mcmc_phase(&g, &mut bm, &cfg, 0, &mut stats);

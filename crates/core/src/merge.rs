@@ -116,7 +116,10 @@ pub fn merge_phase(
             break; // safety valve; should be unreachable
         }
     }
-    MergeOutcome { merges_applied, num_blocks: bm.num_blocks() }
+    MergeOutcome {
+        merges_applied,
+        num_blocks: bm.num_blocks(),
+    }
 }
 
 #[cfg(test)]
@@ -136,13 +139,20 @@ mod tests {
         for u in 0..n {
             let gu = u / n_per;
             for _ in 0..8 {
-                let v = if rnd() % 100 < 90 { gu * n_per + rnd() % n_per } else { rnd() % n };
+                let v = if rnd() % 100 < 90 {
+                    gu * n_per + rnd() % n_per
+                } else {
+                    rnd() % n
+                };
                 if v != u {
                     edges.push((u, v));
                 }
             }
         }
-        (Graph::from_edges(n as usize, &edges), (0..n).map(|v| v / n_per).collect())
+        (
+            Graph::from_edges(n as usize, &edges),
+            (0..n).map(|v| v / n_per).collect(),
+        )
     }
 
     #[test]
@@ -187,7 +197,10 @@ mod tests {
         // blocks, the result should align well with the planted partition.
         let (g, truth) = planted(12, 4);
         let mut bm = Blockmodel::singleton_partition(&g);
-        let cfg = SbpConfig { seed: 5, ..Default::default() };
+        let cfg = SbpConfig {
+            seed: 5,
+            ..Default::default()
+        };
         let mut stats = RunStats::new(&cfg);
         merge_phase(&g, &mut bm, 4, &cfg, 0, &mut stats);
         // The merged partition must describe the graph far better than a
@@ -210,7 +223,10 @@ mod tests {
     #[test]
     fn merge_is_deterministic() {
         let (g, _) = planted(10, 3);
-        let cfg = SbpConfig { seed: 11, ..Default::default() };
+        let cfg = SbpConfig {
+            seed: 11,
+            ..Default::default()
+        };
         let run = || {
             let mut bm = Blockmodel::singleton_partition(&g);
             let mut stats = RunStats::new(&cfg);
@@ -229,8 +245,6 @@ mod tests {
         merge_phase(&g, &mut bm, 5, &cfg, 0, &mut stats);
         assert!(stats.sim_merge.total_for(1).unwrap() > 0.0);
         // Candidate search is parallel: more threads must not be slower.
-        assert!(
-            stats.sim_merge.total_for(128).unwrap() <= stats.sim_merge.total_for(1).unwrap()
-        );
+        assert!(stats.sim_merge.total_for(128).unwrap() <= stats.sim_merge.total_for(1).unwrap());
     }
 }

@@ -88,7 +88,10 @@ mod tests {
 
     #[test]
     fn sim_time_tracks_config_thread_counts() {
-        let cfg = SbpConfig { sim_thread_counts: vec![1, 3], ..Default::default() };
+        let cfg = SbpConfig {
+            sim_thread_counts: vec![1, 3],
+            ..Default::default()
+        };
         let stats = RunStats::new(&cfg);
         assert!(stats.sim_mcmc_time(3).is_some());
         assert!(stats.sim_mcmc_time(2).is_none());

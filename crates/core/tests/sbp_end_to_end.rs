@@ -56,7 +56,12 @@ fn runs_are_deterministic() {
     for variant in [Variant::Metropolis, Variant::Hybrid] {
         let a = run_sbp(&graph, &SbpConfig::new(variant, 33));
         let b = run_sbp(&graph, &SbpConfig::new(variant, 33));
-        assert_eq!(a.assignment, b.assignment, "{} not deterministic", variant.name());
+        assert_eq!(
+            a.assignment,
+            b.assignment,
+            "{} not deterministic",
+            variant.name()
+        );
         assert_eq!(a.mdl.total, b.mdl.total);
     }
 }
@@ -85,7 +90,10 @@ fn simulated_speedup_ordering_matches_paper() {
         let result = run_sbp(&graph, &SbpConfig::new(variant, 5));
         mcmc_time.insert(
             variant.name(),
-            (result.stats.sim_mcmc_time(1).unwrap(), result.stats.sim_mcmc_time(128).unwrap()),
+            (
+                result.stats.sim_mcmc_time(1).unwrap(),
+                result.stats.sim_mcmc_time(128).unwrap(),
+            ),
         );
     }
     let (sbp_1, sbp_128) = mcmc_time["SBP"];
@@ -98,7 +106,10 @@ fn simulated_speedup_ordering_matches_paper() {
         asbp_speedup > hsbp_speedup,
         "A-SBP speedup {asbp_speedup} should exceed H-SBP {hsbp_speedup}"
     );
-    assert!(hsbp_speedup > 1.0, "H-SBP should still beat serial SBP, got {hsbp_speedup}");
+    assert!(
+        hsbp_speedup > 1.0,
+        "H-SBP should still beat serial SBP, got {hsbp_speedup}"
+    );
     assert!(
         (1.5..30.0).contains(&asbp_speedup),
         "A-SBP speedup {asbp_speedup} outside plausible envelope"
@@ -144,7 +155,10 @@ fn weak_structure_yields_high_normalized_mdl() {
     );
     // And the recovered labels share little information with the "truth".
     let score = nmi(&data.ground_truth, &result.assignment);
-    assert!(score < 0.5, "NMI {score} should be low on a structureless graph");
+    assert!(
+        score < 0.5,
+        "NMI {score} should be low on a structureless graph"
+    );
 }
 
 #[test]
@@ -153,7 +167,10 @@ fn mcmc_dominates_wall_clock() {
     let (graph, _) = strong_graph(5);
     let result = run_sbp(&graph, &SbpConfig::new(Variant::Metropolis, 2));
     let fraction = result.stats.timer.fraction(hsbp_timing::Phase::Mcmc);
-    assert!(fraction > 0.4, "MCMC fraction {fraction} unexpectedly small");
+    assert!(
+        fraction > 0.4,
+        "MCMC fraction {fraction} unexpectedly small"
+    );
 }
 
 #[test]
@@ -185,7 +202,12 @@ fn tiny_graph_handled() {
 #[test]
 fn batched_asbp_end_to_end() {
     let (graph, truth) = strong_graph(6);
-    let cfg = SbpConfig { variant: Variant::AsyncGibbs, asbp_batches: 4, seed: 11, ..Default::default() };
+    let cfg = SbpConfig {
+        variant: Variant::AsyncGibbs,
+        asbp_batches: 4,
+        seed: 11,
+        ..Default::default()
+    };
     let result = run_sbp(&graph, &cfg);
     let score = nmi(&truth, &result.assignment);
     assert!(score > 0.8, "batched A-SBP NMI {score}");

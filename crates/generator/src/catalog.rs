@@ -106,36 +106,324 @@ macro_rules! spec {
 pub fn table1() -> Vec<SyntheticSpec> {
     vec![
         // Group 1: sparse, gamma 2.1.
-        spec!("S1", 198101, 321071, r = 1.0, gamma = 2.1, size_exp = 0.5, min = 1, max = 1000, seed = 101, boost = 4.0, "sparse g1 low-r"),
-        spec!("S2", 199643, 425466, r = 4.0, gamma = 2.1, size_exp = 0.5, min = 1, max = 1000, seed = 102, boost = 4.0, "sparse g1 high-r"),
-        spec!("S3", 197894, 322196, r = 1.0, gamma = 2.1, size_exp = 0.5, min = 1, max = 1000, seed = 103, boost = 4.0, "sparse g1 low-r"),
-        spec!("S4", 199219, 436203, r = 4.0, gamma = 2.1, size_exp = 0.5, min = 1, max = 1000, seed = 104, boost = 4.0, "sparse g1 high-r"),
+        spec!(
+            "S1",
+            198101,
+            321071,
+            r = 1.0,
+            gamma = 2.1,
+            size_exp = 0.5,
+            min = 1,
+            max = 1000,
+            seed = 101,
+            boost = 4.0,
+            "sparse g1 low-r"
+        ),
+        spec!(
+            "S2",
+            199643,
+            425466,
+            r = 4.0,
+            gamma = 2.1,
+            size_exp = 0.5,
+            min = 1,
+            max = 1000,
+            seed = 102,
+            boost = 4.0,
+            "sparse g1 high-r"
+        ),
+        spec!(
+            "S3",
+            197894,
+            322196,
+            r = 1.0,
+            gamma = 2.1,
+            size_exp = 0.5,
+            min = 1,
+            max = 1000,
+            seed = 103,
+            boost = 4.0,
+            "sparse g1 low-r"
+        ),
+        spec!(
+            "S4",
+            199219,
+            436203,
+            r = 4.0,
+            gamma = 2.1,
+            size_exp = 0.5,
+            min = 1,
+            max = 1000,
+            seed = 104,
+            boost = 4.0,
+            "sparse g1 high-r"
+        ),
         // Group 2: dense, gamma 2.1.
-        spec!("S5", 225999, 4463267, r = 1.5, gamma = 2.1, size_exp = 0.5, min = 5, max = 4000, seed = 105, boost = 1.0, "dense g2 low-r"),
-        spec!("S6", 225999, 5864094, r = 2.5, gamma = 2.1, size_exp = 0.5, min = 5, max = 4000, seed = 106, boost = 1.0, "dense g2 high-r"),
-        spec!("S7", 225999, 4536499, r = 1.5, gamma = 2.1, size_exp = 0.5, min = 5, max = 4000, seed = 107, boost = 1.0, "dense g2 low-r"),
-        spec!("S8", 225999, 6327321, r = 2.5, gamma = 2.1, size_exp = 0.5, min = 5, max = 4000, seed = 108, boost = 1.0, "dense g2 high-r"),
+        spec!(
+            "S5",
+            225999,
+            4463267,
+            r = 1.5,
+            gamma = 2.1,
+            size_exp = 0.5,
+            min = 5,
+            max = 4000,
+            seed = 105,
+            boost = 1.0,
+            "dense g2 low-r"
+        ),
+        spec!(
+            "S6",
+            225999,
+            5864094,
+            r = 2.5,
+            gamma = 2.1,
+            size_exp = 0.5,
+            min = 5,
+            max = 4000,
+            seed = 106,
+            boost = 1.0,
+            "dense g2 high-r"
+        ),
+        spec!(
+            "S7",
+            225999,
+            4536499,
+            r = 1.5,
+            gamma = 2.1,
+            size_exp = 0.5,
+            min = 5,
+            max = 4000,
+            seed = 107,
+            boost = 1.0,
+            "dense g2 low-r"
+        ),
+        spec!(
+            "S8",
+            225999,
+            6327321,
+            r = 2.5,
+            gamma = 2.1,
+            size_exp = 0.5,
+            min = 5,
+            max = 4000,
+            seed = 108,
+            boost = 1.0,
+            "dense g2 high-r"
+        ),
         // Group 3: sparse, gamma 2.5.
-        spec!("S9", 197552, 321509, r = 2.0, gamma = 2.5, size_exp = 0.5, min = 1, max = 600, seed = 109, boost = 4.0, "sparse g3 low-r"),
-        spec!("S10", 199564, 425382, r = 3.5, gamma = 2.5, size_exp = 0.5, min = 1, max = 600, seed = 110, boost = 4.0, "sparse g3 high-r"),
-        spec!("S11", 196287, 323076, r = 2.0, gamma = 2.5, size_exp = 0.5, min = 1, max = 600, seed = 111, boost = 4.0, "sparse g3 low-r"),
-        spec!("S12", 199564, 426813, r = 3.5, gamma = 2.5, size_exp = 0.5, min = 1, max = 600, seed = 112, boost = 4.0, "sparse g3 high-r"),
+        spec!(
+            "S9",
+            197552,
+            321509,
+            r = 2.0,
+            gamma = 2.5,
+            size_exp = 0.5,
+            min = 1,
+            max = 600,
+            seed = 109,
+            boost = 4.0,
+            "sparse g3 low-r"
+        ),
+        spec!(
+            "S10",
+            199564,
+            425382,
+            r = 3.5,
+            gamma = 2.5,
+            size_exp = 0.5,
+            min = 1,
+            max = 600,
+            seed = 110,
+            boost = 4.0,
+            "sparse g3 high-r"
+        ),
+        spec!(
+            "S11",
+            196287,
+            323076,
+            r = 2.0,
+            gamma = 2.5,
+            size_exp = 0.5,
+            min = 1,
+            max = 600,
+            seed = 111,
+            boost = 4.0,
+            "sparse g3 low-r"
+        ),
+        spec!(
+            "S12",
+            199564,
+            426813,
+            r = 3.5,
+            gamma = 2.5,
+            size_exp = 0.5,
+            min = 1,
+            max = 600,
+            seed = 112,
+            boost = 4.0,
+            "sparse g3 high-r"
+        ),
         // Group 4: dense, gamma 2.5.
-        spec!("S13", 225999, 4502604, r = 1.5, gamma = 2.5, size_exp = 0.5, min = 5, max = 2500, seed = 113, boost = 1.0, "dense g4 low-r"),
-        spec!("S14", 225999, 5891353, r = 2.5, gamma = 2.5, size_exp = 0.5, min = 5, max = 2500, seed = 114, boost = 1.0, "dense g4 high-r"),
-        spec!("S15", 225999, 4495263, r = 1.5, gamma = 2.5, size_exp = 0.5, min = 5, max = 2500, seed = 115, boost = 1.0, "dense g4 low-r"),
-        spec!("S16", 225999, 6277133, r = 2.5, gamma = 2.5, size_exp = 0.5, min = 5, max = 2500, seed = 116, boost = 1.0, "dense g4 high-r"),
+        spec!(
+            "S13",
+            225999,
+            4502604,
+            r = 1.5,
+            gamma = 2.5,
+            size_exp = 0.5,
+            min = 5,
+            max = 2500,
+            seed = 113,
+            boost = 1.0,
+            "dense g4 low-r"
+        ),
+        spec!(
+            "S14",
+            225999,
+            5891353,
+            r = 2.5,
+            gamma = 2.5,
+            size_exp = 0.5,
+            min = 5,
+            max = 2500,
+            seed = 114,
+            boost = 1.0,
+            "dense g4 high-r"
+        ),
+        spec!(
+            "S15",
+            225999,
+            4495263,
+            r = 1.5,
+            gamma = 2.5,
+            size_exp = 0.5,
+            min = 5,
+            max = 2500,
+            seed = 115,
+            boost = 1.0,
+            "dense g4 low-r"
+        ),
+        spec!(
+            "S16",
+            225999,
+            6277133,
+            r = 2.5,
+            gamma = 2.5,
+            size_exp = 0.5,
+            min = 5,
+            max = 2500,
+            seed = 116,
+            boost = 1.0,
+            "dense g4 high-r"
+        ),
         // Group 5: sparse, gamma 2.9, weakest structure (paper redacts the
         // sparse graphs on which every algorithm fails).
-        spec!("S17", 199285, 322338, r = 0.4, gamma = 2.9, size_exp = 0.5, min = 1, max = 300, seed = 117, boost = 4.0, "sparse g5 low-r"),
-        spec!("S18", 201169, 427949, r = 0.6, gamma = 2.9, size_exp = 0.5, min = 1, max = 300, seed = 118, boost = 4.0, "sparse g5 high-r"),
-        spec!("S19", 198875, 322236, r = 0.4, gamma = 2.9, size_exp = 0.5, min = 1, max = 300, seed = 119, boost = 4.0, "sparse g5 low-r"),
-        spec!("S20", 201506, 447244, r = 0.6, gamma = 2.9, size_exp = 0.5, min = 1, max = 300, seed = 120, boost = 4.0, "sparse g5 high-r"),
+        spec!(
+            "S17",
+            199285,
+            322338,
+            r = 0.4,
+            gamma = 2.9,
+            size_exp = 0.5,
+            min = 1,
+            max = 300,
+            seed = 117,
+            boost = 4.0,
+            "sparse g5 low-r"
+        ),
+        spec!(
+            "S18",
+            201169,
+            427949,
+            r = 0.6,
+            gamma = 2.9,
+            size_exp = 0.5,
+            min = 1,
+            max = 300,
+            seed = 118,
+            boost = 4.0,
+            "sparse g5 high-r"
+        ),
+        spec!(
+            "S19",
+            198875,
+            322236,
+            r = 0.4,
+            gamma = 2.9,
+            size_exp = 0.5,
+            min = 1,
+            max = 300,
+            seed = 119,
+            boost = 4.0,
+            "sparse g5 low-r"
+        ),
+        spec!(
+            "S20",
+            201506,
+            447244,
+            r = 0.6,
+            gamma = 2.9,
+            size_exp = 0.5,
+            min = 1,
+            max = 300,
+            seed = 120,
+            boost = 4.0,
+            "sparse g5 high-r"
+        ),
         // Group 6: dense, gamma 2.9.
-        spec!("S21", 225999, 4481133, r = 1.2, gamma = 2.9, size_exp = 0.5, min = 5, max = 1500, seed = 121, boost = 1.0, "dense g6 low-r"),
-        spec!("S22", 225999, 5896200, r = 2.2, gamma = 2.9, size_exp = 0.5, min = 5, max = 1500, seed = 122, boost = 1.0, "dense g6 high-r"),
-        spec!("S23", 225999, 4523706, r = 1.2, gamma = 2.9, size_exp = 0.5, min = 5, max = 1500, seed = 123, boost = 1.0, "dense g6 low-r"),
-        spec!("S24", 225999, 6247681, r = 2.2, gamma = 2.9, size_exp = 0.5, min = 5, max = 1500, seed = 124, boost = 1.0, "dense g6 high-r"),
+        spec!(
+            "S21",
+            225999,
+            4481133,
+            r = 1.2,
+            gamma = 2.9,
+            size_exp = 0.5,
+            min = 5,
+            max = 1500,
+            seed = 121,
+            boost = 1.0,
+            "dense g6 low-r"
+        ),
+        spec!(
+            "S22",
+            225999,
+            5896200,
+            r = 2.2,
+            gamma = 2.9,
+            size_exp = 0.5,
+            min = 5,
+            max = 1500,
+            seed = 122,
+            boost = 1.0,
+            "dense g6 high-r"
+        ),
+        spec!(
+            "S23",
+            225999,
+            4523706,
+            r = 1.2,
+            gamma = 2.9,
+            size_exp = 0.5,
+            min = 5,
+            max = 1500,
+            seed = 123,
+            boost = 1.0,
+            "dense g6 low-r"
+        ),
+        spec!(
+            "S24",
+            225999,
+            6247681,
+            r = 2.2,
+            gamma = 2.9,
+            size_exp = 0.5,
+            min = 5,
+            max = 1500,
+            seed = 124,
+            boost = 1.0,
+            "dense g6 high-r"
+        ),
     ]
 }
 
@@ -143,10 +431,13 @@ pub fn table1() -> Vec<SyntheticSpec> {
 /// graphs on which all three algorithms fail are dropped, leaving 18).
 pub fn table1_reported() -> Vec<SyntheticSpec> {
     const REPORTED: [&str; 18] = [
-        "S2", "S4", "S5", "S6", "S7", "S8", "S9", "S10", "S11", "S12", "S13", "S14", "S15",
-        "S16", "S21", "S22", "S23", "S24",
+        "S2", "S4", "S5", "S6", "S7", "S8", "S9", "S10", "S11", "S12", "S13", "S14", "S15", "S16",
+        "S21", "S22", "S23", "S24",
     ];
-    table1().into_iter().filter(|s| REPORTED.contains(&s.id)).collect()
+    table1()
+        .into_iter()
+        .filter(|s| REPORTED.contains(&s.id))
+        .collect()
 }
 
 /// Surrogates for the 14 SuiteSparse real-world graphs of Table 2.
@@ -161,20 +452,188 @@ pub fn table1_reported() -> Vec<SyntheticSpec> {
 /// `MDL_norm > 1`); `barth5` is a near-regular finite-element mesh.
 pub fn table2() -> Vec<SyntheticSpec> {
     vec![
-        spec!("rajat01", 6847, 43262, r = 2.0, gamma = 2.5, size_exp = 0.5, min = 2, max = 300, seed = 201, boost = 32.0, "circuit simulation"),
-        spec!("wiki-Vote", 7115, 103689, r = 1.2, gamma = 2.1, size_exp = 0.6, min = 1, max = 900, seed = 202, boost = 32.0, "social (votes)"),
-        spec!("barth5", 15622, 61498, r = 4.0, gamma = 6.0, size_exp = 0.2, min = 3, max = 10, seed = 203, boost = 16.0, "finite-element mesh"),
-        spec!("cit-HepTh", 27770, 352807, r = 1.5, gamma = 2.6, size_exp = 0.4, min = 1, max = 1200, seed = 204, boost = 8.0, "citation"),
-        spec!("p2p-Gnutella31", 62586, 147892, r = 0.15, gamma = 4.0, size_exp = 0.2, min = 1, max = 60, seed = 205, boost = 4.0, "p2p overlay (no community structure)"),
-        spec!("soc-Epinions1", 75879, 508837, r = 1.2, gamma = 2.2, size_exp = 0.6, min = 1, max = 2500, seed = 206, boost = 4.0, "social (trust)"),
-        spec!("soc-Slashdot0902", 82168, 948464, r = 1.2, gamma = 2.2, size_exp = 0.6, min = 1, max = 3000, seed = 207, boost = 4.0, "social"),
-        spec!("cnr-2000", 325557, 3216152, r = 3.0, gamma = 2.0, size_exp = 0.8, min = 1, max = 10000, seed = 208, boost = 1.0, "web crawl"),
-        spec!("amazon0505", 410236, 3356824, r = 2.5, gamma = 2.8, size_exp = 0.4, min = 2, max = 400, seed = 209, boost = 1.0, "co-purchasing"),
-        spec!("higgs-twitter", 456626, 14855842, r = 1.2, gamma = 2.1, size_exp = 0.7, min = 1, max = 20000, seed = 210, boost = 1.0, "social (retweets)"),
-        spec!("Stanford-Berkeley", 683446, 7583376, r = 3.0, gamma = 2.0, size_exp = 0.8, min = 1, max = 15000, seed = 211, boost = 1.0, "web"),
-        spec!("web-BerkStan", 685230, 7600595, r = 3.0, gamma = 2.0, size_exp = 0.8, min = 1, max = 15000, seed = 212, boost = 1.0, "web"),
-        spec!("amazon-2008", 735323, 5158388, r = 2.5, gamma = 2.8, size_exp = 0.4, min = 2, max = 400, seed = 213, boost = 1.0, "book similarity"),
-        spec!("flickr", 820878, 9837214, r = 1.5, gamma = 2.1, size_exp = 0.7, min = 1, max = 12000, seed = 214, boost = 1.0, "social (photos)"),
+        spec!(
+            "rajat01",
+            6847,
+            43262,
+            r = 2.0,
+            gamma = 2.5,
+            size_exp = 0.5,
+            min = 2,
+            max = 300,
+            seed = 201,
+            boost = 32.0,
+            "circuit simulation"
+        ),
+        spec!(
+            "wiki-Vote",
+            7115,
+            103689,
+            r = 1.2,
+            gamma = 2.1,
+            size_exp = 0.6,
+            min = 1,
+            max = 900,
+            seed = 202,
+            boost = 32.0,
+            "social (votes)"
+        ),
+        spec!(
+            "barth5",
+            15622,
+            61498,
+            r = 4.0,
+            gamma = 6.0,
+            size_exp = 0.2,
+            min = 3,
+            max = 10,
+            seed = 203,
+            boost = 16.0,
+            "finite-element mesh"
+        ),
+        spec!(
+            "cit-HepTh",
+            27770,
+            352807,
+            r = 1.5,
+            gamma = 2.6,
+            size_exp = 0.4,
+            min = 1,
+            max = 1200,
+            seed = 204,
+            boost = 8.0,
+            "citation"
+        ),
+        spec!(
+            "p2p-Gnutella31",
+            62586,
+            147892,
+            r = 0.15,
+            gamma = 4.0,
+            size_exp = 0.2,
+            min = 1,
+            max = 60,
+            seed = 205,
+            boost = 4.0,
+            "p2p overlay (no community structure)"
+        ),
+        spec!(
+            "soc-Epinions1",
+            75879,
+            508837,
+            r = 1.2,
+            gamma = 2.2,
+            size_exp = 0.6,
+            min = 1,
+            max = 2500,
+            seed = 206,
+            boost = 4.0,
+            "social (trust)"
+        ),
+        spec!(
+            "soc-Slashdot0902",
+            82168,
+            948464,
+            r = 1.2,
+            gamma = 2.2,
+            size_exp = 0.6,
+            min = 1,
+            max = 3000,
+            seed = 207,
+            boost = 4.0,
+            "social"
+        ),
+        spec!(
+            "cnr-2000",
+            325557,
+            3216152,
+            r = 3.0,
+            gamma = 2.0,
+            size_exp = 0.8,
+            min = 1,
+            max = 10000,
+            seed = 208,
+            boost = 1.0,
+            "web crawl"
+        ),
+        spec!(
+            "amazon0505",
+            410236,
+            3356824,
+            r = 2.5,
+            gamma = 2.8,
+            size_exp = 0.4,
+            min = 2,
+            max = 400,
+            seed = 209,
+            boost = 1.0,
+            "co-purchasing"
+        ),
+        spec!(
+            "higgs-twitter",
+            456626,
+            14855842,
+            r = 1.2,
+            gamma = 2.1,
+            size_exp = 0.7,
+            min = 1,
+            max = 20000,
+            seed = 210,
+            boost = 1.0,
+            "social (retweets)"
+        ),
+        spec!(
+            "Stanford-Berkeley",
+            683446,
+            7583376,
+            r = 3.0,
+            gamma = 2.0,
+            size_exp = 0.8,
+            min = 1,
+            max = 15000,
+            seed = 211,
+            boost = 1.0,
+            "web"
+        ),
+        spec!(
+            "web-BerkStan",
+            685230,
+            7600595,
+            r = 3.0,
+            gamma = 2.0,
+            size_exp = 0.8,
+            min = 1,
+            max = 15000,
+            seed = 212,
+            boost = 1.0,
+            "web"
+        ),
+        spec!(
+            "amazon-2008",
+            735323,
+            5158388,
+            r = 2.5,
+            gamma = 2.8,
+            size_exp = 0.4,
+            min = 2,
+            max = 400,
+            seed = 213,
+            boost = 1.0,
+            "book similarity"
+        ),
+        spec!(
+            "flickr",
+            820878,
+            9837214,
+            r = 1.5,
+            gamma = 2.1,
+            size_exp = 0.7,
+            min = 1,
+            max = 12000,
+            seed = 214,
+            boost = 1.0,
+            "social (photos)"
+        ),
     ]
 }
 
@@ -219,7 +678,9 @@ mod tests {
     fn reported_subset_is_18() {
         let reported = table1_reported();
         assert_eq!(reported.len(), 18);
-        assert!(reported.iter().all(|s| !["S1", "S3", "S17", "S18", "S19", "S20"].contains(&s.id)));
+        assert!(reported
+            .iter()
+            .all(|s| !["S1", "S3", "S17", "S18", "S19", "S20"].contains(&s.id)));
     }
 
     #[test]
@@ -283,6 +744,10 @@ mod tests {
         let spec = table2_by_id("barth5").unwrap();
         let g = generate(spec.config(0.1));
         let stats = hsbp_graph::GraphStats::compute(&g.graph);
-        assert!(stats.max_degree <= 60, "mesh max degree {}", stats.max_degree);
+        assert!(
+            stats.max_degree <= 60,
+            "mesh max degree {}",
+            stats.max_degree
+        );
     }
 }

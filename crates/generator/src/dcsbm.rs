@@ -76,8 +76,9 @@ pub struct GeneratedGraph {
 /// Community sizes proportional to `(k+1)^(−exponent)`, all non-empty.
 fn community_sizes(num_vertices: usize, num_communities: usize, exponent: f64) -> Vec<usize> {
     assert!(num_communities >= 1 && num_communities <= num_vertices);
-    let weights: Vec<f64> =
-        (0..num_communities).map(|k| ((k + 1) as f64).powf(-exponent)).collect();
+    let weights: Vec<f64> = (0..num_communities)
+        .map(|k| ((k + 1) as f64).powf(-exponent))
+        .collect();
     let total: f64 = weights.iter().sum();
     let mut sizes: Vec<usize> = weights
         .iter()
@@ -93,9 +94,15 @@ fn community_sizes(num_vertices: usize, num_communities: usize, exponent: f64) -
     let mut assigned: usize = sizes.iter().sum();
     while assigned > num_vertices {
         // Shrink the largest community above 1.
-        let (idx, _) =
-            sizes.iter().enumerate().max_by_key(|&(_, &s)| s).expect("non-empty sizes");
-        assert!(sizes[idx] > 1, "cannot fit {num_communities} communities in {num_vertices}");
+        let (idx, _) = sizes
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &s)| s)
+            .expect("non-empty sizes");
+        assert!(
+            sizes[idx] > 1,
+            "cannot fit {num_communities} communities in {num_vertices}"
+        );
         sizes[idx] -= 1;
         assigned -= 1;
     }
@@ -134,10 +141,19 @@ pub fn generate(config: DcsbmConfig) -> GeneratedGraph {
     let n = config.num_vertices;
     let c = config.num_communities;
     assert!(n > 0, "num_vertices must be positive");
-    assert!(c >= 1 && c <= n, "need 1 <= num_communities <= num_vertices");
-    assert!(config.within_between_ratio >= 0.0, "ratio r must be non-negative");
+    assert!(
+        c >= 1 && c <= n,
+        "need 1 <= num_communities <= num_vertices"
+    );
+    assert!(
+        config.within_between_ratio >= 0.0,
+        "ratio r must be non-negative"
+    );
     assert!(config.min_degree >= 1 && config.max_degree >= config.min_degree);
-    assert!(config.degree_exponent >= 1.0, "degree exponent must be >= 1");
+    assert!(
+        config.degree_exponent >= 1.0,
+        "degree exponent must be >= 1"
+    );
 
     let mut rng = SplitMix64::new(config.seed);
 
@@ -155,10 +171,24 @@ pub fn generate(config: DcsbmConfig) -> GeneratedGraph {
 
     // 2. Degree propensities.
     let theta_out: Vec<f64> = (0..n)
-        .map(|_| sample_power_law(&mut rng, config.min_degree, config.max_degree, config.degree_exponent))
+        .map(|_| {
+            sample_power_law(
+                &mut rng,
+                config.min_degree,
+                config.max_degree,
+                config.degree_exponent,
+            )
+        })
         .collect();
     let theta_in: Vec<f64> = (0..n)
-        .map(|_| sample_power_law(&mut rng, config.min_degree, config.max_degree, config.degree_exponent))
+        .map(|_| {
+            sample_power_law(
+                &mut rng,
+                config.min_degree,
+                config.max_degree,
+                config.degree_exponent,
+            )
+        })
         .collect();
 
     // Per-community member lists and in-propensity alias tables.
@@ -193,7 +223,10 @@ pub fn generate(config: DcsbmConfig) -> GeneratedGraph {
     seen.reserve(config.target_num_edges);
     let max_retries = 30;
     let mut placed = 0usize;
-    let mut attempts_left = config.target_num_edges.saturating_mul(max_retries).max(1000);
+    let mut attempts_left = config
+        .target_num_edges
+        .saturating_mul(max_retries)
+        .max(1000);
     while placed < config.target_num_edges && attempts_left > 0 {
         attempts_left -= 1;
         let u = source_table.sample(&mut rng) as Vertex;
@@ -222,7 +255,11 @@ pub fn generate(config: DcsbmConfig) -> GeneratedGraph {
         placed += 1;
     }
 
-    GeneratedGraph { graph: builder.build(), ground_truth, config }
+    GeneratedGraph {
+        graph: builder.build(),
+        ground_truth,
+        config,
+    }
 }
 
 #[cfg(test)]
@@ -358,7 +395,9 @@ mod tests {
     #[test]
     fn power_law_gamma_one_log_uniform() {
         let mut rng = SplitMix64::new(9);
-        let samples: Vec<f64> = (0..5000).map(|_| sample_power_law(&mut rng, 1, 100, 1.0)).collect();
+        let samples: Vec<f64> = (0..5000)
+            .map(|_| sample_power_law(&mut rng, 1, 100, 1.0))
+            .collect();
         assert!(samples.iter().all(|&x| (1.0..=100.0).contains(&x)));
         // Median of log-uniform on [1, 100] is 10.
         let mut sorted = samples;
@@ -370,6 +409,10 @@ mod tests {
     #[test]
     #[should_panic]
     fn rejects_more_communities_than_vertices() {
-        generate(DcsbmConfig { num_vertices: 3, num_communities: 5, ..small_config() });
+        generate(DcsbmConfig {
+            num_vertices: 3,
+            num_communities: 5,
+            ..small_config()
+        });
     }
 }

@@ -7,13 +7,13 @@ use proptest::prelude::*;
 
 fn arb_config() -> impl Strategy<Value = DcsbmConfig> {
     (
-        50usize..300,          // vertices
-        1usize..8,             // communities
-        1usize..10,            // edges per vertex
-        0.1f64..5.0,           // ratio r
-        1.5f64..4.0,           // degree exponent
-        1u64..4,               // min degree
-        any::<u64>(),          // seed
+        50usize..300, // vertices
+        1usize..8,    // communities
+        1usize..10,   // edges per vertex
+        0.1f64..5.0,  // ratio r
+        1.5f64..4.0,  // degree exponent
+        1u64..4,      // min degree
+        any::<u64>(), // seed
     )
         .prop_map(|(n, c, epv, r, gamma, min_d, seed)| DcsbmConfig {
             num_vertices: n,

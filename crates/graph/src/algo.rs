@@ -75,7 +75,11 @@ pub fn induced_subgraph(graph: &Graph, keep: &[bool]) -> (Graph, Vec<Option<Vert
 /// graph with no vertices, returns an empty graph.
 pub fn largest_component_subgraph(graph: &Graph) -> (Graph, Vec<Option<Vertex>>) {
     let components = weakly_connected_components(graph);
-    let num = components.iter().copied().max().map_or(0, |m| m as usize + 1);
+    let num = components
+        .iter()
+        .copied()
+        .max()
+        .map_or(0, |m| m as usize + 1);
     if num == 0 {
         return (GraphBuilder::new(0).build(), Vec::new());
     }

@@ -48,14 +48,20 @@ impl Graph {
     #[inline]
     pub fn out_edges(&self, v: Vertex) -> impl Iterator<Item = (Vertex, Weight)> + '_ {
         let range = self.out_offsets[v as usize]..self.out_offsets[v as usize + 1];
-        self.out_targets[range.clone()].iter().copied().zip(self.out_weights[range].iter().copied())
+        self.out_targets[range.clone()]
+            .iter()
+            .copied()
+            .zip(self.out_weights[range].iter().copied())
     }
 
     /// In-neighbours of `v` with weights.
     #[inline]
     pub fn in_edges(&self, v: Vertex) -> impl Iterator<Item = (Vertex, Weight)> + '_ {
         let range = self.in_offsets[v as usize]..self.in_offsets[v as usize + 1];
-        self.in_sources[range.clone()].iter().copied().zip(self.in_weights[range].iter().copied())
+        self.in_sources[range.clone()]
+            .iter()
+            .copied()
+            .zip(self.in_weights[range].iter().copied())
     }
 
     /// Out-neighbour vertex ids only.
@@ -134,7 +140,10 @@ impl Graph {
 
     /// Self-loop weight of `v` (0 if none).
     pub fn self_loop(&self, v: Vertex) -> Weight {
-        self.out_edges(v).filter(|&(t, _)| t == v).map(|(_, w)| w).sum()
+        self.out_edges(v)
+            .filter(|&(t, _)| t == v)
+            .map(|(_, w)| w)
+            .sum()
     }
 
     /// Symmetrised copy: every directed edge `(u,v,w)` also contributes
@@ -202,12 +211,18 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Builder for a graph with `num_vertices` vertices (ids `0..n`).
     pub fn new(num_vertices: usize) -> Self {
-        Self { num_vertices, edges: Vec::new() }
+        Self {
+            num_vertices,
+            edges: Vec::new(),
+        }
     }
 
     /// Builder with capacity for `num_edges` edge insertions.
     pub fn with_capacity(num_vertices: usize, num_edges: usize) -> Self {
-        Self { num_vertices, edges: Vec::with_capacity(num_edges) }
+        Self {
+            num_vertices,
+            edges: Vec::with_capacity(num_edges),
+        }
     }
 
     /// Number of raw (pre-collapse) edge insertions so far.

@@ -21,7 +21,11 @@ pub fn write_dot<W: Write>(
     mut writer: W,
 ) -> std::io::Result<()> {
     if let Some(c) = communities {
-        assert_eq!(c.len(), graph.num_vertices(), "community labels must cover all vertices");
+        assert_eq!(
+            c.len(),
+            graph.num_vertices(),
+            "community labels must cover all vertices"
+        );
     }
     writeln!(writer, "digraph hsbp {{")?;
     writeln!(writer, "  node [style=filled, shape=circle, fontsize=10];")?;

@@ -37,7 +37,10 @@ impl From<std::io::Error> for IoError {
 }
 
 fn parse_err(line: usize, message: impl Into<String>) -> IoError {
-    IoError::Parse { line, message: message.into() }
+    IoError::Parse {
+        line,
+        message: message.into(),
+    }
 }
 
 /// Read a Matrix Market coordinate file as a directed graph.
@@ -63,20 +66,32 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<Graph, IoError> {
             None => return Err(parse_err(lineno, "empty file")),
         }
     };
-    let tokens: Vec<String> = header.split_whitespace().map(|t| t.to_ascii_lowercase()).collect();
+    let tokens: Vec<String> = header
+        .split_whitespace()
+        .map(|t| t.to_ascii_lowercase())
+        .collect();
     if tokens.len() < 5 || !tokens[0].starts_with("%%matrixmarket") {
         return Err(parse_err(lineno, "missing %%MatrixMarket header"));
     }
     if tokens[1] != "matrix" || tokens[2] != "coordinate" {
-        return Err(parse_err(lineno, "only `matrix coordinate` files are supported"));
+        return Err(parse_err(
+            lineno,
+            "only `matrix coordinate` files are supported",
+        ));
     }
     let field = tokens[3].clone();
     if !matches!(field.as_str(), "pattern" | "integer" | "real") {
-        return Err(parse_err(lineno, format!("unsupported field type `{field}`")));
+        return Err(parse_err(
+            lineno,
+            format!("unsupported field type `{field}`"),
+        ));
     }
     let symmetry = tokens[4].clone();
     if !matches!(symmetry.as_str(), "general" | "symmetric") {
-        return Err(parse_err(lineno, format!("unsupported symmetry `{symmetry}`")));
+        return Err(parse_err(
+            lineno,
+            format!("unsupported symmetry `{symmetry}`"),
+        ));
     }
 
     // Size line (after comments).
@@ -126,7 +141,10 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<Graph, IoError> {
             .parse()
             .map_err(|e| parse_err(lineno, format!("bad column index: {e}")))?;
         if u == 0 || v == 0 || u > n || v > n {
-            return Err(parse_err(lineno, format!("index ({u}, {v}) outside 1..={n}")));
+            return Err(parse_err(
+                lineno,
+                format!("index ({u}, {v}) outside 1..={n}"),
+            ));
         }
         let w: Weight = match field.as_str() {
             "pattern" => 1,
@@ -155,7 +173,10 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<Graph, IoError> {
         seen += 1;
     }
     if seen != nnz {
-        return Err(parse_err(lineno, format!("expected {nnz} entries, found {seen}")));
+        return Err(parse_err(
+            lineno,
+            format!("expected {nnz} entries, found {seen}"),
+        ));
     }
     Ok(builder.build())
 }
@@ -164,7 +185,13 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<Graph, IoError> {
 pub fn write_matrix_market<W: Write>(graph: &Graph, mut writer: W) -> std::io::Result<()> {
     writeln!(writer, "%%MatrixMarket matrix coordinate integer general")?;
     writeln!(writer, "% written by hsbp-graph")?;
-    writeln!(writer, "{} {} {}", graph.num_vertices(), graph.num_vertices(), graph.num_edges())?;
+    writeln!(
+        writer,
+        "{} {} {}",
+        graph.num_vertices(),
+        graph.num_vertices(),
+        graph.num_edges()
+    )?;
     for (u, v, w) in graph.edges() {
         writeln!(writer, "{} {} {}", u + 1, v + 1, w)?;
     }
@@ -196,7 +223,9 @@ pub fn read_edge_list<R: Read>(reader: R, num_vertices: Option<usize>) -> Result
             .parse()
             .map_err(|e| parse_err(lineno, format!("bad target: {e}")))?;
         let w: Weight = match parts.next() {
-            Some(tok) => tok.parse().map_err(|e| parse_err(lineno, format!("bad weight: {e}")))?,
+            Some(tok) => tok
+                .parse()
+                .map_err(|e| parse_err(lineno, format!("bad weight: {e}")))?,
             None => 1,
         };
         max_id = max_id.max(u as usize).max(v as usize);
@@ -204,7 +233,10 @@ pub fn read_edge_list<R: Read>(reader: R, num_vertices: Option<usize>) -> Result
     }
     let n = num_vertices.unwrap_or(if edges.is_empty() { 0 } else { max_id + 1 });
     if n <= max_id && !edges.is_empty() {
-        return Err(parse_err(0, format!("num_vertices {n} too small for max id {max_id}")));
+        return Err(parse_err(
+            0,
+            format!("num_vertices {n} too small for max id {max_id}"),
+        ));
     }
     let mut builder = GraphBuilder::with_capacity(n, edges.len());
     for (u, v, w) in edges {
@@ -226,7 +258,9 @@ pub fn write_edge_list<W: Write>(graph: &Graph, mut writer: W) -> std::io::Resul
 pub fn load_path(path: impl AsRef<Path>) -> Result<Graph, IoError> {
     let path = path.as_ref();
     let file = std::fs::File::open(path)?;
-    let ext = path.extension().map(|e| e.to_string_lossy().to_ascii_lowercase());
+    let ext = path
+        .extension()
+        .map(|e| e.to_string_lossy().to_ascii_lowercase());
     match ext.as_deref() {
         Some("mtx") => read_matrix_market(file),
         Some("graph" | "metis") => crate::metis::read_metis(file),
@@ -292,10 +326,10 @@ mod tests {
     #[test]
     fn matrix_market_rejects_bad_header() {
         assert!(read_matrix_market("not a header\n1 1 0\n".as_bytes()).is_err());
-        assert!(read_matrix_market(
-            "%%MatrixMarket matrix array real general\n1 1 0\n".as_bytes()
-        )
-        .is_err());
+        assert!(
+            read_matrix_market("%%MatrixMarket matrix array real general\n1 1 0\n".as_bytes())
+                .is_err()
+        );
     }
 
     #[test]

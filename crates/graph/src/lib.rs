@@ -14,6 +14,8 @@
 //!   characterising the paper's synthetic graphs,
 //! * [`metis`] — METIS graph-file reader/writer (the HPC partitioning
 //!   ecosystem's interchange format),
+//! * [`partition`] — METIS `.part.K` partition-file reader/writer, feeding
+//!   externally computed vertex partitions to the sharded SBP pipeline,
 //! * [`algo`] — weak components and induced subgraphs for preprocessing,
 //! * [`dot`] — GraphViz export with community colouring.
 
@@ -22,9 +24,12 @@ pub mod csr;
 pub mod dot;
 pub mod io;
 pub mod metis;
+pub mod partition;
 pub mod stats;
 
-pub use algo::{induced_subgraph, largest_component_subgraph, num_weak_components, weakly_connected_components};
+pub use algo::{
+    induced_subgraph, largest_component_subgraph, num_weak_components, weakly_connected_components,
+};
 pub use csr::{Graph, GraphBuilder};
 pub use stats::GraphStats;
 

@@ -9,12 +9,15 @@
 //! only edge weights (`fmt % 10 == 1`) affect the topology and are
 //! supported here (vertex weights are parsed and skipped).
 
-use crate::{Graph, GraphBuilder, Vertex, Weight};
 use crate::io::IoError;
+use crate::{Graph, GraphBuilder, Vertex, Weight};
 use std::io::{BufRead, BufReader, Read, Write};
 
 fn parse_err(line: usize, message: impl Into<String>) -> IoError {
-    IoError::Parse { line, message: message.into() }
+    IoError::Parse {
+        line,
+        message: message.into(),
+    }
 }
 
 /// Read a METIS graph file. Each undirected edge `{u, v}` becomes the two
@@ -50,9 +53,15 @@ pub fn read_metis<R: Read>(reader: R) -> Result<Graph, IoError> {
     let fmt = head.get(2).copied().unwrap_or(0);
     let has_edge_weights = fmt % 10 == 1;
     let has_vertex_weights = (fmt / 10) % 10 == 1;
-    let ncon = head.get(3).copied().unwrap_or(u64::from(has_vertex_weights)) as usize;
+    let ncon = head
+        .get(3)
+        .copied()
+        .unwrap_or(u64::from(has_vertex_weights)) as usize;
     if (fmt / 100) % 10 == 1 {
-        return Err(parse_err(lineno, "vertex sizes (fmt=1xx) are not supported"));
+        return Err(parse_err(
+            lineno,
+            "vertex sizes (fmt=1xx) are not supported",
+        ));
     }
 
     let mut builder = GraphBuilder::with_capacity(n, 2 * m);
@@ -71,9 +80,10 @@ pub fn read_metis<R: Read>(reader: R) -> Result<Graph, IoError> {
             }
             return Err(parse_err(lineno, "more adjacency lines than vertices"));
         }
-        let mut tokens = trimmed
-            .split_whitespace()
-            .map(|t| t.parse::<u64>().map_err(|e| parse_err(lineno, format!("bad token: {e}"))));
+        let mut tokens = trimmed.split_whitespace().map(|t| {
+            t.parse::<u64>()
+                .map_err(|e| parse_err(lineno, format!("bad token: {e}")))
+        });
         // Skip vertex weights.
         for _ in 0..ncon {
             if tokens.next().transpose()?.is_none() {
@@ -82,7 +92,10 @@ pub fn read_metis<R: Read>(reader: R) -> Result<Graph, IoError> {
         }
         while let Some(nbr) = tokens.next().transpose()? {
             if nbr == 0 || nbr as usize > n {
-                return Err(parse_err(lineno, format!("neighbour {nbr} outside 1..={n}")));
+                return Err(parse_err(
+                    lineno,
+                    format!("neighbour {nbr} outside 1..={n}"),
+                ));
             }
             let weight: Weight = if has_edge_weights {
                 tokens
@@ -99,7 +112,10 @@ pub fn read_metis<R: Read>(reader: R) -> Result<Graph, IoError> {
         vertex += 1;
     }
     if vertex != n {
-        return Err(parse_err(lineno, format!("expected {n} adjacency lines, got {vertex}")));
+        return Err(parse_err(
+            lineno,
+            format!("expected {n} adjacency lines, got {vertex}"),
+        ));
     }
     if directed_edges != 2 * m {
         return Err(parse_err(
@@ -128,8 +144,14 @@ pub fn write_metis<W: Write>(graph: &Graph, mut writer: W) -> std::io::Result<()
     // reverse direction by re-walking the original graph.
     let merged = builder.build();
     let pair_weight = |u: Vertex, v: Vertex| -> Weight {
-        let fwd = graph.out_edges(u).find(|&(t, _)| t == v).map_or(0, |(_, w)| w);
-        let bwd = graph.out_edges(v).find(|&(t, _)| t == u).map_or(0, |(_, w)| w);
+        let fwd = graph
+            .out_edges(u)
+            .find(|&(t, _)| t == v)
+            .map_or(0, |(_, w)| w);
+        let bwd = graph
+            .out_edges(v)
+            .find(|&(t, _)| t == u)
+            .map_or(0, |(_, w)| w);
         fwd.max(bwd)
     };
     let mut m = 0usize;
@@ -176,9 +198,12 @@ mod tests {
         let g = read_metis(input.as_bytes()).unwrap();
         assert_eq!(g.num_vertices(), 7);
         assert_eq!(g.num_edges(), 22); // 11 undirected = 22 directed
-        // Symmetry: u->v implies v->u.
+                                       // Symmetry: u->v implies v->u.
         for (u, v, _) in g.edges() {
-            assert!(g.out_neighbors(v).contains(&u), "missing reverse of {u}->{v}");
+            assert!(
+                g.out_neighbors(v).contains(&u),
+                "missing reverse of {u}->{v}"
+            );
         }
     }
 
@@ -236,6 +261,28 @@ mod tests {
         let g2 = read_metis(buf.as_slice()).unwrap();
         assert_eq!(g2.num_edges(), 4); // {0,1} and {1,2}, both directions
         assert_eq!(g2.self_loop(2), 0);
+    }
+
+    #[test]
+    fn weighted_header_and_max_merge() {
+        // Asymmetric weights: the writer keeps the max per pair and must
+        // flag edge weights in the header (fmt ending in 1).
+        let mut b = GraphBuilder::new(3);
+        b.add_edge_weighted(0, 1, 2);
+        b.add_edge_weighted(1, 0, 9);
+        b.add_edge_weighted(1, 2, 1);
+        let g = b.build();
+        let mut buf = Vec::new();
+        write_metis(&g, &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(
+            text.lines().next().unwrap().ends_with("001"),
+            "header: {text}"
+        );
+        let g2 = read_metis(buf.as_slice()).unwrap();
+        assert_eq!(g2.out_edges(0).find(|&(v, _)| v == 1).unwrap().1, 9);
+        assert_eq!(g2.out_edges(1).find(|&(v, _)| v == 0).unwrap().1, 9);
+        assert_eq!(g2.out_edges(2).find(|&(v, _)| v == 1).unwrap().1, 1);
     }
 
     #[test]

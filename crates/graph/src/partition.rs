@@ -1,0 +1,133 @@
+//! METIS partition-file (`.part.K`) support.
+//!
+//! `gpmetis graph.metis K` writes `graph.metis.part.K`: one line per vertex,
+//! line `i` holding the 0-based part id of vertex `i-1`. This is the
+//! interchange format for handing an externally computed vertex partition to
+//! the sharded SBP pipeline, and the writer lets partitions computed here be
+//! fed back to METIS tooling.
+
+use crate::io::IoError;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+fn parse_err(line: usize, message: impl Into<String>) -> IoError {
+    IoError::Parse {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Read a METIS `.part.K` file: one part id per line, vertex `i` on line
+/// `i + 1`. Blank lines and `%` comments are skipped (parse errors report
+/// 1-based line numbers, like [`crate::metis::read_metis`]).
+///
+/// Returns the per-vertex part assignment. Part ids may be sparse; callers
+/// that need dense shard indices should compact them (the shard layer does).
+pub fn read_partition<R: Read>(reader: R) -> Result<Vec<u32>, IoError> {
+    let mut parts = Vec::new();
+    let mut lineno = 0usize;
+    for line in BufReader::new(reader).lines() {
+        lineno += 1;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        // METIS writes exactly one id per line; accept (and reject with a
+        // clear message) anything else on the line.
+        let mut tokens = trimmed.split_whitespace();
+        let token = tokens.next().expect("non-empty trimmed line has a token");
+        if tokens.next().is_some() {
+            return Err(parse_err(lineno, "expected one part id per line"));
+        }
+        let part: u32 = token
+            .parse()
+            .map_err(|e| parse_err(lineno, format!("bad part id {token:?}: {e}")))?;
+        parts.push(part);
+    }
+    if parts.is_empty() {
+        return Err(parse_err(lineno, "empty partition file"));
+    }
+    Ok(parts)
+}
+
+/// Read a `.part.K` file from disk; see [`read_partition`].
+pub fn read_partition_file(path: impl AsRef<Path>) -> Result<Vec<u32>, IoError> {
+    read_partition(std::fs::File::open(path)?)
+}
+
+/// Write a vertex partition in METIS `.part.K` layout (one part id per
+/// line, vertex order).
+pub fn write_partition<W: Write>(parts: &[u32], mut writer: W) -> std::io::Result<()> {
+    for &part in parts {
+        writeln!(writer, "{part}")?;
+    }
+    Ok(())
+}
+
+/// Write a `.part.K` file to disk; see [`write_partition`].
+pub fn write_partition_file(parts: &[u32], path: impl AsRef<Path>) -> std::io::Result<()> {
+    write_partition(parts, std::fs::File::create(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_plain_file() {
+        let input = "0\n1\n0\n2\n";
+        assert_eq!(read_partition(input.as_bytes()).unwrap(), vec![0, 1, 0, 2]);
+    }
+
+    #[test]
+    fn skips_comments_and_blanks() {
+        let input = "% produced by gpmetis\n1\n\n 0 \n";
+        assert_eq!(read_partition(input.as_bytes()).unwrap(), vec![1, 0]);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let parts = vec![3, 0, 0, 1, 2, 1];
+        let mut buf = Vec::new();
+        write_partition(&parts, &mut buf).unwrap();
+        assert_eq!(read_partition(buf.as_slice()).unwrap(), parts);
+    }
+
+    #[test]
+    fn error_reports_one_based_line() {
+        let input = "0\n1\nfrog\n";
+        match read_partition(input.as_bytes()) {
+            Err(IoError::Parse { line, message }) => {
+                assert_eq!(line, 3);
+                assert!(message.contains("frog"), "message: {message}");
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_multiple_ids_per_line() {
+        let input = "0 1\n";
+        match read_partition(input.as_bytes()) {
+            Err(IoError::Parse { line, .. }) => assert_eq!(line, 1),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_empty_file() {
+        assert!(read_partition("".as_bytes()).is_err());
+        assert!(read_partition("% only a comment\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("hsbp-partition-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("toy.metis.part.4");
+        let parts = vec![0, 3, 1, 2, 2, 0];
+        write_partition_file(&parts, &path).unwrap();
+        assert_eq!(read_partition_file(&path).unwrap(), parts);
+    }
+}

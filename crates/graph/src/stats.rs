@@ -33,8 +33,10 @@ impl GraphStats {
     /// Compute statistics; degree scans run in parallel.
     pub fn compute(graph: &Graph) -> GraphStats {
         let n = graph.num_vertices();
-        let degrees: Vec<u64> =
-            (0..n as Vertex).into_par_iter().map(|v| graph.degree(v)).collect();
+        let degrees: Vec<u64> = (0..n as Vertex)
+            .into_par_iter()
+            .map(|v| graph.degree(v))
+            .collect();
         let self_loops = (0..n as Vertex)
             .into_par_iter()
             .filter(|&v| graph.self_loop(v) > 0)
@@ -76,7 +78,11 @@ pub fn degree_histogram(graph: &Graph, max_bin: usize) -> Vec<usize> {
 /// Continuous MLE for the exponent of `p(d) ∝ d^−α`:
 /// `α = 1 + n / Σ ln(d_i / (d_min − 0.5))`, over positive degrees.
 pub fn power_law_mle(degrees: &[u64]) -> f64 {
-    let positive: Vec<f64> = degrees.iter().filter(|&&d| d > 0).map(|&d| d as f64).collect();
+    let positive: Vec<f64> = degrees
+        .iter()
+        .filter(|&&d| d > 0)
+        .map(|&d| d as f64)
+        .collect();
     if positive.len() < 2 {
         return f64::NAN;
     }
@@ -116,8 +122,9 @@ pub fn within_between_ratio(graph: &Graph, assignment: &[u32]) -> f64 {
 /// This is the ordering H-SBP uses to pick its influential set `V*`.
 pub fn vertices_by_degree_desc(graph: &Graph) -> Vec<Vertex> {
     let mut order: Vec<Vertex> = (0..graph.num_vertices() as Vertex).collect();
-    let degrees: Vec<u64> =
-        (0..graph.num_vertices() as Vertex).map(|v| graph.degree(v)).collect();
+    let degrees: Vec<u64> = (0..graph.num_vertices() as Vertex)
+        .map(|v| graph.degree(v))
+        .collect();
     order.sort_by_key(|&v| (std::cmp::Reverse(degrees[v as usize]), v));
     order
 }

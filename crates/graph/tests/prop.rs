@@ -1,16 +1,13 @@
 //! Property-based tests for the graph substrate.
 
 use hsbp_graph::io::{read_edge_list, read_matrix_market, write_edge_list, write_matrix_market};
+use hsbp_graph::metis::{read_metis, write_metis};
+use hsbp_graph::partition::{read_partition, write_partition};
 use hsbp_graph::{Graph, GraphBuilder, Vertex};
 use proptest::prelude::*;
 
 fn arb_edges(max_n: u32, max_m: usize) -> impl Strategy<Value = (u32, Vec<(Vertex, Vertex)>)> {
-    (2..max_n).prop_flat_map(move |n| {
-        (
-            Just(n),
-            proptest::collection::vec((0..n, 0..n), 0..max_m),
-        )
-    })
+    (2..max_n).prop_flat_map(move |n| (Just(n), proptest::collection::vec((0..n, 0..n), 0..max_m)))
 }
 
 proptest! {
@@ -85,6 +82,38 @@ proptest! {
             prop_assert_eq!(u.out_degree(v), u.in_degree(v));
         }
         prop_assert!(u.validate().is_ok());
+    }
+
+    /// METIS writer/reader round-trips symmetric weighted graphs exactly
+    /// (the writer emits `fmt = 001` whenever a merged weight exceeds 1).
+    #[test]
+    fn metis_weighted_roundtrip(
+        (n, edges) in arb_edges(20, 60),
+        weights in proptest::collection::vec(1u64..50, 60),
+    ) {
+        // METIS is undirected and loop-free, so build a symmetric loop-free
+        // weighted graph: same weight in both directions, no self-loops.
+        let mut b = GraphBuilder::new(n as usize);
+        for (i, &(u, v)) in edges.iter().enumerate() {
+            if u != v {
+                let w = weights[i % weights.len()];
+                b.add_edge_weighted(u, v, w);
+                b.add_edge_weighted(v, u, w);
+            }
+        }
+        let g = b.build();
+        let mut buf = Vec::new();
+        write_metis(&g, &mut buf).unwrap();
+        let g2 = read_metis(buf.as_slice()).unwrap();
+        prop_assert_eq!(g, g2);
+    }
+
+    /// `.part.K` writer/reader round-trip is the identity.
+    #[test]
+    fn partition_roundtrip(parts in proptest::collection::vec(0u32..8, 1..300)) {
+        let mut buf = Vec::new();
+        write_partition(&parts, &mut buf).unwrap();
+        prop_assert_eq!(read_partition(buf.as_slice()).unwrap(), parts);
     }
 
     /// Weighted duplicate insertion behaves additively.

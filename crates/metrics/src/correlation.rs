@@ -29,7 +29,12 @@ pub fn pearson(x: &[f64], y: &[f64]) -> Correlation {
     assert_eq!(x.len(), y.len(), "paired samples required");
     let n = x.len();
     if n < 2 {
-        return Correlation { r: f64::NAN, r_squared: f64::NAN, p_value: f64::NAN, n };
+        return Correlation {
+            r: f64::NAN,
+            r_squared: f64::NAN,
+            p_value: f64::NAN,
+            n,
+        };
     }
     let nf = n as f64;
     let mean_x = x.iter().sum::<f64>() / nf;
@@ -45,7 +50,12 @@ pub fn pearson(x: &[f64], y: &[f64]) -> Correlation {
         sxy += dx * dy;
     }
     if sxx == 0.0 || syy == 0.0 {
-        return Correlation { r: f64::NAN, r_squared: f64::NAN, p_value: f64::NAN, n };
+        return Correlation {
+            r: f64::NAN,
+            r_squared: f64::NAN,
+            p_value: f64::NAN,
+            n,
+        };
     }
     let r = (sxy / (sxx * syy).sqrt()).clamp(-1.0, 1.0);
     let r_squared = r * r;
@@ -58,7 +68,12 @@ pub fn pearson(x: &[f64], y: &[f64]) -> Correlation {
         let t = r * (df / (1.0 - r_squared)).sqrt();
         regularized_incomplete_beta(df / (df + t * t), df / 2.0, 0.5)
     };
-    Correlation { r, r_squared, p_value, n }
+    Correlation {
+        r,
+        r_squared,
+        p_value,
+        n,
+    }
 }
 
 /// Lanczos approximation of `ln Γ(x)` for `x > 0`.
@@ -100,9 +115,8 @@ pub fn regularized_incomplete_beta(x: f64, a: f64, b: f64) -> f64 {
     if x == 1.0 {
         return 1.0;
     }
-    let front = (ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln()
-        + b * (1.0 - x).ln())
-    .exp();
+    let front =
+        (ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln()).exp();
     // Use the symmetry that keeps the continued fraction convergent.
     if x < (a + 1.0) / (a + b + 2.0) {
         front * beta_cf(x, a, b) / a
@@ -137,8 +151,7 @@ fn beta_cf(x: f64, a: f64, b: f64) -> f64 {
         d = 1.0 / d;
         h *= d * c;
         // Odd step.
-        let numerator =
-            -(a + m_f) * (a + b + m_f) * x / ((a + 2.0 * m_f) * (a + 2.0 * m_f + 1.0));
+        let numerator = -(a + m_f) * (a + b + m_f) * x / ((a + 2.0 * m_f) * (a + 2.0 * m_f + 1.0));
         d = 1.0 + numerator * d;
         if d.abs() < TINY {
             d = TINY;
@@ -258,7 +271,11 @@ mod tests {
     fn strong_noisy_correlation_detected() {
         // y = x + small deterministic perturbation.
         let x: Vec<f64> = (0..30).map(|i| i as f64).collect();
-        let y: Vec<f64> = x.iter().enumerate().map(|(i, &v)| v + ((i % 5) as f64 - 2.0)).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| v + ((i % 5) as f64 - 2.0))
+            .collect();
         let c = pearson(&x, &y);
         assert!(c.r > 0.95);
         assert!(c.p_value < 1e-10);

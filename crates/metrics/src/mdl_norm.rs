@@ -16,7 +16,11 @@ use hsbp_graph::Graph;
 /// Returns `f64::NAN` for an edgeless graph (both numerator and denominator
 /// degenerate to the label-cost-only regime).
 pub fn normalized_mdl(graph: &Graph, assignment: &[u32]) -> f64 {
-    let num_blocks = assignment.iter().copied().max().map_or(1, |m| m as usize + 1);
+    let num_blocks = assignment
+        .iter()
+        .copied()
+        .max()
+        .map_or(1, |m| m as usize + 1);
     let bm = Blockmodel::from_assignment(graph, assignment.to_vec(), num_blocks);
     normalized_mdl_of(graph, &bm)
 }

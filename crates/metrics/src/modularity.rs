@@ -12,7 +12,11 @@ use hsbp_graph::Graph;
 /// Directed modularity of `assignment` on `graph`. Returns 0 for an
 /// edgeless graph.
 pub fn directed_modularity(graph: &Graph, assignment: &[u32]) -> f64 {
-    assert_eq!(assignment.len(), graph.num_vertices(), "assignment length mismatch");
+    assert_eq!(
+        assignment.len(),
+        graph.num_vertices(),
+        "assignment length mismatch"
+    );
     let e = graph.total_weight() as f64;
     if e == 0.0 {
         return 0.0;

@@ -29,7 +29,12 @@ impl Contingency {
             *marginal_x.entry(a).or_insert(0) += 1;
             *marginal_y.entry(b).or_insert(0) += 1;
         }
-        Self { joint, marginal_x, marginal_y, n: x.len() as u64 }
+        Self {
+            joint,
+            marginal_x,
+            marginal_y,
+            n: x.len() as u64,
+        }
     }
 }
 

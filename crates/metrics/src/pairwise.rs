@@ -36,7 +36,11 @@ fn choose2(k: u64) -> f64 {
 /// # Panics
 /// Panics if the slices have different lengths.
 pub fn pairwise_scores(truth: &[u32], detected: &[u32]) -> PairwiseScores {
-    assert_eq!(truth.len(), detected.len(), "assignments must cover the same vertices");
+    assert_eq!(
+        truth.len(),
+        detected.len(),
+        "assignments must cover the same vertices"
+    );
     let mut joint: FxHashMap<(u32, u32), u64> = FxHashMap::default();
     let mut truth_sizes: FxHashMap<u32, u64> = FxHashMap::default();
     let mut detected_sizes: FxHashMap<u32, u64> = FxHashMap::default();
@@ -49,14 +53,26 @@ pub fn pairwise_scores(truth: &[u32], detected: &[u32]) -> PairwiseScores {
     let tp: f64 = joint.values().map(|&c| choose2(c)).sum();
     let truth_pairs: f64 = truth_sizes.values().map(|&c| choose2(c)).sum();
     let detected_pairs: f64 = detected_sizes.values().map(|&c| choose2(c)).sum();
-    let precision = if detected_pairs == 0.0 { 1.0 } else { tp / detected_pairs };
-    let recall = if truth_pairs == 0.0 { 1.0 } else { tp / truth_pairs };
+    let precision = if detected_pairs == 0.0 {
+        1.0
+    } else {
+        tp / detected_pairs
+    };
+    let recall = if truth_pairs == 0.0 {
+        1.0
+    } else {
+        tp / truth_pairs
+    };
     let f1 = if precision + recall == 0.0 {
         0.0
     } else {
         2.0 * precision * recall / (precision + recall)
     };
-    PairwiseScores { precision, recall, f1 }
+    PairwiseScores {
+        precision,
+        recall,
+        f1,
+    }
 }
 
 #[cfg(test)]

@@ -3,8 +3,8 @@
 
 use hsbp_graph::Graph;
 use hsbp_metrics::{
-    adjusted_rand_index, directed_modularity, entropy, mutual_information, nmi,
-    pairwise_scores, pearson,
+    adjusted_rand_index, directed_modularity, entropy, mutual_information, nmi, pairwise_scores,
+    pearson,
 };
 use proptest::prelude::*;
 

@@ -1,0 +1,181 @@
+//! Sharded divide-and-conquer stochastic block partitioning.
+//!
+//! The paper parallelises the MCMC phase *inside* one shared-memory
+//! blockmodel; this crate implements the next step its authors take in
+//! *Exact Distributed Stochastic Block Partitioning* (arXiv:2305.18663),
+//! following the divide-and-conquer recipe of Roy & Atchadé
+//! (arXiv:1610.09724):
+//!
+//! 1. **Partition** ([`partition`]): split the vertex set into `k` shards —
+//!    round-robin, degree-balanced greedy, or an external METIS `.part.K`
+//!    file — producing per-shard induced subgraphs, local↔global vertex-id
+//!    translation tables, and cut-edge accounting.
+//! 2. **Per-shard SBP** ([`runner`]): run the existing [`hsbp_core::run_sbp`]
+//!    on every shard in parallel (rayon), emulating distributed ranks
+//!    through `hsbp-timing`'s simulated cost model so strong-scaling curves
+//!    can be reported from a single-core host. Shards deliberately
+//!    *over-partition* — their agglomerative search stops at ~`√n`
+//!    sub-blocks — because a shard only sees `~1/k` of the edges and would
+//!    underfit if allowed to merge all the way down.
+//! 3. **Stitch** ([`stitch`]): reassemble a global
+//!    [`hsbp_blockmodel::Blockmodel`] from the disjoint per-shard block
+//!    assignments, then finish the agglomerative search globally: the
+//!    driver's golden-section bracket over the block count, warm-started
+//!    from the stitched union instead of the singleton partition, with
+//!    [`hsbp_core::merge_phase`] fusing shard-boundary blocks and a short
+//!    full-graph H-SBP finetune after every merge so cut edges can pull
+//!    mis-sharded vertices across shard boundaries.
+//!
+//! Accuracy caveat: every edge between shards is invisible to the per-shard
+//! runs, so quality degrades as the cut fraction grows. Degree-balanced or
+//! METIS partitions keep the cut (and the error) much smaller than
+//! round-robin on graphs with community structure; [`ShardedRun`] reports
+//! the cut fraction so callers can judge.
+//!
+//! ```
+//! use hsbp_shard::{run_sharded_sbp, ShardConfig};
+//! use hsbp_generator::{generate, DcsbmConfig};
+//!
+//! let data = generate(DcsbmConfig { num_vertices: 300, num_communities: 4,
+//!     target_num_edges: 2400, seed: 11, ..Default::default() });
+//! let result = run_sharded_sbp(&data.graph, &ShardConfig {
+//!     num_shards: 2, ..Default::default() });
+//! assert_eq!(result.assignment.len(), 300);
+//! assert!(result.num_blocks >= 1);
+//! ```
+
+pub mod partition;
+pub mod runner;
+pub mod stitch;
+
+use hsbp_core::{SbpConfig, SbpResult, Variant};
+use hsbp_graph::Graph;
+
+pub use partition::{partition_graph, PartitionStrategy, Shard, ShardPlan};
+pub use runner::{run_shards, EmulatedScaling};
+pub use stitch::{stitch, StitchReport};
+
+/// Configuration of a sharded run.
+#[derive(Debug, Clone)]
+pub struct ShardConfig {
+    /// Number of shards (emulated distributed ranks). Ignored when
+    /// `strategy` carries its own part count ([`PartitionStrategy::FromParts`]).
+    pub num_shards: usize,
+    /// How vertices are assigned to shards.
+    pub strategy: PartitionStrategy,
+    /// Per-shard SBP configuration (also the base for the stitch phase).
+    /// The per-shard seed is derived from `sbp.seed` and the shard index.
+    pub sbp: SbpConfig,
+    /// MCMC variant of the full-graph finetune after stitching.
+    pub finetune_variant: Variant,
+    /// Sweep cap of each finetune phase. Each phase still stops early at
+    /// `sbp.mcmc_threshold`, so this is a safety cap, not a target; it only
+    /// needs to be large enough for boundary vertices to cross over.
+    pub finetune_sweeps: usize,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        Self {
+            num_shards: 4,
+            strategy: PartitionStrategy::DegreeBalanced,
+            sbp: SbpConfig::default(),
+            finetune_variant: Variant::Hybrid,
+            finetune_sweeps: 20,
+        }
+    }
+}
+
+impl ShardConfig {
+    /// Convenience constructor: shard count and seed, defaults elsewhere.
+    pub fn new(num_shards: usize, seed: u64) -> Self {
+        Self {
+            num_shards,
+            sbp: SbpConfig {
+                seed,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    /// Validate invariants; called by [`run_sharded_sbp`].
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_shards == 0 {
+            return Err("num_shards must be at least 1".into());
+        }
+        if self.finetune_sweeps == 0 {
+            return Err("finetune_sweeps must be at least 1".into());
+        }
+        self.sbp.validate()
+    }
+}
+
+/// Everything a sharded run produced, beyond the final [`SbpResult`].
+#[derive(Debug, Clone)]
+pub struct ShardedRun {
+    /// The stitched, finetuned global partition.
+    pub result: SbpResult,
+    /// Vertex count, edge count and found block count of every shard.
+    pub shard_summaries: Vec<ShardSummary>,
+    /// Cut-edge fraction of the partition (directed edges crossing shards
+    /// over total directed edges).
+    pub cut_fraction: f64,
+    /// Emulated distributed-rank strong scaling of the per-shard phase.
+    pub scaling: EmulatedScaling,
+    /// What the stitch phase did.
+    pub stitch: StitchReport,
+}
+
+/// Per-shard result summary.
+#[derive(Debug, Clone)]
+pub struct ShardSummary {
+    /// Vertices in the shard.
+    pub num_vertices: usize,
+    /// Directed intra-shard edges.
+    pub num_edges: usize,
+    /// Blocks the shard-local SBP run found.
+    pub num_blocks: usize,
+    /// MDL of the shard-local partition.
+    pub mdl_total: f64,
+}
+
+/// Run the full sharded pipeline: partition → per-shard SBP → stitch →
+/// finetune. Deterministic in `(graph, cfg)`.
+///
+/// # Panics
+/// Panics if `cfg` fails validation.
+pub fn run_sharded_sbp(graph: &Graph, cfg: &ShardConfig) -> SbpResult {
+    run_sharded_sbp_detailed(graph, cfg).result
+}
+
+/// Like [`run_sharded_sbp`], also returning per-shard summaries, cut
+/// accounting, emulated scaling and the stitch report.
+///
+/// # Panics
+/// Panics if `cfg` fails validation.
+pub fn run_sharded_sbp_detailed(graph: &Graph, cfg: &ShardConfig) -> ShardedRun {
+    cfg.validate().expect("invalid ShardConfig");
+    let plan = partition_graph(graph, cfg.num_shards, &cfg.strategy);
+    let (shard_results, scaling) = run_shards(&plan, cfg);
+    let shard_summaries = plan
+        .shards
+        .iter()
+        .zip(&shard_results)
+        .map(|(shard, result)| ShardSummary {
+            num_vertices: shard.graph.num_vertices(),
+            num_edges: shard.graph.num_edges(),
+            num_blocks: result.num_blocks,
+            mdl_total: result.mdl.total,
+        })
+        .collect();
+    let cut_fraction = plan.cut_fraction();
+    let (result, stitch) = stitch::stitch(graph, &plan, &shard_results, cfg);
+    ShardedRun {
+        result,
+        shard_summaries,
+        cut_fraction,
+        scaling,
+        stitch,
+    }
+}

@@ -1,0 +1,277 @@
+//! Vertex partitioning: split a graph into `k` shards with translation
+//! tables and cut-edge accounting.
+//!
+//! The partition decides how much structure the per-shard runs can see:
+//! every cut (inter-shard) edge is invisible to them and can only be
+//! exploited later, by the stitch phase's full-graph finetune. Strategies:
+//!
+//! * [`PartitionStrategy::RoundRobin`] — vertex `v` to shard `v mod k`.
+//!   Balanced vertex counts, oblivious to structure (worst cut).
+//! * [`PartitionStrategy::DegreeBalanced`] — greedy longest-processing-time
+//!   bin packing on vertex degree: vertices in decreasing-degree order,
+//!   each to the shard with the least accumulated degree. Balances *work*
+//!   (SBP cost scales with incident edges), not just vertex counts.
+//! * [`PartitionStrategy::FromParts`] — an externally computed partition,
+//!   e.g. read from a METIS `.part.K` file via
+//!   [`hsbp_graph::partition::read_partition_file`]; a min-cut tool like
+//!   `gpmetis` gives the sharded pipeline its best accuracy.
+
+use hsbp_graph::{induced_subgraph, Graph, Vertex};
+
+/// How vertices are assigned to shards.
+#[derive(Debug, Clone)]
+pub enum PartitionStrategy {
+    /// Vertex `v` to shard `v % k`.
+    RoundRobin,
+    /// Greedy degree-balancing (decreasing-degree LPT).
+    DegreeBalanced,
+    /// Externally supplied per-vertex part ids (sparse ids are compacted;
+    /// the part count overrides `ShardConfig::num_shards`).
+    FromParts(Vec<u32>),
+}
+
+/// One shard: its induced subgraph and the local→global vertex table.
+#[derive(Debug, Clone)]
+pub struct Shard {
+    /// Induced subgraph over this shard's vertices (intra-shard edges only).
+    pub graph: Graph,
+    /// Local vertex id → global vertex id.
+    pub to_global: Vec<Vertex>,
+}
+
+/// A complete partition of a graph into shards.
+#[derive(Debug, Clone)]
+pub struct ShardPlan {
+    /// The shards, indexed by shard id.
+    pub shards: Vec<Shard>,
+    /// Global vertex id → shard id.
+    pub parts: Vec<u32>,
+    /// Global vertex id → local id within its shard.
+    pub local_ids: Vec<Vertex>,
+    /// Directed edges whose endpoints lie in different shards.
+    pub cut_edges: usize,
+    /// Total weight of those cut edges.
+    pub cut_weight: u64,
+    /// Directed edges in the input graph.
+    pub total_edges: usize,
+}
+
+impl ShardPlan {
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Fraction of directed edges crossing shards (0 for an edgeless
+    /// graph). This is the accuracy-loss proxy: the per-shard runs never
+    /// see these edges.
+    pub fn cut_fraction(&self) -> f64 {
+        if self.total_edges == 0 {
+            0.0
+        } else {
+            self.cut_edges as f64 / self.total_edges as f64
+        }
+    }
+
+    /// Translate a local vertex of `shard` back to its global id.
+    pub fn to_global(&self, shard: usize, local: Vertex) -> Vertex {
+        self.shards[shard].to_global[local as usize]
+    }
+
+    /// Translate a global vertex to `(shard, local)`.
+    pub fn to_local(&self, global: Vertex) -> (usize, Vertex) {
+        (
+            self.parts[global as usize] as usize,
+            self.local_ids[global as usize],
+        )
+    }
+}
+
+/// Per-vertex shard ids under `strategy` (`k` ignored by `FromParts`).
+fn assign_parts(graph: &Graph, k: usize, strategy: &PartitionStrategy) -> Vec<u32> {
+    let n = graph.num_vertices();
+    match strategy {
+        PartitionStrategy::RoundRobin => (0..n).map(|v| (v % k) as u32).collect(),
+        PartitionStrategy::DegreeBalanced => {
+            let mut order: Vec<Vertex> = (0..n as Vertex).collect();
+            order.sort_by_key(|&v| std::cmp::Reverse((graph.degree(v), v)));
+            let mut load = vec![0u64; k];
+            let mut parts = vec![0u32; n];
+            for v in order {
+                let lightest = (0..k).min_by_key(|&s| (load[s], s)).expect("k >= 1");
+                parts[v as usize] = lightest as u32;
+                // +1 so zero-degree vertices still spread across shards.
+                load[lightest] += graph.degree(v) + 1;
+            }
+            parts
+        }
+        PartitionStrategy::FromParts(parts) => {
+            assert_eq!(
+                parts.len(),
+                n,
+                "partition file covers {} vertices, graph has {n}",
+                parts.len()
+            );
+            // Compact sparse part ids to dense shard indices 0..k.
+            let max = parts.iter().copied().max().map_or(0, |m| m as usize);
+            let mut dense = vec![u32::MAX; max + 1];
+            let mut next = 0u32;
+            let mut out = Vec::with_capacity(n);
+            for &p in parts {
+                if dense[p as usize] == u32::MAX {
+                    dense[p as usize] = next;
+                    next += 1;
+                }
+                out.push(dense[p as usize]);
+            }
+            out
+        }
+    }
+}
+
+/// Partition `graph` into (at most) `num_shards` shards.
+///
+/// Builds each shard's induced subgraph, the two-way vertex translation
+/// tables and the cut-edge account. Shards may be empty when
+/// `num_shards > n`; empty shards are kept so shard indices line up with
+/// part ids.
+///
+/// # Panics
+/// Panics if `num_shards == 0`, or if a [`PartitionStrategy::FromParts`]
+/// vector does not cover every vertex.
+pub fn partition_graph(
+    graph: &Graph,
+    num_shards: usize,
+    strategy: &PartitionStrategy,
+) -> ShardPlan {
+    assert!(num_shards >= 1, "num_shards must be at least 1");
+    let n = graph.num_vertices();
+    let parts = assign_parts(graph, num_shards, strategy);
+    let k = match strategy {
+        PartitionStrategy::FromParts(_) => {
+            parts.iter().copied().max().map_or(1, |m| m as usize + 1)
+        }
+        _ => num_shards,
+    };
+
+    // Induced subgraph + local ids per shard.
+    let mut shards = Vec::with_capacity(k);
+    let mut local_ids = vec![0 as Vertex; n];
+    for s in 0..k {
+        let keep: Vec<bool> = parts.iter().map(|&p| p as usize == s).collect();
+        let (sub, mapping) = induced_subgraph(graph, &keep);
+        let mut to_global = vec![0 as Vertex; sub.num_vertices()];
+        for (global, local) in mapping.iter().enumerate() {
+            if let Some(local) = local {
+                local_ids[global] = *local;
+                to_global[*local as usize] = global as Vertex;
+            }
+        }
+        shards.push(Shard {
+            graph: sub,
+            to_global,
+        });
+    }
+
+    // Cut accounting.
+    let mut cut_edges = 0usize;
+    let mut cut_weight = 0u64;
+    for (u, v, w) in graph.edges() {
+        if parts[u as usize] != parts[v as usize] {
+            cut_edges += 1;
+            cut_weight += w;
+        }
+    }
+
+    ShardPlan {
+        shards,
+        parts,
+        local_ids,
+        cut_edges,
+        cut_weight,
+        total_edges: graph.num_edges(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(n: usize) -> Graph {
+        let edges: Vec<(Vertex, Vertex)> = (0..n)
+            .map(|v| (v as Vertex, ((v + 1) % n) as Vertex))
+            .collect();
+        Graph::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn round_robin_balances_vertices() {
+        let plan = partition_graph(&ring(10), 3, &PartitionStrategy::RoundRobin);
+        let sizes: Vec<usize> = plan.shards.iter().map(|s| s.graph.num_vertices()).collect();
+        assert_eq!(sizes, vec![4, 3, 3]);
+        assert_eq!(plan.parts[7], 1);
+    }
+
+    #[test]
+    fn degree_balanced_spreads_load() {
+        // A star: the hub must not share a shard with all the leaves.
+        let mut edges = Vec::new();
+        for v in 1..9 {
+            edges.push((0 as Vertex, v as Vertex));
+        }
+        let g = Graph::from_edges(9, &edges);
+        let plan = partition_graph(&g, 2, &PartitionStrategy::DegreeBalanced);
+        let hub = plan.parts[0] as usize;
+        // Accumulated degree must end near-balanced: the hub (degree 8)
+        // weighs as much as all leaves together, so the non-hub shard gets
+        // most of the leaves.
+        let loads: Vec<u64> = (0..2)
+            .map(|s| {
+                (0..9u32)
+                    .filter(|&v| plan.parts[v as usize] as usize == s)
+                    .map(|v| g.degree(v) + 1)
+                    .sum()
+            })
+            .collect();
+        assert!(loads[0].abs_diff(loads[1]) <= 4, "loads {loads:?}");
+        assert!(plan.shards[1 - hub].graph.num_vertices() >= 4);
+    }
+
+    #[test]
+    fn from_parts_compacts_sparse_ids() {
+        let g = ring(4);
+        let plan = partition_graph(&g, 99, &PartitionStrategy::FromParts(vec![7, 7, 2, 9]));
+        assert_eq!(plan.num_shards(), 3);
+        assert_eq!(plan.parts, vec![0, 0, 1, 2]);
+    }
+
+    #[test]
+    fn translation_tables_are_inverse() {
+        let plan = partition_graph(&ring(17), 4, &PartitionStrategy::DegreeBalanced);
+        for v in 0..17u32 {
+            let (s, local) = plan.to_local(v);
+            assert_eq!(plan.to_global(s, local), v);
+        }
+        let total: usize = plan.shards.iter().map(|s| s.graph.num_vertices()).sum();
+        assert_eq!(total, 17);
+    }
+
+    #[test]
+    fn cut_accounting_matches_ring() {
+        // Ring of 10 round-robined over 5 shards: every edge is cut.
+        let plan = partition_graph(&ring(10), 5, &PartitionStrategy::RoundRobin);
+        assert_eq!(plan.cut_edges, 10);
+        assert!((plan.cut_fraction() - 1.0).abs() < 1e-12);
+        // One shard: nothing is cut.
+        let plan = partition_graph(&ring(10), 1, &PartitionStrategy::RoundRobin);
+        assert_eq!(plan.cut_edges, 0);
+        assert_eq!(plan.cut_fraction(), 0.0);
+    }
+
+    #[test]
+    fn empty_shards_allowed() {
+        let plan = partition_graph(&ring(3), 5, &PartitionStrategy::RoundRobin);
+        assert_eq!(plan.num_shards(), 5);
+        assert_eq!(plan.shards[4].graph.num_vertices(), 0);
+    }
+}

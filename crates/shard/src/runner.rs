@@ -1,0 +1,204 @@
+//! Parallel per-shard SBP execution with emulated distributed ranks.
+//!
+//! Each shard is an independent [`hsbp_core::run_sbp`] job; rayon runs them
+//! in parallel on the host. For the strong-scaling story the host's core
+//! count does not matter: each shard's run carries `hsbp-timing`'s
+//! simulated cost account, and its **serial** simulated time becomes that
+//! emulated rank's cost. Scheduling those costs onto `r` ranks (greedy
+//! longest-processing-time, like a distributed work queue) yields the
+//! emulated makespan curve reported in [`EmulatedScaling`].
+
+use crate::{partition::ShardPlan, ShardConfig};
+use hsbp_core::{run_sbp, SbpConfig, SbpResult};
+use hsbp_timing::sim::makespan;
+use hsbp_timing::Chunking;
+use rayon::prelude::*;
+
+/// splitmix64-style word mixer for deriving per-shard seeds.
+fn mix(a: u64, b: u64) -> u64 {
+    let mut z = a ^ b.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Emulated strong scaling of the per-shard phase over distributed ranks.
+#[derive(Debug, Clone)]
+pub struct EmulatedScaling {
+    /// Simulated serial cost of each shard's SBP run (abstract cost units,
+    /// shard order). Falls back to wall-clock seconds when the config's
+    /// `sim_thread_counts` does not track 1 thread.
+    pub per_shard_cost: Vec<f64>,
+    /// `(ranks, emulated makespan)` for rank counts `1, 2, 4, …` up to the
+    /// shard count, scheduling whole shards greedily onto ranks.
+    pub curve: Vec<(usize, f64)>,
+}
+
+impl EmulatedScaling {
+    /// Emulated speedup of running on `ranks` ranks vs. one rank (None if
+    /// `ranks` is not on the curve or the one-rank cost is zero).
+    pub fn speedup(&self, ranks: usize) -> Option<f64> {
+        let one = self.curve.iter().find(|&&(r, _)| r == 1)?.1;
+        let at = self.curve.iter().find(|&&(r, _)| r == ranks)?.1;
+        if at > 0.0 {
+            Some(one / at)
+        } else {
+            None
+        }
+    }
+}
+
+/// Serial simulated cost of one shard run (wall clock as fallback).
+fn shard_cost(result: &SbpResult) -> f64 {
+    result
+        .stats
+        .sim_total_time(1)
+        .unwrap_or_else(|| result.stats.timer.grand_total().as_secs_f64())
+}
+
+/// Outer-iteration budget that stops a shard's agglomerative search while
+/// it still holds roughly `floor` blocks. With cut fractions near
+/// `1 - 1/k`, a shard alone cannot tell its communities apart and would
+/// underfit catastrophically if allowed to merge all the way down; instead
+/// each shard deliberately *over-partitions* (stops at ~`√n` sub-blocks,
+/// Roy & Atchadé's divide-and-conquer recipe) and the stitch phase — which
+/// sees every edge — makes the real merge decisions.
+fn overpartition_iterations(num_vertices: usize, reduction_rate: f64) -> usize {
+    let floor = (num_vertices as f64).sqrt().round().max(4.0);
+    if (num_vertices as f64) <= floor {
+        return 1;
+    }
+    let rate = reduction_rate.clamp(0.05, 0.95);
+    let steps = ((num_vertices as f64 / floor).ln() / (1.0 / rate).ln()).floor() as usize;
+    steps.max(1)
+}
+
+/// Run SBP on every shard of `plan` in parallel.
+///
+/// Each shard gets its own seed (derived from `cfg.sbp.seed` and the shard
+/// index), so results are deterministic in `(plan, cfg)` regardless of how
+/// rayon schedules the shards. Shards stop their block search early (see
+/// [`overpartition_iterations`]); the stitch phase finishes the search
+/// globally.
+pub fn run_shards(plan: &ShardPlan, cfg: &ShardConfig) -> (Vec<SbpResult>, EmulatedScaling) {
+    let configs: Vec<SbpConfig> = (0..plan.num_shards())
+        .map(|s| {
+            let n = plan.shards[s].graph.num_vertices();
+            let iters = overpartition_iterations(n, cfg.sbp.block_reduction_rate)
+                .min(cfg.sbp.max_outer_iterations.max(1));
+            SbpConfig {
+                seed: mix(cfg.sbp.seed, s as u64),
+                max_outer_iterations: iters,
+                ..cfg.sbp.clone()
+            }
+        })
+        .collect();
+    let jobs: Vec<(usize, SbpConfig)> = configs.into_iter().enumerate().collect();
+    let results: Vec<SbpResult> = jobs
+        .into_par_iter()
+        .map(|(s, shard_cfg)| run_sbp(&plan.shards[s].graph, &shard_cfg))
+        .collect();
+
+    let per_shard_cost: Vec<f64> = results.iter().map(shard_cost).collect();
+    // Shards are independent jobs: a free rank grabs the next one (LPT-ish
+    // greedy), which is Dynamic scheduling with chunk size 1.
+    let mut rank_counts: Vec<usize> = [1usize, 2, 4, 8, 16, 32, 64, 128]
+        .into_iter()
+        .filter(|&r| r <= plan.num_shards())
+        .collect();
+    if rank_counts.last() != Some(&plan.num_shards()) {
+        rank_counts.push(plan.num_shards());
+    }
+    let curve = rank_counts
+        .into_iter()
+        .map(|r| {
+            (
+                r,
+                makespan(&per_shard_cost, r, Chunking::Dynamic { chunk_size: 1 }),
+            )
+        })
+        .collect();
+
+    (
+        results,
+        EmulatedScaling {
+            per_shard_cost,
+            curve,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::{partition_graph, PartitionStrategy};
+    use hsbp_graph::{Graph, Vertex};
+
+    fn two_cliques(size: usize) -> Graph {
+        let mut edges = Vec::new();
+        for base in [0, size] {
+            for a in 0..size {
+                for b in 0..size {
+                    if a != b {
+                        edges.push(((base + a) as Vertex, (base + b) as Vertex));
+                    }
+                }
+            }
+        }
+        Graph::from_edges(2 * size, &edges)
+    }
+
+    #[test]
+    fn shard_runs_are_deterministic() {
+        let g = two_cliques(8);
+        let cfg = ShardConfig {
+            num_shards: 2,
+            ..Default::default()
+        };
+        let plan = partition_graph(&g, 2, &PartitionStrategy::RoundRobin);
+        let (a, _) = run_shards(&plan, &cfg);
+        let (b, _) = run_shards(&plan, &cfg);
+        for (ra, rb) in a.iter().zip(&b) {
+            assert_eq!(ra.assignment, rb.assignment);
+            assert_eq!(ra.num_blocks, rb.num_blocks);
+        }
+    }
+
+    #[test]
+    fn scaling_curve_is_monotone_and_bounded() {
+        let g = two_cliques(10);
+        let cfg = ShardConfig {
+            num_shards: 4,
+            ..Default::default()
+        };
+        let plan = partition_graph(&g, 4, &PartitionStrategy::DegreeBalanced);
+        let (results, scaling) = run_shards(&plan, &cfg);
+        assert_eq!(results.len(), 4);
+        assert_eq!(scaling.per_shard_cost.len(), 4);
+        let serial: f64 = scaling.per_shard_cost.iter().sum();
+        let max: f64 = scaling.per_shard_cost.iter().copied().fold(0.0, f64::max);
+        let mut prev = f64::INFINITY;
+        for &(ranks, t) in &scaling.curve {
+            assert!(t <= prev + 1e-12, "makespan must not grow with ranks");
+            assert!(t <= serial + 1e-9 && t >= max - 1e-9, "ranks={ranks} t={t}");
+            prev = t;
+        }
+        assert_eq!(scaling.curve.first().map(|&(r, _)| r), Some(1));
+        assert!(scaling.speedup(1).is_some());
+    }
+
+    #[test]
+    fn empty_shards_run_fine() {
+        let g = two_cliques(3);
+        let cfg = ShardConfig {
+            num_shards: 8,
+            ..Default::default()
+        };
+        let plan = partition_graph(&g, 8, &PartitionStrategy::RoundRobin);
+        let (results, _) = run_shards(&plan, &cfg);
+        assert_eq!(results.len(), 8);
+        for (shard, result) in plan.shards.iter().zip(&results) {
+            assert_eq!(result.assignment.len(), shard.graph.num_vertices());
+        }
+    }
+}

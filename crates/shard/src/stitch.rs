@@ -1,0 +1,341 @@
+//! Stitching: reassemble a global blockmodel from per-shard partitions,
+//! merge shard-boundary blocks, finetune on the full graph.
+//!
+//! After the per-shard runs, each global community is split into many
+//! sub-blocks (the shards deliberately over-partition — see
+//! `runner::overpartition_iterations`). Stitching therefore:
+//!
+//! 1. offsets each shard's block ids into one disjoint global id space and
+//!    builds a full-graph [`Blockmodel`] from the union assignment — the
+//!    first time the cut edges enter any model;
+//! 2. finishes the agglomerative search *globally*: the same
+//!    golden-section bracket over the block count as the single-model
+//!    driver, except warm-started from the stitched union instead of the
+//!    singleton partition. Each evaluation is a [`merge_phase`] (which
+//!    fuses blocks the cut edges reveal to be the same community) followed
+//!    by a short full-graph MCMC finetune (H-SBP by default) so boundary
+//!    vertices that were sharded away from their community can cross over;
+//! 3. returns the best-MDL state the bracket search evaluated.
+
+use crate::ShardConfig;
+use hsbp_blockmodel::{mdl, Block, Blockmodel};
+use hsbp_core::{merge_phase, run_mcmc_phase, RunStats, SbpConfig, SbpResult};
+use hsbp_graph::Graph;
+
+/// What the stitch phase did, for reporting.
+#[derive(Debug, Clone)]
+pub struct StitchReport {
+    /// Global block count right after union (sum of shard block counts).
+    pub blocks_stitched: usize,
+    /// Block count of the returned best state.
+    pub blocks_final: usize,
+    /// Merge-then-finetune steps evaluated.
+    pub steps: usize,
+    /// Total finetune sweeps across all steps.
+    pub finetune_sweeps: usize,
+    /// MDL of the raw stitched state (before any merge/finetune).
+    pub stitched_mdl: f64,
+}
+
+/// One evaluated point of the stitch search: a partition at a block count.
+#[derive(Debug, Clone)]
+struct Evaluated {
+    num_blocks: usize,
+    mdl_total: f64,
+    assignment: Vec<Block>,
+}
+
+/// Golden-section interior fraction (same as the driver's).
+const GOLDEN: f64 = 0.382;
+
+/// Union the per-shard assignments into one global assignment with
+/// disjoint block ids. Returns `(assignment, num_blocks)`.
+fn union_assignment(
+    plan: &crate::partition::ShardPlan,
+    shard_results: &[SbpResult],
+) -> (Vec<Block>, usize) {
+    let mut offsets = Vec::with_capacity(shard_results.len());
+    let mut total_blocks = 0usize;
+    for result in shard_results {
+        offsets.push(total_blocks as Block);
+        total_blocks += result.num_blocks;
+    }
+    let assignment = plan
+        .parts
+        .iter()
+        .zip(&plan.local_ids)
+        .map(|(&shard, &local)| {
+            shard_results[shard as usize].assignment[local as usize] + offsets[shard as usize]
+        })
+        .collect();
+    (assignment, total_blocks.max(1))
+}
+
+/// Stitch per-shard results into a full-graph [`SbpResult`].
+///
+/// `shard_results[s]` must be the result of running SBP on
+/// `plan.shards[s].graph`; panics on length mismatch.
+pub fn stitch(
+    graph: &Graph,
+    plan: &crate::partition::ShardPlan,
+    shard_results: &[SbpResult],
+    cfg: &ShardConfig,
+) -> (SbpResult, StitchReport) {
+    assert_eq!(
+        plan.num_shards(),
+        shard_results.len(),
+        "one result per shard"
+    );
+    let n = graph.num_vertices();
+    let finetune_cfg = SbpConfig {
+        variant: cfg.finetune_variant,
+        max_sweeps: cfg.finetune_sweeps,
+        ..cfg.sbp.clone()
+    };
+    let mut stats = RunStats::new(&finetune_cfg);
+    // Fold the per-shard accounts into the global stats so the final
+    // result's simulated/wall timings cover the whole pipeline.
+    for result in shard_results {
+        stats.timer.merge(&result.stats.timer);
+        stats.sim_mcmc.merge(&result.stats.sim_mcmc);
+        stats.sim_merge.merge(&result.stats.sim_merge);
+        stats.mcmc_sweeps += result.stats.mcmc_sweeps;
+        stats.mcmc_phases += result.stats.mcmc_phases;
+        stats.outer_iterations += result.stats.outer_iterations;
+        stats.proposals += result.stats.proposals;
+        stats.accepted += result.stats.accepted;
+    }
+
+    if n == 0 {
+        let report = StitchReport {
+            blocks_stitched: 0,
+            blocks_final: 0,
+            steps: 0,
+            finetune_sweeps: 0,
+            stitched_mdl: 0.0,
+        };
+        let result = SbpResult {
+            assignment: Vec::new(),
+            num_blocks: 0,
+            mdl: mdl::Mdl {
+                log_likelihood: 0.0,
+                model_complexity: 0.0,
+                total: 0.0,
+            },
+            normalized_mdl: f64::NAN,
+            trajectory: Vec::new(),
+            stats,
+        };
+        return (result, report);
+    }
+
+    let (assignment, blocks_stitched) = union_assignment(plan, shard_results);
+    let mut bm = Blockmodel::from_assignment(graph, assignment, blocks_stitched);
+    let stitched_mdl = mdl::mdl(&bm, n, graph.total_weight()).total;
+
+    // Golden-section bracket over the block count, mirroring the driver's
+    // bookkeeping: `mid` is the best-MDL state, `upper`/`lower` the tightest
+    // worse states on either side. `upper` starts at the stitched union
+    // (the driver starts it at the singleton partition instead).
+    let mut upper: Option<Evaluated> = Some(Evaluated {
+        num_blocks: blocks_stitched,
+        mdl_total: stitched_mdl,
+        assignment: bm.assignment().to_vec(),
+    });
+    let mut mid: Option<Evaluated> = None;
+    let mut lower: Option<Evaluated> = None;
+
+    let mut trajectory = vec![(blocks_stitched, stitched_mdl)];
+    let mut steps = 0usize;
+    let mut finetune_sweeps = 0usize;
+    let mut phase_index: u64 = u64::MAX / 2; // disjoint from per-shard salts
+    loop {
+        if steps >= cfg.sbp.max_outer_iterations {
+            break;
+        }
+        let bracketed = mid.is_some() && lower.is_some();
+        // Decide the next block-count target and the state to merge from.
+        let target = if !bracketed {
+            let b = bm.num_blocks();
+            if b <= 1 {
+                break;
+            }
+            (((b as f64) * cfg.sbp.block_reduction_rate).round() as usize).clamp(1, b - 1)
+        } else {
+            let (u, m, l) = (
+                upper.as_ref().expect("upper always set"),
+                mid.as_ref().unwrap(),
+                lower.as_ref().unwrap(),
+            );
+            if u.num_blocks.saturating_sub(l.num_blocks) <= 2 {
+                break; // no interior candidate besides mid
+            }
+            let gap_hi = u.num_blocks - m.num_blocks;
+            let gap_lo = m.num_blocks - l.num_blocks;
+            if gap_hi >= gap_lo && gap_hi >= 2 {
+                let t = m.num_blocks + ((gap_hi as f64) * GOLDEN).round() as usize;
+                let t = t.clamp(m.num_blocks + 1, u.num_blocks - 1);
+                let source = u.clone();
+                bm = Blockmodel::from_assignment(graph, source.assignment, source.num_blocks);
+                t
+            } else if gap_lo >= 2 {
+                let t = m.num_blocks - ((gap_lo as f64) * GOLDEN).round() as usize;
+                let t = t.clamp(l.num_blocks + 1, m.num_blocks - 1);
+                let source = m.clone();
+                bm = Blockmodel::from_assignment(graph, source.assignment, source.num_blocks);
+                t
+            } else {
+                break;
+            }
+        };
+
+        merge_phase(
+            graph,
+            &mut bm,
+            target,
+            &finetune_cfg,
+            phase_index,
+            &mut stats,
+        );
+        let outcome = run_mcmc_phase(graph, &mut bm, &finetune_cfg, phase_index, &mut stats);
+        phase_index += 1;
+        steps += 1;
+        finetune_sweeps += outcome.sweeps;
+
+        let evaluated = Evaluated {
+            num_blocks: bm.num_blocks(),
+            mdl_total: outcome.mdl.total,
+            assignment: bm.assignment().to_vec(),
+        };
+        trajectory.push((evaluated.num_blocks, evaluated.mdl_total));
+
+        // Bracket update (identical to the driver's).
+        match &mid {
+            None => mid = Some(evaluated),
+            Some(m) if evaluated.mdl_total < m.mdl_total => {
+                let displaced = mid.take().unwrap();
+                if evaluated.num_blocks < displaced.num_blocks {
+                    if displaced.num_blocks < upper.as_ref().map_or(usize::MAX, |u| u.num_blocks) {
+                        upper = Some(displaced);
+                    }
+                } else if displaced.num_blocks > lower.as_ref().map_or(0, |l| l.num_blocks) {
+                    lower = Some(displaced);
+                }
+                mid = Some(evaluated);
+            }
+            Some(m) => {
+                if evaluated.num_blocks < m.num_blocks {
+                    if lower
+                        .as_ref()
+                        .is_none_or(|l| evaluated.num_blocks > l.num_blocks)
+                    {
+                        lower = Some(evaluated);
+                    }
+                } else if evaluated.num_blocks > m.num_blocks
+                    && upper
+                        .as_ref()
+                        .is_none_or(|u| evaluated.num_blocks < u.num_blocks)
+                {
+                    upper = Some(evaluated);
+                }
+            }
+        }
+
+        if !(mid.is_some() && lower.is_some()) && bm.num_blocks() <= 1 {
+            break;
+        }
+    }
+
+    let best = mid.or(upper).expect("at least the stitched union exists");
+    let best_bm = Blockmodel::from_assignment(graph, best.assignment.clone(), best.num_blocks);
+    let final_mdl = mdl::mdl(&best_bm, n, graph.total_weight());
+    let null = mdl::null_mdl(graph.total_weight());
+    let result = SbpResult {
+        assignment: best.assignment,
+        num_blocks: best.num_blocks,
+        mdl: final_mdl,
+        normalized_mdl: if null == 0.0 {
+            f64::NAN
+        } else {
+            final_mdl.total / null
+        },
+        trajectory,
+        stats,
+    };
+    let report = StitchReport {
+        blocks_stitched,
+        blocks_final: result.num_blocks,
+        steps,
+        finetune_sweeps,
+        stitched_mdl,
+    };
+    (result, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::{partition_graph, PartitionStrategy};
+    use crate::runner::run_shards;
+    use hsbp_graph::Vertex;
+
+    /// `c` cliques of `size` vertices, one weak bridge edge between
+    /// consecutive cliques so the graph is connected.
+    fn cliques(c: usize, size: usize) -> Graph {
+        let mut edges = Vec::new();
+        for k in 0..c {
+            let base = k * size;
+            for a in 0..size {
+                for b in 0..size {
+                    if a != b {
+                        edges.push(((base + a) as Vertex, (base + b) as Vertex));
+                    }
+                }
+            }
+            if k + 1 < c {
+                edges.push(((base) as Vertex, (base + size) as Vertex));
+            }
+        }
+        Graph::from_edges(c * size, &edges)
+    }
+
+    #[test]
+    fn stitch_recovers_cliques_split_across_shards() {
+        // Round-robin sharding slices every clique across both shards; only
+        // the stitch phase can reunite them.
+        let g = cliques(3, 8);
+        let cfg = ShardConfig {
+            num_shards: 2,
+            ..Default::default()
+        };
+        let plan = partition_graph(&g, 2, &PartitionStrategy::RoundRobin);
+        let (shard_results, _) = run_shards(&plan, &cfg);
+        let (result, report) = stitch(&g, &plan, &shard_results, &cfg);
+        assert_eq!(result.assignment.len(), 24);
+        assert!(report.blocks_stitched >= result.num_blocks);
+        // All members of a clique end in one block.
+        for k in 0..3 {
+            let b = result.assignment[k * 8];
+            for v in 0..8 {
+                assert_eq!(result.assignment[k * 8 + v], b, "clique {k} split");
+            }
+        }
+        // MDL must improve on the raw union.
+        assert!(result.mdl.total <= report.stitched_mdl + 1e-9);
+    }
+
+    #[test]
+    fn stitch_handles_single_shard() {
+        let g = cliques(2, 6);
+        let cfg = ShardConfig {
+            num_shards: 1,
+            ..Default::default()
+        };
+        let plan = partition_graph(&g, 1, &PartitionStrategy::RoundRobin);
+        let (shard_results, _) = run_shards(&plan, &cfg);
+        let (result, _) = stitch(&g, &plan, &shard_results, &cfg);
+        assert_eq!(result.assignment.len(), 12);
+        assert!(result.num_blocks >= 1);
+        assert!(result.mdl.total.is_finite());
+    }
+}

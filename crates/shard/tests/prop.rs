@@ -1,0 +1,74 @@
+//! Property tests for the shard partitioning layer: translation tables,
+//! conservation of vertices/edges, and cut accounting.
+
+use hsbp_graph::{Graph, Vertex};
+use hsbp_shard::{partition_graph, PartitionStrategy};
+use proptest::prelude::*;
+
+fn arb_graph(max_n: u32, max_m: usize) -> impl Strategy<Value = Graph> {
+    (2..max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n, 0..n), 0..max_m)
+            .prop_map(move |edges| Graph::from_edges(n as usize, &edges))
+    })
+}
+
+fn arb_strategy() -> impl Strategy<Value = PartitionStrategy> {
+    (0u8..2).prop_map(|which| match which {
+        0 => PartitionStrategy::RoundRobin,
+        _ => PartitionStrategy::DegreeBalanced,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Global → (shard, local) → global is the identity, and every global
+    /// vertex appears in exactly one shard.
+    #[test]
+    fn translation_roundtrip(g in arb_graph(60, 150), k in 1usize..9, strategy in arb_strategy()) {
+        let plan = partition_graph(&g, k, &strategy);
+        for v in 0..g.num_vertices() as Vertex {
+            let (shard, local) = plan.to_local(v);
+            prop_assert!(shard < plan.num_shards());
+            prop_assert_eq!(plan.to_global(shard, local), v);
+        }
+        let total: usize = plan.shards.iter().map(|s| s.graph.num_vertices()).sum();
+        prop_assert_eq!(total, g.num_vertices());
+        // to_global tables are injective overall.
+        let mut seen = vec![false; g.num_vertices()];
+        for shard in &plan.shards {
+            for &global in &shard.to_global {
+                prop_assert!(!seen[global as usize], "vertex {} in two shards", global);
+                seen[global as usize] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    /// Intra-shard edges plus cut edges account for every edge and all
+    /// weight of the input graph.
+    #[test]
+    fn edges_are_conserved(g in arb_graph(40, 120), k in 1usize..6, strategy in arb_strategy()) {
+        let plan = partition_graph(&g, k, &strategy);
+        let intra_edges: usize = plan.shards.iter().map(|s| s.graph.num_edges()).sum();
+        let intra_weight: u64 = plan.shards.iter().map(|s| s.graph.total_weight()).sum();
+        prop_assert_eq!(intra_edges + plan.cut_edges, g.num_edges());
+        prop_assert_eq!(intra_weight + plan.cut_weight, g.total_weight());
+        let f = plan.cut_fraction();
+        prop_assert!((0.0..=1.0).contains(&f) || g.num_edges() == 0);
+    }
+
+    /// Each shard's subgraph preserves the weights of its internal edges.
+    #[test]
+    fn shard_edges_match_parent(g in arb_graph(30, 80), k in 2usize..5) {
+        let plan = partition_graph(&g, k, &PartitionStrategy::RoundRobin);
+        for (s, shard) in plan.shards.iter().enumerate() {
+            for (lu, lv, w) in shard.graph.edges() {
+                let gu = plan.to_global(s, lu);
+                let gv = plan.to_global(s, lv);
+                let parent_w = g.out_edges(gu).find(|&(t, _)| t == gv).map(|(_, w)| w);
+                prop_assert_eq!(parent_w, Some(w));
+            }
+        }
+    }
+}

@@ -134,17 +134,27 @@ impl SimAccumulator {
 
     /// Simulated total at `threads` (must be one of the tracked counts).
     pub fn total_for(&self, threads: usize) -> Option<f64> {
-        self.thread_counts.iter().position(|&t| t == threads).map(|i| self.totals[i])
+        self.thread_counts
+            .iter()
+            .position(|&t| t == threads)
+            .map(|i| self.totals[i])
     }
 
     /// `(threads, simulated_total)` pairs.
     pub fn curve(&self) -> Vec<(usize, f64)> {
-        self.thread_counts.iter().copied().zip(self.totals.iter().copied()).collect()
+        self.thread_counts
+            .iter()
+            .copied()
+            .zip(self.totals.iter().copied())
+            .collect()
     }
 
     /// Fold another accumulator (same configuration) into this one.
     pub fn merge(&mut self, other: &SimAccumulator) {
-        assert_eq!(self.thread_counts, other.thread_counts, "mismatched accumulators");
+        assert_eq!(
+            self.thread_counts, other.thread_counts,
+            "mismatched accumulators"
+        );
         for (a, b) in self.totals.iter_mut().zip(&other.totals) {
             *a += b;
         }
@@ -205,7 +215,10 @@ mod tests {
         let mut prev = f64::INFINITY;
         for t in [1, 2, 4, 8, 16] {
             let m = makespan(&costs, t, Chunking::Static);
-            assert!(m <= prev + 1e-9, "makespan grew from {prev} to {m} at T={t}");
+            assert!(
+                m <= prev + 1e-9,
+                "makespan grew from {prev} to {m} at T={t}"
+            );
             prev = m;
         }
     }

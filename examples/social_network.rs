@@ -17,8 +17,12 @@ fn main() {
     let config = spec.config(0.025);
     println!(
         "surrogate of {} ({}): paper size V={} E={}, surrogate V={} E≈{}",
-        spec.id, spec.note, spec.paper_vertices, spec.paper_edges,
-        config.num_vertices, config.target_num_edges
+        spec.id,
+        spec.note,
+        spec.paper_vertices,
+        spec.paper_edges,
+        config.num_vertices,
+        config.target_num_edges
     );
     let data = generate(config);
     let stats = GraphStats::compute(&data.graph);

@@ -27,7 +27,10 @@ fn main() {
         result.num_blocks, result.normalized_mdl, result.stats.mcmc_sweeps
     );
 
-    println!("{:>8} {:>16} {:>9} {:>11}", "threads", "sim MCMC time", "speedup", "efficiency");
+    println!(
+        "{:>8} {:>16} {:>9} {:>11}",
+        "threads", "sim MCMC time", "speedup", "efficiency"
+    );
     let base = result.stats.sim_mcmc_time(1).unwrap();
     for (threads, time) in result.stats.sim_mcmc.curve() {
         let speedup = base / time;
@@ -39,5 +42,7 @@ fn main() {
             100.0 * speedup / threads as f64
         );
     }
-    println!("\n(benefit tapers once the serial 15% of high-degree vertices dominates — paper §5.5)");
+    println!(
+        "\n(benefit tapers once the serial 15% of high-degree vertices dominates — paper §5.5)"
+    );
 }

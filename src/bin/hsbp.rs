@@ -3,6 +3,9 @@
 //! ```text
 //! hsbp detect  --input graph.mtx [--variant sbp|asbp|hsbp] [--seed N]
 //!              [--output labels.tsv] [--restarts N]
+//! hsbp shard   --input graph.mtx [--shards K] [--strategy rr|degree|file]
+//!              [--parts graph.part.K] [--seed N] [--compare true]
+//!              [--output labels.tsv]
 //! hsbp stats   --input graph.mtx
 //! hsbp generate --vertices N --edges M [--communities C] [--ratio R]
 //!              [--seed K] --output graph.mtx [--truth truth.tsv]
@@ -11,12 +14,20 @@
 //! `detect` reads a Matrix Market (`.mtx`) or whitespace edge-list file,
 //! runs the chosen SBP variant (default: H-SBP) with the best-of-restarts
 //! protocol, and writes one `vertex<TAB>community` line per vertex.
+//!
+//! `shard` runs the sharded divide-and-conquer pipeline (partition →
+//! per-shard SBP → stitch → H-SBP finetune), reporting cut fraction,
+//! per-shard block counts and the emulated distributed-rank scaling curve;
+//! `--compare true` also runs single-model SBP and reports the NMI between
+//! the two partitions.
 
 use hsbp::generator::{generate, DcsbmConfig};
 use hsbp::graph::io::{load_path, write_matrix_market};
+use hsbp::graph::partition::read_partition_file;
 use hsbp::graph::GraphStats;
-use hsbp::metrics::{directed_modularity, normalized_mdl};
-use hsbp::{run_sbp, SbpConfig, Variant};
+use hsbp::metrics::{directed_modularity, nmi, normalized_mdl};
+use hsbp::shard::run_sharded_sbp_detailed;
+use hsbp::{run_sbp, PartitionStrategy, SbpConfig, ShardConfig, Variant};
 use std::collections::HashMap;
 use std::io::Write;
 use std::process::ExitCode;
@@ -28,6 +39,8 @@ fn usage(msg: &str) -> ExitCode {
     eprintln!(
         "usage:\n  hsbp detect --input FILE [--variant sbp|asbp|hsbp] [--seed N] \\\n\
          \x20             [--restarts N] [--output FILE]\n\
+         \x20 hsbp shard --input FILE [--shards K] [--strategy rr|degree|file] \\\n\
+         \x20             [--parts FILE] [--seed N] [--compare true] [--output FILE]\n\
          \x20 hsbp stats --input FILE\n\
          \x20 hsbp generate --vertices N --edges M [--communities C] [--ratio R] \\\n\
          \x20             [--seed N] --output FILE [--truth FILE]"
@@ -59,6 +72,7 @@ fn main() -> ExitCode {
     };
     match command.as_str() {
         "detect" => detect(&flags),
+        "shard" => shard_cmd(&flags),
         "stats" => stats(&flags),
         "generate" => generate_cmd(&flags),
         other => usage(&format!("unknown command `{other}`")),
@@ -76,7 +90,10 @@ fn detect(flags: &HashMap<String, String>) -> ExitCode {
         Some(other) => return usage(&format!("unknown variant `{other}`")),
     };
     let seed: u64 = flags.get("seed").map_or(Ok(0), |s| s.parse()).unwrap_or(0);
-    let restarts: usize = flags.get("restarts").map_or(Ok(1), |s| s.parse()).unwrap_or(1);
+    let restarts: usize = flags
+        .get("restarts")
+        .map_or(Ok(1), |s| s.parse())
+        .unwrap_or(1);
 
     let graph = match load_path(input) {
         Ok(g) => g,
@@ -140,6 +157,133 @@ fn detect(flags: &HashMap<String, String>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn shard_cmd(flags: &HashMap<String, String>) -> ExitCode {
+    let Some(input) = flags.get("input") else {
+        return usage("shard requires --input");
+    };
+    let shards: usize = flags
+        .get("shards")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+    let seed: u64 = flags.get("seed").and_then(|s| s.parse().ok()).unwrap_or(0);
+    let compare = flags.get("compare").map(String::as_str) == Some("true");
+    let strategy = match flags.get("strategy").map(String::as_str) {
+        None | Some("degree") => PartitionStrategy::DegreeBalanced,
+        Some("rr") | Some("round-robin") => PartitionStrategy::RoundRobin,
+        Some("file") => {
+            let Some(path) = flags.get("parts") else {
+                return usage("--strategy file requires --parts");
+            };
+            match read_partition_file(path) {
+                Ok(parts) => PartitionStrategy::FromParts(parts),
+                Err(e) => {
+                    eprintln!("cannot load partition {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        Some(other) => return usage(&format!("unknown strategy `{other}`")),
+    };
+
+    let graph = match load_path(input) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("cannot load {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let PartitionStrategy::FromParts(parts) = &strategy {
+        if parts.len() != graph.num_vertices() {
+            eprintln!(
+                "partition file has {} entries but {} has {} vertices",
+                parts.len(),
+                input,
+                graph.num_vertices()
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    let cfg = ShardConfig {
+        num_shards: shards,
+        strategy,
+        sbp: SbpConfig {
+            seed,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    if let Err(e) = cfg.validate() {
+        eprintln!("invalid shard configuration: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "loaded {}: {} vertices, {} edges; sharded SBP over {} shard(s)",
+        input,
+        graph.num_vertices(),
+        graph.num_edges(),
+        shards
+    );
+    let run = run_sharded_sbp_detailed(&graph, &cfg);
+    for (s, summary) in run.shard_summaries.iter().enumerate() {
+        eprintln!(
+            "  shard {s}: {} vertices, {} edges -> {} blocks (MDL {:.1})",
+            summary.num_vertices, summary.num_edges, summary.num_blocks, summary.mdl_total
+        );
+    }
+    eprintln!(
+        "cut fraction {:.3}; stitched {} -> {} blocks in {} step(s), {} finetune sweep(s)",
+        run.cut_fraction,
+        run.stitch.blocks_stitched,
+        run.stitch.blocks_final,
+        run.stitch.steps,
+        run.stitch.finetune_sweeps
+    );
+    for &(ranks, t) in &run.scaling.curve {
+        let speedup = run.scaling.speedup(ranks).unwrap_or(1.0);
+        eprintln!("  emulated {ranks} rank(s): makespan {t:.3e}  speedup {speedup:.2}x");
+    }
+    let result = &run.result;
+    eprintln!(
+        "found {} communities  MDL {:.1}  MDL_norm {:.4}  modularity {:.4}",
+        result.num_blocks,
+        result.mdl.total,
+        result.normalized_mdl,
+        directed_modularity(&graph, &result.assignment)
+    );
+    if compare {
+        let single = run_sbp(
+            &graph,
+            &SbpConfig {
+                seed,
+                ..Default::default()
+            },
+        );
+        eprintln!(
+            "single-model: {} communities  MDL {:.1}  NMI(sharded, single) {:.4}",
+            single.num_blocks,
+            single.mdl.total,
+            nmi(&single.assignment, &result.assignment)
+        );
+    }
+
+    let write_result = || -> std::io::Result<()> {
+        if let Some(path) = flags.get("output") {
+            let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+            for (v, b) in result.assignment.iter().enumerate() {
+                writeln!(f, "{v}\t{b}")?;
+            }
+            f.flush()?;
+            eprintln!("labels written to {path}");
+        }
+        Ok(())
+    };
+    if let Err(e) = write_result() {
+        eprintln!("cannot write labels: {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 fn stats(flags: &HashMap<String, String>) -> ExitCode {
     let Some(input) = flags.get("input") else {
         return usage("stats requires --input");
@@ -155,7 +299,10 @@ fn stats(flags: &HashMap<String, String>) -> ExitCode {
     println!("vertices            {}", s.num_vertices);
     println!("edges               {}", s.num_edges);
     println!("total weight        {}", s.total_weight);
-    println!("degree min/mean/max {} / {:.2} / {}", s.min_degree, s.mean_degree, s.max_degree);
+    println!(
+        "degree min/mean/max {} / {:.2} / {}",
+        s.min_degree, s.mean_degree, s.max_degree
+    );
     println!("density             {:.3e}", s.density);
     println!("self loops          {}", s.self_loops);
     println!("power-law exponent  {:.3}", s.power_law_exponent);
@@ -171,7 +318,10 @@ fn generate_cmd(flags: &HashMap<String, String>) -> ExitCode {
     };
     let communities =
         parse("communities").unwrap_or_else(|| ((vertices as f64).sqrt() / 2.0) as usize);
-    let ratio: f64 = flags.get("ratio").and_then(|s| s.parse().ok()).unwrap_or(2.5);
+    let ratio: f64 = flags
+        .get("ratio")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2.5);
     let seed: u64 = flags.get("seed").and_then(|s| s.parse().ok()).unwrap_or(0);
 
     let data = generate(DcsbmConfig {

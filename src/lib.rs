@@ -17,6 +17,7 @@
 //! | [`metrics`] | NMI, directed modularity, normalized MDL, correlation |
 //! | [`timing`] | wall-clock phase timers + simulated-thread cost model |
 //! | [`collections`] | fast hashing, weighted sampling, sparse rows |
+//! | [`shard`] | sharded divide-and-conquer SBP (partition → per-shard SBP → stitch → finetune) |
 //!
 //! with the most-used items (the SBP runner and its configuration) lifted to
 //! the crate root.
@@ -54,5 +55,9 @@ pub use hsbp_blockmodel as blockmodel;
 /// The SBP algorithms and driver.
 pub use hsbp_core as sbp;
 
+/// Sharded divide-and-conquer SBP.
+pub use hsbp_shard as shard;
+
 pub use hsbp_core::{run_sbp, McmcOutcome, RunStats, SbpConfig, SbpResult, Variant};
 pub use hsbp_graph::{Graph, GraphBuilder};
+pub use hsbp_shard::{run_sharded_sbp, PartitionStrategy, ShardConfig};

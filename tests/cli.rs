@@ -22,12 +22,29 @@ fn generate_stats_detect_roundtrip() {
 
     // generate
     let out = hsbp()
-        .args(["generate", "--vertices", "400", "--edges", "3200", "--communities", "5"])
+        .args([
+            "generate",
+            "--vertices",
+            "400",
+            "--edges",
+            "3200",
+            "--communities",
+            "5",
+        ])
         .args(["--ratio", "3.0", "--seed", "7"])
-        .args(["--output", mtx.to_str().unwrap(), "--truth", truth.to_str().unwrap()])
+        .args([
+            "--output",
+            mtx.to_str().unwrap(),
+            "--truth",
+            truth.to_str().unwrap(),
+        ])
         .output()
         .expect("run hsbp generate");
-    assert!(out.status.success(), "generate failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "generate failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(mtx.exists() && truth.exists());
 
     // stats
@@ -37,15 +54,28 @@ fn generate_stats_detect_roundtrip() {
         .expect("run hsbp stats");
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(stdout.contains("vertices            400"), "stats output:\n{stdout}");
+    assert!(
+        stdout.contains("vertices            400"),
+        "stats output:\n{stdout}"
+    );
 
     // detect
     let out = hsbp()
-        .args(["detect", "--input", mtx.to_str().unwrap(), "--variant", "hsbp"])
+        .args([
+            "detect",
+            "--input",
+            mtx.to_str().unwrap(),
+            "--variant",
+            "hsbp",
+        ])
         .args(["--seed", "3", "--output", labels.to_str().unwrap()])
         .output()
         .expect("run hsbp detect");
-    assert!(out.status.success(), "detect failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "detect failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("communities"), "detect stderr:\n{stderr}");
 
@@ -65,13 +95,27 @@ fn generate_stats_detect_roundtrip() {
 fn detect_writes_labels_to_stdout_by_default() {
     let mtx = tmp("stdout.mtx");
     let status = hsbp()
-        .args(["generate", "--vertices", "60", "--edges", "400", "--seed", "1"])
+        .args([
+            "generate",
+            "--vertices",
+            "60",
+            "--edges",
+            "400",
+            "--seed",
+            "1",
+        ])
         .args(["--output", mtx.to_str().unwrap()])
         .status()
         .unwrap();
     assert!(status.success());
     let out = hsbp()
-        .args(["detect", "--input", mtx.to_str().unwrap(), "--variant", "sbp"])
+        .args([
+            "detect",
+            "--input",
+            mtx.to_str().unwrap(),
+            "--variant",
+            "sbp",
+        ])
         .output()
         .unwrap();
     assert!(out.status.success());
@@ -86,7 +130,10 @@ fn bad_usage_exits_nonzero() {
     let out = hsbp().args(["detect"]).output().unwrap();
     assert!(!out.status.success());
 
-    let out = hsbp().args(["detect", "--input", "/nonexistent/file.mtx"]).output().unwrap();
+    let out = hsbp()
+        .args(["detect", "--input", "/nonexistent/file.mtx"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
 
     let out = hsbp().args(["frobnicate", "--x", "1"]).output().unwrap();
@@ -102,6 +149,10 @@ fn detect_reads_plain_edge_lists() {
         .args(["detect", "--input", path.to_str().unwrap(), "--seed", "2"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert_eq!(String::from_utf8_lossy(&out.stdout).lines().count(), 6);
 }

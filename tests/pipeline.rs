@@ -9,7 +9,11 @@ use hsbp::metrics::{directed_modularity, nmi, normalized_mdl, pearson};
 use hsbp::{run_sbp, SbpConfig, Variant};
 
 fn quick_cfg(variant: Variant, seed: u64) -> SbpConfig {
-    SbpConfig { variant, seed, ..Default::default() }
+    SbpConfig {
+        variant,
+        seed,
+        ..Default::default()
+    }
 }
 
 #[test]
@@ -96,7 +100,11 @@ fn paper_claim_mdl_norm_tracks_nmi() {
         norms.push(result.normalized_mdl);
     }
     let c = pearson(&nmis, &norms);
-    assert!(c.r < -0.5, "expected strong negative correlation, got r = {}", c.r);
+    assert!(
+        c.r < -0.5,
+        "expected strong negative correlation, got r = {}",
+        c.r
+    );
 }
 
 #[test]
@@ -122,7 +130,11 @@ fn paper_claim_simulated_speedup_ordering() {
 
 #[test]
 fn deterministic_across_facade() {
-    let data = generate(DcsbmConfig { num_vertices: 200, seed: 12, ..Default::default() });
+    let data = generate(DcsbmConfig {
+        num_vertices: 200,
+        seed: 12,
+        ..Default::default()
+    });
     let a = run_sbp(&data.graph, &quick_cfg(Variant::AsyncGibbs, 8));
     let b = run_sbp(&data.graph, &quick_cfg(Variant::AsyncGibbs, 8));
     assert_eq!(a.assignment, b.assignment);

@@ -126,7 +126,10 @@ fn influence_heuristic_separates_domains() {
     });
     let c_social = degree_concentration(&social.graph, 0.15);
     let c_regular = degree_concentration(&regular.graph, 0.15);
-    assert!(c_social > c_regular, "social {c_social} vs regular {c_regular}");
+    assert!(
+        c_social > c_regular,
+        "social {c_social} vs regular {c_regular}"
+    );
     assert_eq!(asbp_convergence_risk(&regular.graph), AsbpRisk::High);
     assert_ne!(asbp_convergence_risk(&social.graph), AsbpRisk::High);
 }

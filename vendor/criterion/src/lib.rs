@@ -1,0 +1,211 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! implements the subset of criterion's API the workspace's benches use:
+//! [`Criterion::benchmark_group`] / [`Criterion::bench_function`],
+//! [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`],
+//! [`BenchmarkId::new`], [`black_box`] and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple: each benchmark runs a handful of
+//! wall-clock samples and prints the mean per-iteration time. When invoked
+//! with `--test` (what `cargo test` passes to `harness = false` targets)
+//! every benchmark body runs exactly once as a smoke test, so the tier-1
+//! suite stays fast.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Number of timed samples per benchmark in measurement mode.
+const MEASURE_SAMPLES: usize = 10;
+
+/// Label for a benchmark within a group (criterion's `BenchmarkId`).
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Combine a function name with a parameter value, as `name/param`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        BenchmarkId {
+            label: label.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    /// `true` when running under `cargo test` (`--test` flag): execute the
+    /// body once, skip repeated sampling.
+    smoke: bool,
+    /// Mean per-iteration wall time over all samples, when measuring.
+    mean: Option<Duration>,
+}
+
+impl Bencher {
+    /// Run `routine` repeatedly and record its mean wall-clock time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.smoke {
+            black_box(routine());
+            return;
+        }
+        // One warm-up call, then timed samples of one call each.
+        black_box(routine());
+        let mut total = Duration::ZERO;
+        for _ in 0..MEASURE_SAMPLES {
+            let start = Instant::now();
+            black_box(routine());
+            total += start.elapsed();
+        }
+        self.mean = Some(total / MEASURE_SAMPLES as u32);
+    }
+}
+
+/// The benchmark driver (criterion's `Criterion`).
+pub struct Criterion {
+    smoke: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let smoke = std::env::args().any(|a| a == "--test");
+        Criterion { smoke }
+    }
+}
+
+impl Criterion {
+    fn run_one(&mut self, label: &str, f: impl FnOnce(&mut Bencher)) {
+        let mut bencher = Bencher {
+            smoke: self.smoke,
+            mean: None,
+        };
+        f(&mut bencher);
+        match bencher.mean {
+            Some(mean) => println!("{label:<48} {mean:>12.2?}/iter"),
+            None if self.smoke => println!("{label:<48} ok (smoke)"),
+            None => println!("{label:<48} (no measurement)"),
+        }
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Benchmark a single closure.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let label = id.into().label;
+        self.run_one(&label, |b| f(b));
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; this shim's sample count is fixed.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmark a closure under this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into().label);
+        self.criterion.run_one(&label, |b| f(b));
+        self
+    }
+
+    /// Benchmark a closure that borrows a prepared input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into().label);
+        self.criterion.run_one(&label, |b| f(b, input));
+        self
+    }
+
+    /// End the group (printing happens eagerly; this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Bundle benchmark functions under one entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::new("square", 7u32), &7u32, |b, &x| {
+            b.iter(|| black_box(x * x))
+        });
+        group.bench_function("add", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs_groups() {
+        // Exercise both smoke and measurement paths.
+        benches();
+        let mut c = Criterion { smoke: true };
+        sample_bench(&mut c);
+        let mut c = Criterion { smoke: false };
+        c.bench_function("plain", |b| b.iter(|| black_box(2 * 2)));
+    }
+}

@@ -1,0 +1,244 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! implements the subset of rayon's API the workspace uses — `into_par_iter`
+//! on ranges and vectors, `par_iter` on slices, and the `map` / `map_init` /
+//! `filter` / `step_by` / `collect` / `count` adaptors — with *real*
+//! fork-join parallelism over [`std::thread::scope`]. Semantics match rayon
+//! where it matters for this workspace:
+//!
+//! * results are collected **in iteration order**, and
+//! * `map_init` creates one scratch value per worker chunk, never shared.
+//!
+//! Unlike rayon there is no work-stealing pool: each adaptor chain executes
+//! eagerly, splitting the items into one contiguous chunk per available
+//! core. On a single-core host everything runs inline with no thread
+//! overhead.
+
+use std::ops::Range;
+
+/// Number of worker threads a parallel section will use (rayon's
+/// `current_num_threads`).
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Run `f` over `items` in parallel (one contiguous chunk per thread),
+/// preserving order. `init` produces one per-chunk scratch value.
+fn parallel_map<T, U, I, F>(items: Vec<T>, init: impl Fn() -> I + Sync, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(&mut I, T) -> U + Sync,
+{
+    let threads = current_num_threads();
+    if threads <= 1 || items.len() < 2 {
+        let mut scratch = init();
+        return items
+            .into_iter()
+            .map(|item| f(&mut scratch, item))
+            .collect();
+    }
+    let chunk_len = items.len().div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::new();
+    let mut items = items;
+    while !items.is_empty() {
+        let tail = items.split_off(items.len().min(chunk_len));
+        chunks.push(std::mem::replace(&mut items, tail));
+    }
+    let f = &f;
+    let init = &init;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                scope.spawn(move || {
+                    let mut scratch = init();
+                    chunk
+                        .into_iter()
+                        .map(|item| f(&mut scratch, item))
+                        .collect::<Vec<U>>()
+                })
+            })
+            .collect();
+        let mut out = Vec::new();
+        for handle in handles {
+            out.extend(handle.join().expect("parallel worker panicked"));
+        }
+        out
+    })
+}
+
+/// An eagerly-evaluated parallel iterator over an owned item buffer.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Apply `f` to every item in parallel, preserving order.
+    pub fn map<U: Send, F: Fn(T) -> U + Sync>(self, f: F) -> ParIter<U> {
+        ParIter {
+            items: parallel_map(self.items, || (), |(), item| f(item)),
+        }
+    }
+
+    /// Like [`ParIter::map`] with a per-worker scratch value created by
+    /// `init` (rayon's `map_init`).
+    pub fn map_init<I, U, N, F>(self, init: N, f: F) -> ParIter<U>
+    where
+        U: Send,
+        N: Fn() -> I + Sync,
+        F: Fn(&mut I, T) -> U + Sync,
+    {
+        ParIter {
+            items: parallel_map(self.items, init, f),
+        }
+    }
+
+    /// Keep the items matching `predicate` (evaluated in parallel).
+    pub fn filter<P: Fn(&T) -> bool + Sync>(self, predicate: P) -> ParIter<T> {
+        let kept = parallel_map(
+            self.items,
+            || (),
+            |(), item| {
+                let keep = predicate(&item);
+                (keep, item)
+            },
+        );
+        ParIter {
+            items: kept
+                .into_iter()
+                .filter(|(k, _)| *k)
+                .map(|(_, item)| item)
+                .collect(),
+        }
+    }
+
+    /// Keep every `step`-th item starting from the first.
+    pub fn step_by(self, step: usize) -> ParIter<T> {
+        assert!(step > 0, "step_by requires a positive step");
+        ParIter {
+            items: self.items.into_iter().step_by(step).collect(),
+        }
+    }
+
+    /// Number of items.
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+
+    /// Collect into any container buildable from a `Vec` (in practice:
+    /// `Vec` itself).
+    pub fn collect<C: From<Vec<T>>>(self) -> C {
+        C::from(self.items)
+    }
+}
+
+/// Conversion into a [`ParIter`] (rayon's `IntoParallelIterator`).
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+    /// Create the parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+macro_rules! impl_range_par_iter {
+    ($($t:ty),+ $(,)?) => {$(
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )+};
+}
+
+impl_range_par_iter!(u8, u16, u32, u64, usize);
+
+/// Borrowing conversion (rayon's `IntoParallelRefIterator`): `par_iter` on
+/// slices and vectors.
+pub trait IntoParallelRefIterator<'a> {
+    /// Borrowed item type.
+    type Item: Send + 'a;
+    /// Create a parallel iterator over references.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// The traits a `use rayon::prelude::*` is expected to bring into scope.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let out: Vec<usize> = (0usize..1000).into_par_iter().map(|v| v * 2).collect();
+        assert_eq!(out, (0..1000).map(|v| v * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_init_scratch_is_private() {
+        // Each worker counts its own items; the mapped output must still be
+        // the identity regardless of how chunks were assigned.
+        let out: Vec<u32> = (0u32..257)
+            .into_par_iter()
+            .map_init(
+                || 0u32,
+                |count, v| {
+                    *count += 1;
+                    v
+                },
+            )
+            .collect();
+        assert_eq!(out, (0..257).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn filter_count_and_step_by() {
+        let evens = (0usize..100).into_par_iter().filter(|v| v % 2 == 0).count();
+        assert_eq!(evens, 50);
+        let strided: Vec<usize> = (0usize..10).into_par_iter().step_by(3).collect();
+        assert_eq!(strided, vec![0, 3, 6, 9]);
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let data = vec![1u64, 2, 3];
+        let doubled: Vec<u64> = data.par_iter().map(|&v| v * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+        assert_eq!(data.len(), 3);
+    }
+
+    #[test]
+    fn current_num_threads_positive() {
+        assert!(super::current_num_threads() >= 1);
+    }
+}
