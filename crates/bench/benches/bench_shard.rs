@@ -40,7 +40,7 @@ fn bench(c: &mut Criterion) {
             ..Default::default()
         };
         group.bench_with_input(BenchmarkId::new("sharded", shards), &cfg, |b, cfg| {
-            b.iter(|| black_box(run_sharded_sbp(&data.graph, cfg)))
+            b.iter(|| black_box(run_sharded_sbp(&data.graph, cfg).expect("valid config")))
         });
     }
     group.finish();

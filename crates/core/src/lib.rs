@@ -36,6 +36,7 @@
 
 pub mod config;
 pub mod driver;
+pub mod error;
 pub mod influence;
 pub mod mcmc;
 pub mod merge;
@@ -43,6 +44,7 @@ pub mod stats;
 
 pub use config::{SbpConfig, Variant};
 pub use driver::{run_sbp, SbpResult};
+pub use error::HsbpError;
 pub use influence::{asbp_convergence_risk, degree_concentration, degree_gini, AsbpRisk};
 pub use mcmc::{run_mcmc_phase, McmcOutcome};
 pub use merge::{merge_phase, MergeOutcome};

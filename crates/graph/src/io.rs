@@ -5,6 +5,10 @@
 //! Collection as `.mtx` coordinate files; the reader here accepts the
 //! `matrix coordinate {pattern|integer|real} general` headers those use.
 //! Vertices in Matrix Market are 1-based; [`Graph`] ids are 0-based.
+//!
+//! Reader paths must surface malformed input as [`IoError`], never panic.
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use crate::{Graph, GraphBuilder, Vertex, Weight};
 use std::io::{BufRead, BufReader, Read, Write};
@@ -214,7 +218,7 @@ pub fn read_edge_list<R: Read>(reader: R, num_vertices: Option<usize>) -> Result
         let mut parts = trimmed.split_whitespace();
         let u: Vertex = parts
             .next()
-            .unwrap()
+            .ok_or_else(|| parse_err(lineno, "missing source"))?
             .parse()
             .map_err(|e| parse_err(lineno, format!("bad source: {e}")))?;
         let v: Vertex = parts
@@ -269,6 +273,7 @@ pub fn load_path(path: impl AsRef<Path>) -> Result<Graph, IoError> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

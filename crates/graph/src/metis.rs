@@ -8,6 +8,10 @@
 //! three-digit flag string `[vertex-sizes][vertex-weights][edge-weights]`;
 //! only edge weights (`fmt % 10 == 1`) affect the topology and are
 //! supported here (vertex weights are parsed and skipped).
+//!
+//! Reader paths must surface malformed input as [`IoError`], never panic.
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use crate::io::IoError;
 use crate::{Graph, GraphBuilder, Vertex, Weight};
@@ -188,6 +192,7 @@ pub fn write_metis<W: Write>(graph: &Graph, mut writer: W) -> std::io::Result<()
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

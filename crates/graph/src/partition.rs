@@ -5,6 +5,10 @@
 //! interchange format for handing an externally computed vertex partition to
 //! the sharded SBP pipeline, and the writer lets partitions computed here be
 //! fed back to METIS tooling.
+//!
+//! Reader paths must surface malformed input as [`IoError`], never panic.
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use crate::io::IoError;
 use std::io::{BufRead, BufReader, Read, Write};
@@ -36,7 +40,9 @@ pub fn read_partition<R: Read>(reader: R) -> Result<Vec<u32>, IoError> {
         // METIS writes exactly one id per line; accept (and reject with a
         // clear message) anything else on the line.
         let mut tokens = trimmed.split_whitespace();
-        let token = tokens.next().expect("non-empty trimmed line has a token");
+        let token = tokens
+            .next()
+            .ok_or_else(|| parse_err(lineno, "missing part id"))?;
         if tokens.next().is_some() {
             return Err(parse_err(lineno, "expected one part id per line"));
         }
@@ -71,6 +77,7 @@ pub fn write_partition_file(parts: &[u32], path: impl AsRef<Path>) -> std::io::R
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -15,29 +15,68 @@ use hsbp_timing::Chunking;
 use rayon::prelude::*;
 
 /// splitmix64-style word mixer for deriving per-shard seeds.
-fn mix(a: u64, b: u64) -> u64 {
+pub(crate) fn mix(a: u64, b: u64) -> u64 {
     let mut z = a ^ b.wrapping_mul(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     z ^ (z >> 31)
 }
 
+/// Which account a shard's cost figure came from. The simulated account is
+/// in abstract cost units; the wall-clock fallback is in host seconds. The
+/// two are **not** comparable, so a curve mixing them reports no speedups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CostBasis {
+    /// `hsbp-timing`'s simulated serial cost (abstract units).
+    Simulated,
+    /// Wall-clock seconds — used when the config's `sim_thread_counts` does
+    /// not track 1 thread. Fine on its own, bogus when mixed with
+    /// [`CostBasis::Simulated`] entries.
+    WallClock,
+    /// No cost available: the shard failed permanently and was dropped.
+    Missing,
+}
+
 /// Emulated strong scaling of the per-shard phase over distributed ranks.
 #[derive(Debug, Clone)]
 pub struct EmulatedScaling {
-    /// Simulated serial cost of each shard's SBP run (abstract cost units,
-    /// shard order). Falls back to wall-clock seconds when the config's
-    /// `sim_thread_counts` does not track 1 thread.
+    /// Cost of each shard's SBP run (shard order; see `per_shard_basis` for
+    /// units). Dropped shards contribute 0.
     pub per_shard_cost: Vec<f64>,
+    /// Which account each `per_shard_cost` entry came from.
+    pub per_shard_basis: Vec<CostBasis>,
     /// `(ranks, emulated makespan)` for rank counts `1, 2, 4, …` up to the
     /// shard count, scheduling whole shards greedily onto ranks.
     pub curve: Vec<(usize, f64)>,
 }
 
 impl EmulatedScaling {
-    /// Emulated speedup of running on `ranks` ranks vs. one rank (None if
-    /// `ranks` is not on the curve or the one-rank cost is zero).
+    /// True when the curve mixes simulated cost units with wall-clock
+    /// seconds — the two scales are incommensurable, so any speedup read
+    /// off such a curve would be bogus.
+    pub fn mixed_basis(&self) -> bool {
+        let simulated = self.per_shard_basis.contains(&CostBasis::Simulated);
+        let wall = self.per_shard_basis.contains(&CostBasis::WallClock);
+        simulated && wall
+    }
+
+    /// Shards whose cost fell back to wall-clock seconds.
+    pub fn wall_clock_shards(&self) -> Vec<usize> {
+        self.per_shard_basis
+            .iter()
+            .enumerate()
+            .filter(|&(_, &b)| b == CostBasis::WallClock)
+            .map(|(s, _)| s)
+            .collect()
+    }
+
+    /// Emulated speedup of running on `ranks` ranks vs. one rank. None if
+    /// `ranks` is not on the curve, the one-rank cost is zero, or the curve
+    /// mixes cost bases (see [`EmulatedScaling::mixed_basis`]).
     pub fn speedup(&self, ranks: usize) -> Option<f64> {
+        if self.mixed_basis() {
+            return None;
+        }
         let one = self.curve.iter().find(|&&(r, _)| r == 1)?.1;
         let at = self.curve.iter().find(|&&(r, _)| r == ranks)?.1;
         if at > 0.0 {
@@ -48,12 +87,47 @@ impl EmulatedScaling {
     }
 }
 
-/// Serial simulated cost of one shard run (wall clock as fallback).
-fn shard_cost(result: &SbpResult) -> f64 {
-    result
-        .stats
-        .sim_total_time(1)
-        .unwrap_or_else(|| result.stats.timer.grand_total().as_secs_f64())
+/// Serial cost of one shard run: the simulated account when it tracks one
+/// thread, wall clock otherwise — the basis records which.
+pub(crate) fn shard_cost(result: &SbpResult) -> (f64, CostBasis) {
+    match result.stats.sim_total_time(1) {
+        Some(cost) => (cost, CostBasis::Simulated),
+        None => (
+            result.stats.timer.grand_total().as_secs_f64(),
+            CostBasis::WallClock,
+        ),
+    }
+}
+
+/// Build the emulated rank-scaling curve from per-shard costs.
+pub(crate) fn scaling_from_costs(
+    per_shard_cost: Vec<f64>,
+    per_shard_basis: Vec<CostBasis>,
+) -> EmulatedScaling {
+    let num_shards = per_shard_cost.len().max(1);
+    // Shards are independent jobs: a free rank grabs the next one (LPT-ish
+    // greedy), which is Dynamic scheduling with chunk size 1.
+    let mut rank_counts: Vec<usize> = [1usize, 2, 4, 8, 16, 32, 64, 128]
+        .into_iter()
+        .filter(|&r| r <= num_shards)
+        .collect();
+    if rank_counts.last() != Some(&num_shards) {
+        rank_counts.push(num_shards);
+    }
+    let curve = rank_counts
+        .into_iter()
+        .map(|r| {
+            (
+                r,
+                makespan(&per_shard_cost, r, Chunking::Dynamic { chunk_size: 1 }),
+            )
+        })
+        .collect();
+    EmulatedScaling {
+        per_shard_cost,
+        per_shard_basis,
+        curve,
+    }
 }
 
 /// Outer-iteration budget that stops a shard's agglomerative search while
@@ -81,54 +155,48 @@ fn overpartition_iterations(num_vertices: usize, reduction_rate: f64) -> usize {
 /// [`overpartition_iterations`]); the stitch phase finishes the search
 /// globally.
 pub fn run_shards(plan: &ShardPlan, cfg: &ShardConfig) -> (Vec<SbpResult>, EmulatedScaling) {
-    let configs: Vec<SbpConfig> = (0..plan.num_shards())
-        .map(|s| {
-            let n = plan.shards[s].graph.num_vertices();
-            let iters = overpartition_iterations(n, cfg.sbp.block_reduction_rate)
-                .min(cfg.sbp.max_outer_iterations.max(1));
-            SbpConfig {
-                seed: mix(cfg.sbp.seed, s as u64),
-                max_outer_iterations: iters,
-                ..cfg.sbp.clone()
-            }
-        })
+    let jobs: Vec<(usize, SbpConfig)> = (0..plan.num_shards())
+        .map(|s| (s, shard_sbp_config(plan, cfg, s, 1)))
         .collect();
-    let jobs: Vec<(usize, SbpConfig)> = configs.into_iter().enumerate().collect();
     let results: Vec<SbpResult> = jobs
         .into_par_iter()
         .map(|(s, shard_cfg)| run_sbp(&plan.shards[s].graph, &shard_cfg))
         .collect();
 
-    let per_shard_cost: Vec<f64> = results.iter().map(shard_cost).collect();
-    // Shards are independent jobs: a free rank grabs the next one (LPT-ish
-    // greedy), which is Dynamic scheduling with chunk size 1.
-    let mut rank_counts: Vec<usize> = [1usize, 2, 4, 8, 16, 32, 64, 128]
-        .into_iter()
-        .filter(|&r| r <= plan.num_shards())
-        .collect();
-    if rank_counts.last() != Some(&plan.num_shards()) {
-        rank_counts.push(plan.num_shards());
-    }
-    let curve = rank_counts
-        .into_iter()
-        .map(|r| {
-            (
-                r,
-                makespan(&per_shard_cost, r, Chunking::Dynamic { chunk_size: 1 }),
-            )
-        })
-        .collect();
+    let (per_shard_cost, per_shard_basis): (Vec<f64>, Vec<CostBasis>) =
+        results.iter().map(shard_cost).unzip();
+    let scaling = scaling_from_costs(per_shard_cost, per_shard_basis);
+    (results, scaling)
+}
 
-    (
-        results,
-        EmulatedScaling {
-            per_shard_cost,
-            curve,
-        },
-    )
+/// The SBP configuration of one shard attempt. Attempt 1 derives its seed
+/// exactly as the unsupervised path always has (`mix(seed, shard)`), so
+/// zero-fault supervised runs are bit-identical to [`run_shards`]; retries
+/// fold the attempt number in for a fresh, still-deterministic stream.
+pub(crate) fn shard_sbp_config(
+    plan: &ShardPlan,
+    cfg: &ShardConfig,
+    shard: usize,
+    attempt: usize,
+) -> SbpConfig {
+    let n = plan.shards[shard].graph.num_vertices();
+    let iters = overpartition_iterations(n, cfg.sbp.block_reduction_rate)
+        .min(cfg.sbp.max_outer_iterations.max(1));
+    let base = mix(cfg.sbp.seed, shard as u64);
+    let seed = if attempt <= 1 {
+        base
+    } else {
+        mix(base, attempt as u64)
+    };
+    SbpConfig {
+        seed,
+        max_outer_iterations: iters,
+        ..cfg.sbp.clone()
+    }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::partition::{partition_graph, PartitionStrategy};

@@ -16,11 +16,22 @@
 //!    by a short full-graph MCMC finetune (H-SBP by default) so boundary
 //!    vertices that were sharded away from their community can cross over;
 //! 3. returns the best-MDL state the bracket search evaluated.
+//!
+//! Under supervision ([`stitch_supervised`]) a shard may have been dropped.
+//! The union then covers surviving shards only, and the dropped shards'
+//! vertices are reassigned by **majority vote over their cut edges**:
+//! repeated passes give every orphaned vertex the block that the plurality
+//! of its already-assigned neighbours (weighted, both edge directions)
+//! belong to. Vertices unreachable from any survivor fall back to the
+//! largest surviving block. The finetune sweeps that follow see the full
+//! edge set and polish these guessed memberships like any other boundary
+//! vertex.
 
 use crate::ShardConfig;
 use hsbp_blockmodel::{mdl, Block, Blockmodel};
-use hsbp_core::{merge_phase, run_mcmc_phase, RunStats, SbpConfig, SbpResult};
+use hsbp_core::{merge_phase, run_mcmc_phase, HsbpError, RunStats, SbpConfig, SbpResult};
 use hsbp_graph::Graph;
+use std::collections::HashMap;
 
 /// What the stitch phase did, for reporting.
 #[derive(Debug, Clone)]
@@ -35,6 +46,9 @@ pub struct StitchReport {
     pub finetune_sweeps: usize,
     /// MDL of the raw stitched state (before any merge/finetune).
     pub stitched_mdl: f64,
+    /// Vertices of dropped shards reassigned by majority vote (0 on
+    /// non-degraded runs).
+    pub reassigned_vertices: usize,
 }
 
 /// One evaluated point of the stitch search: a partition at a block count.
@@ -52,7 +66,7 @@ const GOLDEN: f64 = 0.382;
 /// disjoint block ids. Returns `(assignment, num_blocks)`.
 fn union_assignment(
     plan: &crate::partition::ShardPlan,
-    shard_results: &[SbpResult],
+    shard_results: &[&SbpResult],
 ) -> (Vec<Block>, usize) {
     let mut offsets = Vec::with_capacity(shard_results.len());
     let mut total_blocks = 0usize;
@@ -71,6 +85,114 @@ fn union_assignment(
     (assignment, total_blocks.max(1))
 }
 
+/// Union over *surviving* shards only: dropped shards' vertices come back
+/// as `None`. Returns `(partial assignment, num surviving blocks)`.
+fn union_surviving(
+    plan: &crate::partition::ShardPlan,
+    results: &[Option<SbpResult>],
+) -> (Vec<Option<Block>>, usize) {
+    let mut offsets = vec![0 as Block; results.len()];
+    let mut total_blocks = 0usize;
+    for (shard, result) in results.iter().enumerate() {
+        if let Some(r) = result {
+            offsets[shard] = total_blocks as Block;
+            total_blocks += r.num_blocks;
+        }
+    }
+    let assignment = plan
+        .parts
+        .iter()
+        .zip(&plan.local_ids)
+        .map(|(&shard, &local)| {
+            results[shard as usize]
+                .as_ref()
+                .map(|r| r.assignment[local as usize] + offsets[shard as usize])
+        })
+        .collect();
+    (assignment, total_blocks)
+}
+
+/// Fill every `None` slot by weighted majority vote over assigned
+/// neighbours (both edge directions). Runs passes until a fixpoint so
+/// orphaned regions flood-fill inward from the cut; anything still
+/// unassigned (no path to a survivor) falls back to the largest surviving
+/// block. Deterministic: vertices are visited in ascending order against a
+/// per-pass snapshot, ties break toward the lowest block id.
+///
+/// Returns the number of vertices reassigned.
+fn reassign_dropped(graph: &Graph, assigned: &mut [Option<Block>], num_blocks: usize) -> usize {
+    let n = assigned.len();
+    let orphaned: Vec<usize> = (0..n).filter(|&v| assigned[v].is_none()).collect();
+    if orphaned.is_empty() {
+        return 0;
+    }
+    loop {
+        let snapshot: Vec<Option<Block>> = assigned.to_vec();
+        let mut progress = false;
+        for &v in &orphaned {
+            if assigned[v].is_some() {
+                continue;
+            }
+            let mut votes: HashMap<Block, u64> = HashMap::new();
+            for (u, w) in graph.out_edges(v as u32) {
+                if let Some(b) = snapshot[u as usize] {
+                    *votes.entry(b).or_insert(0) += w;
+                }
+            }
+            for (u, w) in graph.in_edges(v as u32) {
+                if let Some(b) = snapshot[u as usize] {
+                    *votes.entry(b).or_insert(0) += w;
+                }
+            }
+            // Plurality by weight, lowest block id on ties.
+            let winner = votes
+                .into_iter()
+                .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)));
+            if let Some((block, _)) = winner {
+                assigned[v] = Some(block);
+                progress = true;
+            }
+        }
+        if !progress {
+            break;
+        }
+    }
+    // Isolated remainder: largest surviving block (ties toward lowest id).
+    let mut sizes = vec![0usize; num_blocks];
+    for b in assigned.iter().flatten() {
+        if (*b as usize) < num_blocks {
+            sizes[*b as usize] += 1;
+        }
+    }
+    let fallback = sizes
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+        .map(|(b, _)| b as Block)
+        .unwrap_or(0);
+    for slot in assigned.iter_mut() {
+        if slot.is_none() {
+            *slot = Some(fallback);
+        }
+    }
+    orphaned.len()
+}
+
+/// Fold the per-shard instrumentation accounts into the global stats so the
+/// final result's simulated/wall timings cover the whole pipeline.
+fn fold_stats<'a>(stats: &mut RunStats, results: impl Iterator<Item = &'a SbpResult>) {
+    for result in results {
+        stats.timer.merge(&result.stats.timer);
+        stats.sim_mcmc.merge(&result.stats.sim_mcmc);
+        stats.sim_merge.merge(&result.stats.sim_merge);
+        stats.mcmc_sweeps += result.stats.mcmc_sweeps;
+        stats.mcmc_phases += result.stats.mcmc_phases;
+        stats.outer_iterations += result.stats.outer_iterations;
+        stats.proposals += result.stats.proposals;
+        stats.accepted += result.stats.accepted;
+    }
+}
+
 /// Stitch per-shard results into a full-graph [`SbpResult`].
 ///
 /// `shard_results[s]` must be the result of running SBP on
@@ -86,50 +208,114 @@ pub fn stitch(
         shard_results.len(),
         "one result per shard"
     );
-    let n = graph.num_vertices();
-    let finetune_cfg = SbpConfig {
+    let finetune_cfg = finetune_config(cfg);
+    let mut stats = RunStats::new(&finetune_cfg);
+    fold_stats(&mut stats, shard_results.iter());
+    if graph.num_vertices() == 0 {
+        return empty_stitch(stats);
+    }
+    let refs: Vec<&SbpResult> = shard_results.iter().collect();
+    let (assignment, blocks_stitched) = union_assignment(plan, &refs);
+    stitch_core(graph, assignment, blocks_stitched, 0, stats, cfg)
+}
+
+/// Stitch the (possibly gappy) results of a supervised run. Dropped shards
+/// (`None` entries) trigger graceful degradation: their vertices are
+/// majority-voted onto surviving shards' blocks before the merge/finetune
+/// search (see module docs). With every shard present this is exactly
+/// [`stitch`] — bit for bit.
+pub fn stitch_supervised(
+    graph: &Graph,
+    plan: &crate::partition::ShardPlan,
+    results: &[Option<SbpResult>],
+    cfg: &ShardConfig,
+) -> Result<(SbpResult, StitchReport), HsbpError> {
+    assert_eq!(plan.num_shards(), results.len(), "one slot per shard");
+    let finetune_cfg = finetune_config(cfg);
+    let mut stats = RunStats::new(&finetune_cfg);
+    fold_stats(&mut stats, results.iter().flatten());
+    if graph.num_vertices() == 0 {
+        return Ok(empty_stitch(stats));
+    }
+    if results.iter().all(Option::is_none) {
+        return Err(HsbpError::AllShardsFailed {
+            num_shards: results.len(),
+        });
+    }
+
+    let (assignment, blocks_stitched, reassigned) = if results.iter().all(Option::is_some) {
+        // Reuse the exact non-degraded union so zero-fault runs stay
+        // bit-identical to the unsupervised path.
+        let full: Vec<&SbpResult> = results.iter().flatten().collect();
+        let (a, b) = union_assignment(plan, &full);
+        (a, b, 0)
+    } else {
+        let (partial, surviving_blocks) = union_surviving(plan, results);
+        let mut partial = partial;
+        if surviving_blocks == 0 {
+            // Survivors exist but hold zero blocks (all empty shards):
+            // nothing to vote onto.
+            return Err(HsbpError::AllShardsFailed {
+                num_shards: results.len(),
+            });
+        }
+        let reassigned = reassign_dropped(graph, &mut partial, surviving_blocks);
+        let assignment: Vec<Block> = partial.into_iter().map(|b| b.unwrap_or(0)).collect();
+        (assignment, surviving_blocks.max(1), reassigned)
+    };
+    Ok(stitch_core(
+        graph,
+        assignment,
+        blocks_stitched,
+        reassigned,
+        stats,
+        cfg,
+    ))
+}
+
+fn finetune_config(cfg: &ShardConfig) -> SbpConfig {
+    SbpConfig {
         variant: cfg.finetune_variant,
         max_sweeps: cfg.finetune_sweeps,
         ..cfg.sbp.clone()
+    }
+}
+
+fn empty_stitch(stats: RunStats) -> (SbpResult, StitchReport) {
+    let report = StitchReport {
+        blocks_stitched: 0,
+        blocks_final: 0,
+        steps: 0,
+        finetune_sweeps: 0,
+        stitched_mdl: 0.0,
+        reassigned_vertices: 0,
     };
-    let mut stats = RunStats::new(&finetune_cfg);
-    // Fold the per-shard accounts into the global stats so the final
-    // result's simulated/wall timings cover the whole pipeline.
-    for result in shard_results {
-        stats.timer.merge(&result.stats.timer);
-        stats.sim_mcmc.merge(&result.stats.sim_mcmc);
-        stats.sim_merge.merge(&result.stats.sim_merge);
-        stats.mcmc_sweeps += result.stats.mcmc_sweeps;
-        stats.mcmc_phases += result.stats.mcmc_phases;
-        stats.outer_iterations += result.stats.outer_iterations;
-        stats.proposals += result.stats.proposals;
-        stats.accepted += result.stats.accepted;
-    }
+    let result = SbpResult {
+        assignment: Vec::new(),
+        num_blocks: 0,
+        mdl: mdl::Mdl {
+            log_likelihood: 0.0,
+            model_complexity: 0.0,
+            total: 0.0,
+        },
+        normalized_mdl: f64::NAN,
+        trajectory: Vec::new(),
+        stats,
+    };
+    (result, report)
+}
 
-    if n == 0 {
-        let report = StitchReport {
-            blocks_stitched: 0,
-            blocks_final: 0,
-            steps: 0,
-            finetune_sweeps: 0,
-            stitched_mdl: 0.0,
-        };
-        let result = SbpResult {
-            assignment: Vec::new(),
-            num_blocks: 0,
-            mdl: mdl::Mdl {
-                log_likelihood: 0.0,
-                model_complexity: 0.0,
-                total: 0.0,
-            },
-            normalized_mdl: f64::NAN,
-            trajectory: Vec::new(),
-            stats,
-        };
-        return (result, report);
-    }
-
-    let (assignment, blocks_stitched) = union_assignment(plan, shard_results);
+/// The global merge/finetune search over a stitched union assignment.
+fn stitch_core(
+    graph: &Graph,
+    assignment: Vec<Block>,
+    blocks_stitched: usize,
+    reassigned_vertices: usize,
+    mut stats: RunStats,
+    cfg: &ShardConfig,
+) -> (SbpResult, StitchReport) {
+    let n = graph.num_vertices();
+    let finetune_cfg = finetune_config(cfg);
     let mut bm = Blockmodel::from_assignment(graph, assignment, blocks_stitched);
     let stitched_mdl = mdl::mdl(&bm, n, graph.total_weight()).total;
 
@@ -153,39 +339,36 @@ pub fn stitch(
         if steps >= cfg.sbp.max_outer_iterations {
             break;
         }
-        let bracketed = mid.is_some() && lower.is_some();
         // Decide the next block-count target and the state to merge from.
-        let target = if !bracketed {
-            let b = bm.num_blocks();
-            if b <= 1 {
-                break;
+        let target = match (&upper, &mid, &lower) {
+            (Some(u), Some(m), Some(l)) => {
+                if u.num_blocks.saturating_sub(l.num_blocks) <= 2 {
+                    break; // no interior candidate besides mid
+                }
+                let gap_hi = u.num_blocks - m.num_blocks;
+                let gap_lo = m.num_blocks - l.num_blocks;
+                if gap_hi >= gap_lo && gap_hi >= 2 {
+                    let t = m.num_blocks + ((gap_hi as f64) * GOLDEN).round() as usize;
+                    let t = t.clamp(m.num_blocks + 1, u.num_blocks - 1);
+                    let source = u.clone();
+                    bm = Blockmodel::from_assignment(graph, source.assignment, source.num_blocks);
+                    t
+                } else if gap_lo >= 2 {
+                    let t = m.num_blocks - ((gap_lo as f64) * GOLDEN).round() as usize;
+                    let t = t.clamp(l.num_blocks + 1, m.num_blocks - 1);
+                    let source = m.clone();
+                    bm = Blockmodel::from_assignment(graph, source.assignment, source.num_blocks);
+                    t
+                } else {
+                    break;
+                }
             }
-            (((b as f64) * cfg.sbp.block_reduction_rate).round() as usize).clamp(1, b - 1)
-        } else {
-            let (u, m, l) = (
-                upper.as_ref().expect("upper always set"),
-                mid.as_ref().unwrap(),
-                lower.as_ref().unwrap(),
-            );
-            if u.num_blocks.saturating_sub(l.num_blocks) <= 2 {
-                break; // no interior candidate besides mid
-            }
-            let gap_hi = u.num_blocks - m.num_blocks;
-            let gap_lo = m.num_blocks - l.num_blocks;
-            if gap_hi >= gap_lo && gap_hi >= 2 {
-                let t = m.num_blocks + ((gap_hi as f64) * GOLDEN).round() as usize;
-                let t = t.clamp(m.num_blocks + 1, u.num_blocks - 1);
-                let source = u.clone();
-                bm = Blockmodel::from_assignment(graph, source.assignment, source.num_blocks);
-                t
-            } else if gap_lo >= 2 {
-                let t = m.num_blocks - ((gap_lo as f64) * GOLDEN).round() as usize;
-                let t = t.clamp(l.num_blocks + 1, m.num_blocks - 1);
-                let source = m.clone();
-                bm = Blockmodel::from_assignment(graph, source.assignment, source.num_blocks);
-                t
-            } else {
-                break;
+            _ => {
+                let b = bm.num_blocks();
+                if b <= 1 {
+                    break;
+                }
+                (((b as f64) * cfg.sbp.block_reduction_rate).round() as usize).clamp(1, b - 1)
             }
         };
 
@@ -213,13 +396,16 @@ pub fn stitch(
         match &mid {
             None => mid = Some(evaluated),
             Some(m) if evaluated.mdl_total < m.mdl_total => {
-                let displaced = mid.take().unwrap();
-                if evaluated.num_blocks < displaced.num_blocks {
-                    if displaced.num_blocks < upper.as_ref().map_or(usize::MAX, |u| u.num_blocks) {
-                        upper = Some(displaced);
+                if let Some(displaced) = mid.take() {
+                    if evaluated.num_blocks < displaced.num_blocks {
+                        if displaced.num_blocks
+                            < upper.as_ref().map_or(usize::MAX, |u| u.num_blocks)
+                        {
+                            upper = Some(displaced);
+                        }
+                    } else if displaced.num_blocks > lower.as_ref().map_or(0, |l| l.num_blocks) {
+                        lower = Some(displaced);
                     }
-                } else if displaced.num_blocks > lower.as_ref().map_or(0, |l| l.num_blocks) {
-                    lower = Some(displaced);
                 }
                 mid = Some(evaluated);
             }
@@ -246,7 +432,11 @@ pub fn stitch(
         }
     }
 
-    let best = mid.or(upper).expect("at least the stitched union exists");
+    let best = match mid.or(upper) {
+        Some(best) => best,
+        // `upper` is seeded with the stitched union and never cleared.
+        None => unreachable!("the stitched union is always recorded"),
+    };
     let best_bm = Blockmodel::from_assignment(graph, best.assignment.clone(), best.num_blocks);
     let final_mdl = mdl::mdl(&best_bm, n, graph.total_weight());
     let null = mdl::null_mdl(graph.total_weight());
@@ -268,11 +458,13 @@ pub fn stitch(
         steps,
         finetune_sweeps,
         stitched_mdl,
+        reassigned_vertices,
     };
     (result, report)
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::partition::{partition_graph, PartitionStrategy};
@@ -337,5 +529,75 @@ mod tests {
         assert_eq!(result.assignment.len(), 12);
         assert!(result.num_blocks >= 1);
         assert!(result.mdl.total.is_finite());
+    }
+
+    #[test]
+    fn supervised_stitch_with_all_results_matches_plain_stitch() {
+        let g = cliques(3, 6);
+        let cfg = ShardConfig {
+            num_shards: 3,
+            ..Default::default()
+        };
+        let plan = partition_graph(&g, 3, &PartitionStrategy::RoundRobin);
+        let (shard_results, _) = run_shards(&plan, &cfg);
+        let (plain, plain_report) = stitch(&g, &plan, &shard_results, &cfg);
+        let slots: Vec<Option<SbpResult>> = shard_results.into_iter().map(Some).collect();
+        let (sup, sup_report) = stitch_supervised(&g, &plan, &slots, &cfg).unwrap();
+        assert_eq!(plain.assignment, sup.assignment);
+        assert_eq!(plain.num_blocks, sup.num_blocks);
+        assert_eq!(plain.mdl.total, sup.mdl.total);
+        assert_eq!(plain_report.blocks_stitched, sup_report.blocks_stitched);
+        assert_eq!(sup_report.reassigned_vertices, 0);
+    }
+
+    #[test]
+    fn degraded_stitch_reassigns_dropped_shard_vertices() {
+        let g = cliques(3, 8);
+        let cfg = ShardConfig {
+            num_shards: 3,
+            ..Default::default()
+        };
+        let plan = partition_graph(&g, 3, &PartitionStrategy::RoundRobin);
+        let (shard_results, _) = run_shards(&plan, &cfg);
+        let dropped = plan.shards[1].graph.num_vertices();
+        let mut slots: Vec<Option<SbpResult>> = shard_results.into_iter().map(Some).collect();
+        slots[1] = None;
+        let (result, report) = stitch_supervised(&g, &plan, &slots, &cfg).unwrap();
+        assert_eq!(report.reassigned_vertices, dropped);
+        assert_eq!(result.assignment.len(), 24);
+        // Every clique still ends whole: the finetune sweeps see all edges.
+        for k in 0..3 {
+            let b = result.assignment[k * 8];
+            for v in 0..8 {
+                assert_eq!(result.assignment[k * 8 + v], b, "clique {k} split");
+            }
+        }
+    }
+
+    #[test]
+    fn all_none_slots_error() {
+        let g = cliques(2, 4);
+        let cfg = ShardConfig {
+            num_shards: 2,
+            ..Default::default()
+        };
+        let plan = partition_graph(&g, 2, &PartitionStrategy::RoundRobin);
+        let slots: Vec<Option<SbpResult>> = vec![None, None];
+        assert!(matches!(
+            stitch_supervised(&g, &plan, &slots, &cfg),
+            Err(HsbpError::AllShardsFailed { num_shards: 2 })
+        ));
+    }
+
+    #[test]
+    fn majority_vote_is_weight_aware_and_deterministic() {
+        // Path 0-1-2 where 1 is orphaned; edge (1,2) carries more weight
+        // than (0,1), so vertex 1 must join 2's block.
+        let edges: Vec<(Vertex, Vertex)> = vec![(0, 1), (1, 2), (1, 2)];
+        let g = Graph::from_edges(3, &edges);
+        let mut assigned = vec![Some(0), None, Some(1)];
+        let moved = reassign_dropped(&g, &mut assigned, 2);
+        assert_eq!(moved, 1);
+        assert_eq!(assigned[1], Some(1));
     }
 }

@@ -1,8 +1,13 @@
-//! Property tests for the shard partitioning layer: translation tables,
-//! conservation of vertices/edges, and cut accounting.
+//! Property tests for the shard partitioning layer (translation tables,
+//! conservation of vertices/edges, cut accounting) and the supervision
+//! layer (fault plans never break completed runs; zero-fault supervised
+//! runs are bit-identical to the unsupervised path).
 
 use hsbp_graph::{Graph, Vertex};
-use hsbp_shard::{partition_graph, PartitionStrategy};
+use hsbp_shard::{
+    partition_graph, run_sharded_sbp, run_sharded_sbp_detailed, run_shards, stitch,
+    AttemptSelector, FaultKind, FaultPlan, PartitionStrategy, ShardConfig,
+};
 use proptest::prelude::*;
 
 fn arb_graph(max_n: u32, max_m: usize) -> impl Strategy<Value = Graph> {
@@ -70,5 +75,80 @@ proptest! {
                 prop_assert_eq!(parent_w, Some(w));
             }
         }
+    }
+}
+
+/// One generated fault directive targeting shards `1..k` — shard 0 is
+/// always left alone, so at least one non-empty shard survives every plan.
+fn arb_fault(k: usize) -> impl Strategy<Value = (usize, u8, u8)> {
+    (1..k.max(2), 0u8..3, 0u8..3)
+}
+
+fn build_plan(k: usize, raw: Vec<(usize, u8, u8)>) -> FaultPlan {
+    let mut plan = FaultPlan::none();
+    for (shard, sel, kind) in raw {
+        let shard = shard.min(k - 1).max(1);
+        let attempts = match sel {
+            0 => AttemptSelector::On(1),
+            1 => AttemptSelector::On(2),
+            _ => AttemptSelector::Every,
+        };
+        let kind = match kind {
+            0 => FaultKind::Panic,
+            1 => FaultKind::Corrupt,
+            _ => FaultKind::Delay(1e9),
+        };
+        plan = plan.with(shard, attempts, kind);
+    }
+    plan
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Any seeded fault plan that leaves at least one shard alive (shard 0
+    /// is never targeted here) still yields `Ok` with a full membership
+    /// vector: dropped shards degrade, they do not abort.
+    #[test]
+    fn faulty_runs_still_complete(
+        g in arb_graph(40, 100),
+        k in 2usize..5,
+        raw in proptest::collection::vec(arb_fault(5), 0..6),
+        seed in 0u64..1000,
+    ) {
+        let n = g.num_vertices();
+        let mut cfg = ShardConfig::new(k, seed);
+        cfg.strategy = PartitionStrategy::RoundRobin; // shard 0 non-empty
+        cfg.supervision.fault_plan = build_plan(k, raw);
+        let run = run_sharded_sbp_detailed(&g, &cfg);
+        let run = run.expect("a surviving shard means the run completes");
+        prop_assert_eq!(run.result.assignment.len(), n);
+        prop_assert!(run.result.num_blocks >= 1);
+        for (v, &b) in run.result.assignment.iter().enumerate() {
+            prop_assert!(
+                (b as usize) < run.result.num_blocks,
+                "vertex {} in out-of-range block {}", v, b
+            );
+        }
+        prop_assert_eq!(run.outcomes.len(), run.shard_summaries.len());
+        prop_assert!(run.outcomes[0].survived());
+    }
+
+    /// With no faults injected, the supervised pipeline is bit-identical to
+    /// the pre-supervision path (bare `run_shards` + `stitch`).
+    #[test]
+    fn zero_fault_runs_match_unsupervised_path(
+        g in arb_graph(40, 100),
+        k in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        let cfg = ShardConfig::new(k, seed);
+        let plan = partition_graph(&g, k, &cfg.strategy);
+        let (shard_results, _) = run_shards(&plan, &cfg);
+        let (expected, _) = stitch(&g, &plan, &shard_results, &cfg);
+        let supervised = run_sharded_sbp(&g, &cfg).expect("valid config");
+        prop_assert_eq!(supervised.assignment, expected.assignment);
+        prop_assert_eq!(supervised.num_blocks, expected.num_blocks);
+        prop_assert_eq!(supervised.mdl.total, expected.mdl.total);
     }
 }

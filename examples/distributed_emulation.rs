@@ -66,7 +66,7 @@ fn main() {
                 },
                 ..Default::default()
             };
-            let run = run_sharded_sbp_detailed(&data.graph, &cfg);
+            let run = run_sharded_sbp_detailed(&data.graph, &cfg).expect("valid config");
             let speedup = run.scaling.speedup(shards).unwrap_or(1.0);
             println!(
                 "{:>7} {:>6} {:>8.3} {:>10.3} {:>10.4} {:>8.3} {:>8.2}x",

@@ -5,7 +5,8 @@
 //!              [--output labels.tsv] [--restarts N]
 //! hsbp shard   --input graph.mtx [--shards K] [--strategy rr|degree|file]
 //!              [--parts graph.part.K] [--seed N] [--compare true]
-//!              [--output labels.tsv]
+//!              [--max-retries N] [--shard-timeout SECS] [--fault-plan SPEC]
+//!              [--checkpoint DIR | --resume DIR] [--output labels.tsv]
 //! hsbp stats   --input graph.mtx
 //! hsbp generate --vertices N --edges M [--communities C] [--ratio R]
 //!              [--seed K] --output graph.mtx [--truth truth.tsv]
@@ -16,21 +17,37 @@
 //! protocol, and writes one `vertex<TAB>community` line per vertex.
 //!
 //! `shard` runs the sharded divide-and-conquer pipeline (partition →
-//! per-shard SBP → stitch → H-SBP finetune), reporting cut fraction,
-//! per-shard block counts and the emulated distributed-rank scaling curve;
-//! `--compare true` also runs single-model SBP and reports the NMI between
-//! the two partitions.
+//! supervised per-shard SBP → stitch → H-SBP finetune), reporting cut
+//! fraction, per-shard block counts, supervision outcomes and the emulated
+//! distributed-rank scaling curve; `--compare true` also runs single-model
+//! SBP and reports the NMI between the two partitions. `--fault-plan`
+//! injects deterministic faults (e.g. `panic:0@1,panic:2@*`; see
+//! `hsbp::shard::faults`), `--checkpoint DIR` persists each completed shard
+//! so `--resume DIR` can pick an interrupted run back up.
+//!
+//! Failures exit with a one-line diagnostic and a distinct code:
+//! 2 = usage / invalid flags, 3 = unreadable graph, 4 = bad partition file,
+//! 5 = checkpoint error, 6 = run failed (e.g. every shard lost).
 
 use hsbp::generator::{generate, DcsbmConfig};
 use hsbp::graph::io::{load_path, write_matrix_market};
 use hsbp::graph::partition::read_partition_file;
 use hsbp::graph::GraphStats;
 use hsbp::metrics::{directed_modularity, nmi, normalized_mdl};
-use hsbp::shard::run_sharded_sbp_detailed;
-use hsbp::{run_sbp, PartitionStrategy, SbpConfig, ShardConfig, Variant};
+use hsbp::shard::{run_sharded_sbp_detailed, run_sharded_sbp_resumable, ShardStatus};
+use hsbp::{run_sbp, FaultPlan, HsbpError, PartitionStrategy, SbpConfig, ShardConfig, Variant};
 use std::collections::HashMap;
 use std::io::Write;
 use std::process::ExitCode;
+
+/// Exit code for failures to read or parse the input graph.
+const EXIT_BAD_GRAPH: u8 = 3;
+/// Exit code for bad partition files (or partitions not matching the graph).
+const EXIT_BAD_PARTITION: u8 = 4;
+/// Exit code for checkpoint directory problems.
+const EXIT_BAD_CHECKPOINT: u8 = 5;
+/// Exit code for runs that failed outright (e.g. all shards lost).
+const EXIT_RUN_FAILED: u8 = 6;
 
 fn usage(msg: &str) -> ExitCode {
     if !msg.is_empty() {
@@ -40,12 +57,40 @@ fn usage(msg: &str) -> ExitCode {
         "usage:\n  hsbp detect --input FILE [--variant sbp|asbp|hsbp] [--seed N] \\\n\
          \x20             [--restarts N] [--output FILE]\n\
          \x20 hsbp shard --input FILE [--shards K] [--strategy rr|degree|file] \\\n\
-         \x20             [--parts FILE] [--seed N] [--compare true] [--output FILE]\n\
+         \x20             [--parts FILE] [--seed N] [--compare true] \\\n\
+         \x20             [--max-retries N] [--shard-timeout SECS] [--fault-plan SPEC] \\\n\
+         \x20             [--checkpoint DIR | --resume DIR] [--output FILE]\n\
          \x20 hsbp stats --input FILE\n\
          \x20 hsbp generate --vertices N --edges M [--communities C] [--ratio R] \\\n\
          \x20             [--seed N] --output FILE [--truth FILE]"
     );
     ExitCode::from(2)
+}
+
+/// Reject flags the subcommand does not understand (typos should fail
+/// loudly, not be silently ignored).
+fn check_flags(flags: &HashMap<String, String>, allowed: &[&str]) -> Result<(), String> {
+    for name in flags.keys() {
+        if !allowed.contains(&name.as_str()) {
+            return Err(format!("unknown flag `--{name}`"));
+        }
+    }
+    Ok(())
+}
+
+/// Map a pipeline error to its one-line diagnostic and exit code.
+fn report_error(e: &HsbpError) -> ExitCode {
+    eprintln!("error: {e}");
+    let code = match e {
+        HsbpError::InvalidConfig(_) => 2,
+        HsbpError::Io { .. } => EXIT_BAD_GRAPH,
+        HsbpError::PartitionMismatch { .. } => EXIT_BAD_PARTITION,
+        HsbpError::Checkpoint { .. } => EXIT_BAD_CHECKPOINT,
+        HsbpError::ShardFailed { .. }
+        | HsbpError::AllShardsFailed { .. }
+        | HsbpError::InvariantViolation { .. } => EXIT_RUN_FAILED,
+    };
+    ExitCode::from(code)
 }
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -80,6 +125,9 @@ fn main() -> ExitCode {
 }
 
 fn detect(flags: &HashMap<String, String>) -> ExitCode {
+    if let Err(e) = check_flags(flags, &["input", "variant", "seed", "restarts", "output"]) {
+        return usage(&e);
+    }
     let Some(input) = flags.get("input") else {
         return usage("detect requires --input");
     };
@@ -158,6 +206,25 @@ fn detect(flags: &HashMap<String, String>) -> ExitCode {
 }
 
 fn shard_cmd(flags: &HashMap<String, String>) -> ExitCode {
+    if let Err(e) = check_flags(
+        flags,
+        &[
+            "input",
+            "shards",
+            "strategy",
+            "parts",
+            "seed",
+            "compare",
+            "output",
+            "max-retries",
+            "shard-timeout",
+            "fault-plan",
+            "checkpoint",
+            "resume",
+        ],
+    ) {
+        return usage(&e);
+    }
     let Some(input) = flags.get("input") else {
         return usage("shard requires --input");
     };
@@ -167,6 +234,37 @@ fn shard_cmd(flags: &HashMap<String, String>) -> ExitCode {
         .unwrap_or(4);
     let seed: u64 = flags.get("seed").and_then(|s| s.parse().ok()).unwrap_or(0);
     let compare = flags.get("compare").map(String::as_str) == Some("true");
+    let max_retries: usize = match flags.get("max-retries").map(|s| s.parse()) {
+        None => 2,
+        Some(Ok(n)) => n,
+        Some(Err(_)) => return usage("--max-retries needs a non-negative integer"),
+    };
+    let shard_timeout: Option<f64> = match flags.get("shard-timeout").map(|s| s.parse::<f64>()) {
+        None => None,
+        Some(Ok(t)) if t.is_finite() && t > 0.0 => Some(t),
+        Some(_) => return usage("--shard-timeout needs a positive number of seconds"),
+    };
+    let fault_plan = match flags.get("fault-plan") {
+        None => FaultPlan::none(),
+        Some(spec) => match FaultPlan::parse(spec) {
+            Ok(plan) => plan,
+            Err(e) => return usage(&format!("bad --fault-plan: {e}")),
+        },
+    };
+    let run_dir = match (flags.get("checkpoint"), flags.get("resume")) {
+        (Some(a), Some(b)) if a != b => {
+            return usage("--checkpoint and --resume name different directories; pick one");
+        }
+        (_, Some(dir)) => {
+            if !std::path::Path::new(dir).join("meta.txt").is_file() {
+                eprintln!("error: checkpoint {dir}: not a checkpoint directory (no meta.txt)");
+                return ExitCode::from(EXIT_BAD_CHECKPOINT);
+            }
+            Some(dir.clone())
+        }
+        (Some(dir), None) => Some(dir.clone()),
+        (None, None) => None,
+    };
     let strategy = match flags.get("strategy").map(String::as_str) {
         None | Some("degree") => PartitionStrategy::DegreeBalanced,
         Some("rr") | Some("round-robin") => PartitionStrategy::RoundRobin,
@@ -177,8 +275,8 @@ fn shard_cmd(flags: &HashMap<String, String>) -> ExitCode {
             match read_partition_file(path) {
                 Ok(parts) => PartitionStrategy::FromParts(parts),
                 Err(e) => {
-                    eprintln!("cannot load partition {path}: {e}");
-                    return ExitCode::FAILURE;
+                    eprintln!("error: cannot load partition {path}: {e}");
+                    return ExitCode::from(EXIT_BAD_PARTITION);
                 }
             }
         }
@@ -188,22 +286,11 @@ fn shard_cmd(flags: &HashMap<String, String>) -> ExitCode {
     let graph = match load_path(input) {
         Ok(g) => g,
         Err(e) => {
-            eprintln!("cannot load {input}: {e}");
-            return ExitCode::FAILURE;
+            eprintln!("error: cannot load {input}: {e}");
+            return ExitCode::from(EXIT_BAD_GRAPH);
         }
     };
-    if let PartitionStrategy::FromParts(parts) = &strategy {
-        if parts.len() != graph.num_vertices() {
-            eprintln!(
-                "partition file has {} entries but {} has {} vertices",
-                parts.len(),
-                input,
-                graph.num_vertices()
-            );
-            return ExitCode::FAILURE;
-        }
-    }
-    let cfg = ShardConfig {
+    let mut cfg = ShardConfig {
         num_shards: shards,
         strategy,
         sbp: SbpConfig {
@@ -212,10 +299,9 @@ fn shard_cmd(flags: &HashMap<String, String>) -> ExitCode {
         },
         ..Default::default()
     };
-    if let Err(e) = cfg.validate() {
-        eprintln!("invalid shard configuration: {e}");
-        return ExitCode::FAILURE;
-    }
+    cfg.supervision.max_retries = max_retries;
+    cfg.supervision.shard_timeout = shard_timeout;
+    cfg.supervision.fault_plan = fault_plan;
     eprintln!(
         "loaded {}: {} vertices, {} edges; sharded SBP over {} shard(s)",
         input,
@@ -223,11 +309,37 @@ fn shard_cmd(flags: &HashMap<String, String>) -> ExitCode {
         graph.num_edges(),
         shards
     );
-    let run = run_sharded_sbp_detailed(&graph, &cfg);
+    let run = match &run_dir {
+        Some(dir) => run_sharded_sbp_resumable(&graph, &cfg, dir),
+        None => run_sharded_sbp_detailed(&graph, &cfg),
+    };
+    let run = match run {
+        Ok(run) => run,
+        Err(e) => return report_error(&e),
+    };
     for (s, summary) in run.shard_summaries.iter().enumerate() {
+        let outcome = &run.outcomes[s];
+        let status = match outcome.status {
+            ShardStatus::Ok => String::new(),
+            ShardStatus::Recovered => {
+                format!("  [recovered after {} attempt(s)]", outcome.attempts)
+            }
+            ShardStatus::Dropped => format!("  [DROPPED after {} attempt(s)]", outcome.attempts),
+            ShardStatus::Resumed => "  [resumed from checkpoint]".to_string(),
+        };
         eprintln!(
-            "  shard {s}: {} vertices, {} edges -> {} blocks (MDL {:.1})",
+            "  shard {s}: {} vertices, {} edges -> {} blocks (MDL {:.1}){status}",
             summary.num_vertices, summary.num_edges, summary.num_blocks, summary.mdl_total
+        );
+        for failure in &outcome.failures {
+            eprintln!("    attempt {}: {}", failure.attempt, failure.kind);
+        }
+    }
+    if run.degraded() {
+        eprintln!(
+            "WARNING: degraded run — {} vertices of dropped shard(s) were reassigned by \
+             majority vote; quality and scaling figures below describe the degraded run",
+            run.stitch.reassigned_vertices
         );
     }
     eprintln!(
@@ -238,9 +350,20 @@ fn shard_cmd(flags: &HashMap<String, String>) -> ExitCode {
         run.stitch.steps,
         run.stitch.finetune_sweeps
     );
+    if run.scaling.mixed_basis() {
+        eprintln!(
+            "WARNING: shards {:?} report wall-clock cost while others report simulated cost; \
+             the scales are incommensurable, so emulated speedups are suppressed",
+            run.scaling.wall_clock_shards()
+        );
+    }
     for &(ranks, t) in &run.scaling.curve {
-        let speedup = run.scaling.speedup(ranks).unwrap_or(1.0);
-        eprintln!("  emulated {ranks} rank(s): makespan {t:.3e}  speedup {speedup:.2}x");
+        match run.scaling.speedup(ranks) {
+            Some(speedup) => {
+                eprintln!("  emulated {ranks} rank(s): makespan {t:.3e}  speedup {speedup:.2}x")
+            }
+            None => eprintln!("  emulated {ranks} rank(s): makespan {t:.3e}  speedup n/a"),
+        }
     }
     let result = &run.result;
     eprintln!(
@@ -285,6 +408,9 @@ fn shard_cmd(flags: &HashMap<String, String>) -> ExitCode {
 }
 
 fn stats(flags: &HashMap<String, String>) -> ExitCode {
+    if let Err(e) = check_flags(flags, &["input"]) {
+        return usage(&e);
+    }
     let Some(input) = flags.get("input") else {
         return usage("stats requires --input");
     };
@@ -310,6 +436,20 @@ fn stats(flags: &HashMap<String, String>) -> ExitCode {
 }
 
 fn generate_cmd(flags: &HashMap<String, String>) -> ExitCode {
+    if let Err(e) = check_flags(
+        flags,
+        &[
+            "vertices",
+            "edges",
+            "communities",
+            "ratio",
+            "seed",
+            "output",
+            "truth",
+        ],
+    ) {
+        return usage(&e);
+    }
     let parse = |key: &str| flags.get(key).and_then(|s| s.parse::<usize>().ok());
     let (Some(vertices), Some(edges), Some(output)) =
         (parse("vertices"), parse("edges"), flags.get("output"))

@@ -17,7 +17,7 @@
 //! | [`metrics`] | NMI, directed modularity, normalized MDL, correlation |
 //! | [`timing`] | wall-clock phase timers + simulated-thread cost model |
 //! | [`collections`] | fast hashing, weighted sampling, sparse rows |
-//! | [`shard`] | sharded divide-and-conquer SBP (partition → per-shard SBP → stitch → finetune) |
+//! | [`shard`] | sharded divide-and-conquer SBP (partition → supervised per-shard SBP → stitch → finetune), fault injection, checkpoint/resume |
 //!
 //! with the most-used items (the SBP runner and its configuration) lifted to
 //! the crate root.
@@ -58,6 +58,9 @@ pub use hsbp_core as sbp;
 /// Sharded divide-and-conquer SBP.
 pub use hsbp_shard as shard;
 
-pub use hsbp_core::{run_sbp, McmcOutcome, RunStats, SbpConfig, SbpResult, Variant};
+pub use hsbp_core::{run_sbp, HsbpError, McmcOutcome, RunStats, SbpConfig, SbpResult, Variant};
 pub use hsbp_graph::{Graph, GraphBuilder};
-pub use hsbp_shard::{run_sharded_sbp, PartitionStrategy, ShardConfig};
+pub use hsbp_shard::{
+    run_sharded_sbp, run_sharded_sbp_detailed, run_sharded_sbp_resumable, FaultPlan,
+    PartitionStrategy, ShardConfig, ShardOutcome, ShardStatus, SupervisorConfig,
+};

@@ -1,0 +1,321 @@
+//! Fault-tolerance acceptance tests: retry recovery, graceful degradation,
+//! checkpoint/resume, and the `hsbp shard` CLI's fault-plan flags and exit
+//! codes.
+
+use hsbp::generator::{generate, DcsbmConfig};
+use hsbp::metrics::nmi;
+use hsbp::shard::{run_sharded_sbp_detailed, run_sharded_sbp_resumable, ShardStatus};
+use hsbp::{FaultPlan, SbpConfig, ShardConfig};
+use std::path::PathBuf;
+use std::process::Command;
+
+fn hsbp_bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_hsbp"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("hsbp-fault-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn shard_cfg(num_shards: usize, seed: u64, plan: FaultPlan) -> ShardConfig {
+    let mut cfg = ShardConfig {
+        num_shards,
+        sbp: SbpConfig {
+            seed,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    cfg.supervision.fault_plan = plan;
+    cfg
+}
+
+/// Acceptance: panicking 2 of 8 shards on their first attempt completes via
+/// retries, stays un-degraded, and lands at the fault-free run's quality.
+#[test]
+fn transient_panics_recover_via_retries() {
+    let data = generate(DcsbmConfig {
+        num_vertices: 1000,
+        num_communities: 8,
+        target_num_edges: 10_000,
+        within_between_ratio: 3.0,
+        seed: 41,
+        ..Default::default()
+    });
+
+    let fault_free = run_sharded_sbp_detailed(&data.graph, &shard_cfg(8, 9, FaultPlan::none()))
+        .expect("fault-free run");
+    let plan = FaultPlan::none().panic_on(1, 1).panic_on(5, 1);
+    let faulty = run_sharded_sbp_detailed(&data.graph, &shard_cfg(8, 9, plan)).expect("faulty run");
+
+    assert!(!faulty.degraded(), "retries must prevent degradation");
+    for shard in [1usize, 5] {
+        let outcome = &faulty.outcomes[shard];
+        assert_eq!(outcome.status, ShardStatus::Recovered, "shard {shard}");
+        assert_eq!(outcome.attempts, 2, "shard {shard}");
+        assert_eq!(outcome.failures.len(), 1, "shard {shard}");
+    }
+    for shard in [0usize, 2, 3, 4, 6, 7] {
+        assert_eq!(faulty.outcomes[shard].status, ShardStatus::Ok);
+    }
+    assert_eq!(faulty.result.assignment.len(), 1000);
+
+    // Retried shards re-run with a fresh seed, so the partitions need not be
+    // bit-identical — but on a well-separated graph both runs must recover
+    // the same communities.
+    let truth_free = nmi(&data.ground_truth, &fault_free.result.assignment);
+    let truth_faulty = nmi(&data.ground_truth, &faulty.result.assignment);
+    let cross = nmi(&fault_free.result.assignment, &faulty.result.assignment);
+    assert!(
+        cross >= 0.95,
+        "faulty run diverged from fault-free: NMI(faulty, fault-free) = {cross:.4}"
+    );
+    assert!(
+        (truth_faulty - truth_free).abs() <= 0.05,
+        "truth NMI moved from {truth_free:.4} to {truth_faulty:.4}"
+    );
+}
+
+/// Acceptance: permanently killing 1 of 8 shards on the 5k-vertex DCSBM
+/// graph still completes, reports the degradation, and stays within 0.05
+/// NMI of the fault-free run.
+#[test]
+fn permanent_kill_degrades_gracefully_on_5k_dcsbm() {
+    let data = generate(DcsbmConfig {
+        num_vertices: 5000,
+        num_communities: 16,
+        target_num_edges: 50_000,
+        seed: 71,
+        ..Default::default()
+    });
+
+    let fault_free = run_sharded_sbp_detailed(&data.graph, &shard_cfg(8, 9, FaultPlan::none()))
+        .expect("fault-free run");
+    let degraded =
+        run_sharded_sbp_detailed(&data.graph, &shard_cfg(8, 9, FaultPlan::none().kill(3)))
+            .expect("degraded run completes");
+
+    assert!(degraded.degraded());
+    assert_eq!(degraded.outcomes[3].status, ShardStatus::Dropped);
+    assert_eq!(degraded.outcomes[3].attempts, 3, "1 attempt + 2 retries");
+    assert_eq!(degraded.shard_summaries[3].num_blocks, 0);
+    assert!(degraded.shard_summaries[3].mdl_total.is_nan());
+    assert_eq!(
+        degraded.stitch.reassigned_vertices,
+        degraded.shard_summaries[3].num_vertices
+    );
+    assert_eq!(degraded.result.assignment.len(), 5000);
+
+    let nmi_free = nmi(&data.ground_truth, &fault_free.result.assignment);
+    let nmi_degraded = nmi(&data.ground_truth, &degraded.result.assignment);
+    assert!(
+        nmi_degraded >= nmi_free - 0.05,
+        "degraded NMI {nmi_degraded:.4} trails fault-free NMI {nmi_free:.4} by more than 0.05"
+    );
+}
+
+/// Acceptance: checkpoint a run, lose some shard files ("kill after k of n
+/// shards"), resume — only the missing shards re-run, and the final MDL and
+/// assignment reproduce the uninterrupted run exactly.
+#[test]
+fn checkpoint_resume_reruns_only_missing_shards() {
+    let data = generate(DcsbmConfig {
+        num_vertices: 600,
+        num_communities: 6,
+        target_num_edges: 6000,
+        seed: 13,
+        ..Default::default()
+    });
+    let cfg = shard_cfg(4, 5, FaultPlan::none());
+    let dir = tmp(&format!("resume-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let uninterrupted =
+        run_sharded_sbp_resumable(&data.graph, &cfg, &dir).expect("checkpointed run");
+    for shard in 0..4 {
+        assert!(dir.join(format!("shard_{shard}.ckpt")).is_file());
+    }
+
+    // Simulate a kill after shards 0 and 3 completed: lose 1 and 2.
+    std::fs::remove_file(dir.join("shard_1.ckpt")).unwrap();
+    std::fs::remove_file(dir.join("shard_2.ckpt")).unwrap();
+
+    let resumed = run_sharded_sbp_resumable(&data.graph, &cfg, &dir).expect("resumed run");
+    assert_eq!(resumed.outcomes[0].status, ShardStatus::Resumed);
+    assert_eq!(resumed.outcomes[3].status, ShardStatus::Resumed);
+    assert_eq!(
+        resumed.outcomes[0].attempts, 0,
+        "resumed shards do not re-run"
+    );
+    assert_eq!(resumed.outcomes[1].status, ShardStatus::Ok);
+    assert_eq!(resumed.outcomes[2].status, ShardStatus::Ok);
+
+    assert_eq!(resumed.result.mdl.total, uninterrupted.result.mdl.total);
+    assert_eq!(resumed.result.assignment, uninterrupted.result.assignment);
+    assert_eq!(resumed.result.num_blocks, uninterrupted.result.num_blocks);
+
+    // A different config must be refused, not silently mixed in.
+    let other = shard_cfg(4, 6, FaultPlan::none());
+    assert!(run_sharded_sbp_resumable(&data.graph, &other, &dir).is_err());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The CLI surfaces fault plans, retries, degradation and checkpoint/resume
+/// with one-line diagnostics and distinct exit codes — never a panic
+/// backtrace.
+#[test]
+fn cli_fault_plan_resume_and_exit_codes() {
+    let mtx = tmp("faults-cli.mtx");
+    let out = hsbp_bin()
+        .args(["generate", "--vertices", "300", "--edges", "2700"])
+        .args(["--communities", "4", "--ratio", "3.0", "--seed", "17"])
+        .args(["--output", mtx.to_str().unwrap()])
+        .output()
+        .expect("run hsbp generate");
+    assert!(out.status.success());
+    let mtx = mtx.to_str().unwrap();
+
+    // Transient faults recover; the report says so.
+    let out = hsbp_bin()
+        .args(["shard", "--input", mtx, "--shards", "4", "--seed", "3"])
+        .args(["--fault-plan", "panic:1@1,corrupt:2@1"])
+        .output()
+        .expect("run hsbp shard with fault plan");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "stderr:\n{stderr}");
+    assert!(stderr.contains("recovered"), "stderr:\n{stderr}");
+
+    // A permanently killed shard degrades with a warning, still exit 0.
+    let out = hsbp_bin()
+        .args(["shard", "--input", mtx, "--shards", "4", "--seed", "3"])
+        .args(["--fault-plan", "panic:1@*"])
+        .output()
+        .expect("run hsbp shard with permanent fault");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "stderr:\n{stderr}");
+    assert!(stderr.contains("DROPPED"), "stderr:\n{stderr}");
+    assert!(stderr.contains("degraded"), "stderr:\n{stderr}");
+
+    // Checkpoint, then resume: second run reports resumed shards.
+    let ckpt = tmp(&format!("cli-ckpt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&ckpt);
+    let ckpt_s = ckpt.to_str().unwrap();
+    let out = hsbp_bin()
+        .args(["shard", "--input", mtx, "--shards", "4", "--seed", "3"])
+        .args(["--checkpoint", ckpt_s])
+        .output()
+        .expect("checkpointed CLI run");
+    assert!(out.status.success());
+    let out = hsbp_bin()
+        .args(["shard", "--input", mtx, "--shards", "4", "--seed", "3"])
+        .args(["--resume", ckpt_s])
+        .output()
+        .expect("resumed CLI run");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "stderr:\n{stderr}");
+    assert!(
+        stderr.contains("resumed from checkpoint"),
+        "stderr:\n{stderr}"
+    );
+    let _ = std::fs::remove_dir_all(&ckpt);
+
+    // Distinct exit codes, one-line diagnostics, no backtraces.
+    let cases: Vec<(Vec<&str>, i32, &str)> = vec![
+        // Unknown flag → usage (2).
+        (
+            vec!["shard", "--input", mtx, "--frobnicate", "x"],
+            2,
+            "unknown flag",
+        ),
+        // Bad fault plan grammar → usage (2).
+        (
+            vec!["shard", "--input", mtx, "--fault-plan", "frob:0@1"],
+            2,
+            "fault",
+        ),
+        // Conflicting checkpoint/resume dirs → usage (2).
+        (
+            vec![
+                "shard",
+                "--input",
+                mtx,
+                "--checkpoint",
+                "/tmp/a",
+                "--resume",
+                "/tmp/b",
+            ],
+            2,
+            "pick one",
+        ),
+        // Unreadable graph → 3.
+        (
+            vec!["shard", "--input", "/definitely/not/here.mtx"],
+            3,
+            "cannot load",
+        ),
+        // Resume dir that is not a checkpoint → 5.
+        (
+            vec!["shard", "--input", mtx, "--resume", "/tmp"],
+            5,
+            "checkpoint",
+        ),
+        // Every shard killed → run failure (6).
+        (
+            vec![
+                "shard",
+                "--input",
+                mtx,
+                "--shards",
+                "2",
+                "--seed",
+                "3",
+                "--fault-plan",
+                "panic:0@*,panic:1@*",
+            ],
+            6,
+            "shard",
+        ),
+    ];
+    for (args, want_code, want_text) in cases {
+        let out = hsbp_bin().args(&args).output().expect("run hsbp shard");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert_eq!(
+            out.status.code(),
+            Some(want_code),
+            "args {args:?}\nstderr:\n{stderr}"
+        );
+        assert!(
+            stderr.to_lowercase().contains(want_text),
+            "args {args:?}: diagnostic missing `{want_text}`\nstderr:\n{stderr}"
+        );
+        assert!(
+            !stderr.contains("panicked at"),
+            "args {args:?}: backtrace leaked\nstderr:\n{stderr}"
+        );
+    }
+
+    // Bad partition file → 4.
+    let bad_parts = tmp("bad.part.2");
+    std::fs::write(&bad_parts, "0\nnot-a-part-id\n1\n").unwrap();
+    let out = hsbp_bin()
+        .args(["shard", "--input", mtx, "--strategy", "file"])
+        .args(["--parts", bad_parts.to_str().unwrap()])
+        .output()
+        .expect("run hsbp shard with bad parts");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(4), "stderr:\n{stderr}");
+    assert!(stderr.contains("bad part id"), "stderr:\n{stderr}");
+
+    // Partition file of the wrong length → 4 (PartitionMismatch).
+    let short_parts = tmp("short.part.2");
+    std::fs::write(&short_parts, "0\n1\n0\n").unwrap();
+    let out = hsbp_bin()
+        .args(["shard", "--input", mtx, "--strategy", "file"])
+        .args(["--parts", short_parts.to_str().unwrap()])
+        .output()
+        .expect("run hsbp shard with short parts");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(4), "stderr:\n{stderr}");
+}

@@ -50,7 +50,8 @@ fn four_shards_match_single_model_on_5k_dcsbm() {
             },
             ..Default::default()
         },
-    );
+    )
+    .expect("valid config");
 
     assert_eq!(sharded.assignment.len(), 5000);
     assert!(sharded.num_blocks >= 2);
@@ -78,7 +79,7 @@ fn detailed_run_reports_are_coherent() {
         seed: 13,
         ..Default::default()
     });
-    let run = run_sharded_sbp_detailed(&data.graph, &ShardConfig::new(3, 2));
+    let run = run_sharded_sbp_detailed(&data.graph, &ShardConfig::new(3, 2)).expect("valid config");
     assert_eq!(run.shard_summaries.len(), 3);
     let shard_vertices: usize = run.shard_summaries.iter().map(|s| s.num_vertices).sum();
     assert_eq!(shard_vertices, 600);
@@ -111,7 +112,8 @@ fn partition_file_strategy_runs() {
             strategy: PartitionStrategy::FromParts(loaded),
             ..Default::default()
         },
-    );
+    )
+    .expect("valid config");
     assert_eq!(result.assignment.len(), 300);
     assert!(result.num_blocks >= 1);
 }
