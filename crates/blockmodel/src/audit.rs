@@ -1,0 +1,174 @@
+//! Drift audit for the incrementally-maintained blockmodel.
+//!
+//! The MCMC phases keep `B`, the degree caches, and the block sizes up to
+//! date via per-move deltas (`apply_move`) and per-sweep rebuilds; the MDL
+//! trajectory the driver optimises is only correct while that incremental
+//! state matches what [`Blockmodel::from_assignment`] would build from the
+//! membership vector. [`audit_blockmodel`] is the runtime enforcement of
+//! that invariant: rebuild from membership, compare every component, and
+//! report exactly what diverged (plus the induced MDL error) so the caller
+//! can repair in place ([`repair_blockmodel`]) or abort.
+//!
+//! The audit is read-only: on a healthy model it allocates a scratch
+//! rebuild, compares, and drops it — it never perturbs the run, so audited
+//! and unaudited healthy runs are bit-identical.
+
+use crate::mdl;
+use crate::model::Blockmodel;
+use hsbp_graph::Graph;
+
+/// What a drift audit found: the mismatched components and the MDL error
+/// the drift introduces.
+#[derive(Debug, Clone)]
+pub struct DriftReport {
+    /// One human-readable line per mismatched component (row, column,
+    /// degree cache, block size, or internal row/column-total coherence).
+    pub mismatches: Vec<String>,
+    /// `|MDL(drifted state) − MDL(rebuilt state)|`.
+    pub mdl_delta: f64,
+}
+
+impl DriftReport {
+    /// One-line summary suitable for `HsbpError::StateDrift`.
+    pub fn summary(&self) -> String {
+        let shown = self
+            .mismatches
+            .iter()
+            .take(3)
+            .cloned()
+            .collect::<Vec<_>>()
+            .join(", ");
+        let suffix = if self.mismatches.len() > 3 {
+            format!(" (+{} more)", self.mismatches.len() - 3)
+        } else {
+            String::new()
+        };
+        format!(
+            "{} mismatched component(s): {shown}{suffix}; |ΔMDL| = {:.3e}",
+            self.mismatches.len(),
+            self.mdl_delta
+        )
+    }
+}
+
+/// Rebuild the blockmodel from `bm`'s membership vector and compare every
+/// component against the incrementally-maintained state. Returns `None`
+/// when the state is exact, or a [`DriftReport`] listing **all** divergent
+/// components otherwise.
+pub fn audit_blockmodel(bm: &Blockmodel, graph: &Graph) -> Option<DriftReport> {
+    let fresh = Blockmodel::from_assignment(graph, bm.assignment().to_vec(), bm.num_blocks());
+    let mut mismatches = Vec::new();
+    for r in 0..bm.num_blocks() as u32 {
+        if bm.row(r).to_sorted_vec() != fresh.row(r).to_sorted_vec() {
+            mismatches.push(format!("row {r} mismatch"));
+        }
+        if bm.col(r).to_sorted_vec() != fresh.col(r).to_sorted_vec() {
+            mismatches.push(format!("col {r} mismatch"));
+        }
+        if bm.d_out(r) != fresh.d_out(r) {
+            mismatches.push(format!("d_out[{r}] {} != {}", bm.d_out(r), fresh.d_out(r)));
+        }
+        if bm.d_in(r) != fresh.d_in(r) {
+            mismatches.push(format!("d_in[{r}] {} != {}", bm.d_in(r), fresh.d_in(r)));
+        }
+        if bm.block_size(r) != fresh.block_size(r) {
+            mismatches.push(format!("size[{r}] mismatch"));
+        }
+        if bm.d_out(r) != bm.row(r).total() {
+            mismatches.push(format!("d_out[{r}] != row total"));
+        }
+        if bm.d_in(r) != bm.col(r).total() {
+            mismatches.push(format!("d_in[{r}] != col total"));
+        }
+    }
+    if mismatches.is_empty() {
+        return None;
+    }
+    let drifted = mdl::mdl(bm, graph.num_vertices(), graph.total_weight()).total;
+    let exact = mdl::mdl(&fresh, graph.num_vertices(), graph.total_weight()).total;
+    Some(DriftReport {
+        mismatches,
+        mdl_delta: (drifted - exact).abs(),
+    })
+}
+
+/// Repair a drifted model in place: rebuild `B`, the degree caches, and the
+/// block sizes from the membership vector (which the audit treats as ground
+/// truth — it is the only component the MCMC phases also maintain
+/// non-incrementally).
+pub fn repair_blockmodel(bm: &mut Blockmodel, graph: &Graph) {
+    let assignment = bm.assignment_snapshot();
+    bm.rebuild(graph, assignment);
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    fn two_cliques() -> Graph {
+        let mut edges = Vec::new();
+        for group in [[0u32, 1, 2], [3, 4, 5]] {
+            for &a in &group {
+                for &b in &group {
+                    if a != b {
+                        edges.push((a, b));
+                    }
+                }
+            }
+        }
+        edges.push((2, 3));
+        Graph::from_edges(6, &edges)
+    }
+
+    #[test]
+    fn healthy_model_passes_audit() {
+        let g = two_cliques();
+        let bm = Blockmodel::from_assignment(&g, vec![0, 0, 0, 1, 1, 1], 2);
+        assert!(audit_blockmodel(&bm, &g).is_none());
+    }
+
+    #[test]
+    fn injected_corruption_is_detected_and_repaired() {
+        let g = two_cliques();
+        let mut bm = Blockmodel::from_assignment(&g, vec![0, 0, 0, 1, 1, 1], 2);
+        assert!(bm.inject_state_corruption(42));
+        let report = audit_blockmodel(&bm, &g).expect("corruption must be detected");
+        assert!(!report.mismatches.is_empty());
+        assert!(report.mdl_delta > 0.0);
+        assert!(!report.summary().is_empty());
+        repair_blockmodel(&mut bm, &g);
+        assert!(audit_blockmodel(&bm, &g).is_none());
+        bm.check_consistency(&g).unwrap();
+    }
+
+    #[test]
+    fn corruption_injection_is_deterministic() {
+        let g = two_cliques();
+        let mut a = Blockmodel::from_assignment(&g, vec![0, 0, 0, 1, 1, 1], 2);
+        let mut b = a.clone();
+        assert!(a.inject_state_corruption(7));
+        assert!(b.inject_state_corruption(7));
+        for r in 0..2u32 {
+            assert_eq!(a.row(r).to_sorted_vec(), b.row(r).to_sorted_vec());
+            assert_eq!(a.d_out(r), b.d_out(r));
+        }
+    }
+
+    #[test]
+    fn corruption_preserves_membership() {
+        let g = two_cliques();
+        let mut bm = Blockmodel::from_assignment(&g, vec![0, 0, 0, 1, 1, 1], 2);
+        let before = bm.assignment_snapshot();
+        bm.inject_state_corruption(3);
+        assert_eq!(bm.assignment(), &before[..]);
+    }
+
+    #[test]
+    fn empty_model_cannot_be_corrupted() {
+        let g = Graph::from_edges(0, &[]);
+        let mut bm = Blockmodel::from_assignment(&g, vec![], 0);
+        assert!(!bm.inject_state_corruption(1));
+        assert!(audit_blockmodel(&bm, &g).is_none());
+    }
+}

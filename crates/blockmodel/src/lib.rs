@@ -20,11 +20,17 @@
 //! total of row `r`, and `d_in[s]` the total of column `s`. Tests enforce it
 //! via [`Blockmodel::check_consistency`].
 
+// Inference internals may panic deliberately on broken invariants
+// (`panic!`/`unreachable!`), but never through a stray `unwrap`/`expect`.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+pub mod audit;
 pub mod delta;
 pub mod mdl;
 pub mod model;
 pub mod propose;
 
+pub use audit::{audit_blockmodel, repair_blockmodel, DriftReport};
 pub use delta::{
     delta_mdl_merge, delta_mdl_move, evaluate_move, MoveEval, MoveScratch, NeighborCounts,
 };

@@ -100,6 +100,7 @@ pub fn model_complexity_delta(num_vertices: usize, num_edges: u64, c: usize, c_n
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use hsbp_graph::Graph;

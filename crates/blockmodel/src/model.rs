@@ -393,39 +393,52 @@ impl Blockmodel {
 
     /// Exhaustive consistency check against the graph (test/debug use):
     /// verifies rows, cols, degrees and sizes all agree with a fresh build.
+    /// Delegates to [`crate::audit::audit_blockmodel`], the same comparison
+    /// the runtime drift auditor runs at its configured cadence.
     pub fn check_consistency(&self, graph: &Graph) -> Result<(), String> {
-        let fresh = Blockmodel::from_assignment(graph, self.assignment.clone(), self.num_blocks);
-        for r in 0..self.num_blocks {
-            if self.rows[r].to_sorted_vec() != fresh.rows[r].to_sorted_vec() {
-                return Err(format!("row {r} mismatch"));
-            }
-            if self.cols[r].to_sorted_vec() != fresh.cols[r].to_sorted_vec() {
-                return Err(format!("col {r} mismatch"));
-            }
-            if self.d_out[r] != fresh.d_out[r] {
-                return Err(format!(
-                    "d_out[{r}] {} != {}",
-                    self.d_out[r], fresh.d_out[r]
-                ));
-            }
-            if self.d_in[r] != fresh.d_in[r] {
-                return Err(format!("d_in[{r}] {} != {}", self.d_in[r], fresh.d_in[r]));
-            }
-            if self.block_sizes[r] != fresh.block_sizes[r] {
-                return Err(format!("size[{r}] mismatch"));
-            }
-            if self.d_out[r] != self.rows[r].total() {
-                return Err(format!("d_out[{r}] != row total"));
-            }
-            if self.d_in[r] != self.cols[r].total() {
-                return Err(format!("d_in[{r}] != col total"));
-            }
+        match crate::audit::audit_blockmodel(self, graph) {
+            None => Ok(()),
+            Some(report) => Err(report.summary()),
         }
-        Ok(())
+    }
+
+    /// Test hook: deterministically corrupt the incremental state while
+    /// leaving the membership vector intact, emulating a lost or
+    /// double-counted delta update. A phantom self-edge of pseudo-random
+    /// weight is added to one occupied block's `B[b][b]`, degree caches
+    /// included, so the model stays internally coherent (row totals still
+    /// match degree caches) but no longer matches what the membership
+    /// implies — exactly the class of drift only a rebuild-and-compare
+    /// audit can catch. The perturbation is additive, so MDL terms stay
+    /// finite. Returns false (no-op) when the model has no occupied block.
+    pub fn inject_state_corruption(&mut self, seed: u64) -> bool {
+        let occupied: Vec<usize> = (0..self.num_blocks)
+            .filter(|&r| self.block_sizes[r] > 0)
+            .collect();
+        let Some(&target) = occupied.get((splitmix64(seed) as usize) % occupied.len().max(1))
+        else {
+            return false;
+        };
+        let bump = 1 + (splitmix64(seed ^ 0x5eed_c0de) % 7) as Weight;
+        let b = target as Block;
+        self.rows[target].add(b, bump);
+        self.cols[target].add(b, bump);
+        self.d_out[target] += bump;
+        self.d_in[target] += bump;
+        true
     }
 }
 
+/// splitmix64 finalizer for the deterministic corruption hook.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::delta::NeighborCounts;

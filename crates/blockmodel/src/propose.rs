@@ -143,6 +143,7 @@ pub fn exploration_probability(bm: &Blockmodel, t: Block) -> f64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::delta::evaluate_move;

@@ -1,0 +1,302 @@
+//! Run budgets and cooperative cancellation for the SBP driver.
+//!
+//! A [`RunBudget`] bounds a run by wall-clock deadline, by cumulative MCMC
+//! sweeps, or by golden-section evaluations; a [`CancelToken`] lets an
+//! external supervisor (the shard layer, a signal handler, a service
+//! front-end) stop an in-flight run. Both are *runtime* state, deliberately
+//! kept out of [`crate::SbpConfig`]: a run remains a pure function of
+//! `(graph, config)`, and the budget only decides how much of that function
+//! gets evaluated.
+//!
+//! Truncation is cooperative and **prefix-exact**: the driver checks a
+//! [`RunControl`] at evaluation, merge-round, sweep, and (coarsely) vertex
+//! granularity, and when the control trips it *discards* the in-flight
+//! evaluation rather than recording a half-converged point. The returned
+//! best-so-far result is therefore always identical to what the
+//! uninterrupted run would have held after the same prefix of its
+//! `trajectory` — never a state no full run could produce.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Resource limits for one SBP run. All limits are optional; the default is
+/// unlimited on every axis.
+#[derive(Debug, Clone, Default)]
+pub struct RunBudget {
+    /// Wall-clock deadline, measured from run start.
+    pub deadline: Option<Duration>,
+    /// Cap on cumulative MCMC sweeps across all phases of the run.
+    pub max_total_sweeps: Option<usize>,
+    /// Cap on completed golden-section evaluations (trajectory points).
+    pub max_evaluations: Option<usize>,
+}
+
+impl RunBudget {
+    /// A budget with no limits: the run behaves exactly like plain
+    /// [`crate::run_sbp`].
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Set the wall-clock deadline (builder style).
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Set the cumulative-sweep cap (builder style).
+    #[must_use]
+    pub fn with_max_total_sweeps(mut self, sweeps: usize) -> Self {
+        self.max_total_sweeps = Some(sweeps);
+        self
+    }
+
+    /// Set the evaluation cap (builder style).
+    #[must_use]
+    pub fn with_max_evaluations(mut self, evaluations: usize) -> Self {
+        self.max_evaluations = Some(evaluations);
+        self
+    }
+
+    /// True when no axis is limited.
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none() && self.max_total_sweeps.is_none() && self.max_evaluations.is_none()
+    }
+
+    /// Validate invariants; called by the budgeted driver entry point.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.deadline == Some(Duration::ZERO) {
+            return Err("deadline must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+/// Cloneable cancellation handle: one atomic flag shared by every clone.
+/// Cancelling is sticky — there is no reset.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request cancellation; every run holding a clone of this token stops
+    /// at its next checkpoint and returns its best-so-far result.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// True once [`CancelToken::cancel`] has been called on any clone.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+/// Why a run stopped where it did. Recorded in
+/// [`crate::RunStats::stop_cause`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopCause {
+    /// The search ran to its natural end (bracket closed or iteration cap).
+    Completed,
+    /// The wall-clock deadline of the [`RunBudget`] expired.
+    DeadlineExpired,
+    /// The cumulative-sweep budget was exhausted.
+    SweepBudgetExhausted,
+    /// The evaluation budget was exhausted.
+    EvalBudgetExhausted,
+    /// The [`CancelToken`] was cancelled externally.
+    Cancelled,
+}
+
+impl StopCause {
+    /// True when the run was stopped early by a budget or cancellation
+    /// (the result is a flagged best-so-far prefix, not a finished search).
+    pub fn is_truncated(&self) -> bool {
+        *self != StopCause::Completed
+    }
+
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StopCause::Completed => "completed",
+            StopCause::DeadlineExpired => "deadline expired",
+            StopCause::SweepBudgetExhausted => "sweep budget exhausted",
+            StopCause::EvalBudgetExhausted => "evaluation budget exhausted",
+            StopCause::Cancelled => "cancelled",
+        }
+    }
+}
+
+impl std::fmt::Display for StopCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The live control threaded through the driver, the merge phase, and every
+/// MCMC sweep: a [`RunBudget`] resolved against the run's start instant,
+/// plus the external [`CancelToken`]. Checks are read-only, so an unlimited
+/// control leaves results bit-identical to the uncontrolled path.
+#[derive(Debug, Clone)]
+pub struct RunControl {
+    deadline: Option<Instant>,
+    max_total_sweeps: Option<usize>,
+    max_evaluations: Option<usize>,
+    token: CancelToken,
+}
+
+impl RunControl {
+    /// A control that never trips (no budget, fresh token).
+    pub fn unlimited() -> Self {
+        Self {
+            deadline: None,
+            max_total_sweeps: None,
+            max_evaluations: None,
+            token: CancelToken::new(),
+        }
+    }
+
+    /// Resolve `budget` against the current instant and attach `token`.
+    pub fn new(budget: &RunBudget, token: &CancelToken) -> Self {
+        Self {
+            deadline: budget.deadline.map(|d| Instant::now() + d),
+            max_total_sweeps: budget.max_total_sweeps,
+            max_evaluations: budget.max_evaluations,
+            token: token.clone(),
+        }
+    }
+
+    /// External-interrupt check (token + deadline): the cheap test used
+    /// inside merge rounds and, at a coarse stride, inside serial vertex
+    /// loops. Budget axes that only make sense at phase boundaries (sweeps,
+    /// evaluations) are not consulted here.
+    pub fn interrupt_cause(&self) -> Option<StopCause> {
+        if self.token.is_cancelled() {
+            return Some(StopCause::Cancelled);
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Some(StopCause::DeadlineExpired);
+            }
+        }
+        None
+    }
+
+    /// Per-sweep check: interrupts plus the cumulative-sweep budget.
+    /// `total_sweeps` is the run's cumulative sweep count so far.
+    pub fn sweep_stop_cause(&self, total_sweeps: usize) -> Option<StopCause> {
+        if let Some(cause) = self.interrupt_cause() {
+            return Some(cause);
+        }
+        if self.max_total_sweeps.is_some_and(|cap| total_sweeps >= cap) {
+            return Some(StopCause::SweepBudgetExhausted);
+        }
+        None
+    }
+
+    /// Per-evaluation check (driver loop top): everything in
+    /// [`RunControl::sweep_stop_cause`] plus the evaluation budget.
+    pub fn eval_stop_cause(&self, total_sweeps: usize, evaluations: usize) -> Option<StopCause> {
+        if let Some(cause) = self.sweep_stop_cause(total_sweeps) {
+            return Some(cause);
+        }
+        if self.max_evaluations.is_some_and(|cap| evaluations >= cap) {
+            return Some(StopCause::EvalBudgetExhausted);
+        }
+        None
+    }
+}
+
+/// Stride, in vertices, between interrupt checks inside serial sweep loops.
+/// One `Instant::now()` per ~thousand proposals is unmeasurable next to the
+/// proposals themselves, and keeps cancellation latency well under a sweep.
+pub(crate) const VERTEX_CHECK_STRIDE: u64 = 1024;
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_control_never_trips() {
+        let ctrl = RunControl::unlimited();
+        assert_eq!(ctrl.interrupt_cause(), None);
+        assert_eq!(ctrl.sweep_stop_cause(usize::MAX - 1), None);
+        assert_eq!(ctrl.eval_stop_cause(1_000_000, 1_000_000), None);
+    }
+
+    #[test]
+    fn cancel_token_is_shared_and_sticky() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        assert!(!clone.is_cancelled());
+        token.cancel();
+        assert!(clone.is_cancelled());
+        let ctrl = RunControl::new(&RunBudget::unlimited(), &token);
+        assert_eq!(ctrl.interrupt_cause(), Some(StopCause::Cancelled));
+    }
+
+    #[test]
+    fn sweep_budget_trips_at_cap() {
+        let budget = RunBudget::unlimited().with_max_total_sweeps(10);
+        let ctrl = RunControl::new(&budget, &CancelToken::new());
+        assert_eq!(ctrl.sweep_stop_cause(9), None);
+        assert_eq!(
+            ctrl.sweep_stop_cause(10),
+            Some(StopCause::SweepBudgetExhausted)
+        );
+    }
+
+    #[test]
+    fn eval_budget_trips_at_cap() {
+        let budget = RunBudget::unlimited().with_max_evaluations(3);
+        let ctrl = RunControl::new(&budget, &CancelToken::new());
+        assert_eq!(ctrl.eval_stop_cause(0, 2), None);
+        assert_eq!(
+            ctrl.eval_stop_cause(0, 3),
+            Some(StopCause::EvalBudgetExhausted)
+        );
+    }
+
+    #[test]
+    fn elapsed_deadline_trips() {
+        let budget = RunBudget::unlimited().with_deadline(Duration::from_nanos(1));
+        let ctrl = RunControl::new(&budget, &CancelToken::new());
+        std::thread::sleep(Duration::from_millis(2));
+        assert_eq!(ctrl.interrupt_cause(), Some(StopCause::DeadlineExpired));
+    }
+
+    #[test]
+    fn budget_validation() {
+        assert!(RunBudget::unlimited().validate().is_ok());
+        assert!(RunBudget::unlimited()
+            .with_deadline(Duration::ZERO)
+            .validate()
+            .is_err());
+        assert!(RunBudget::unlimited().is_unlimited());
+        assert!(!RunBudget::unlimited()
+            .with_max_total_sweeps(5)
+            .is_unlimited());
+    }
+
+    #[test]
+    fn stop_cause_flags_truncation() {
+        assert!(!StopCause::Completed.is_truncated());
+        for cause in [
+            StopCause::DeadlineExpired,
+            StopCause::SweepBudgetExhausted,
+            StopCause::EvalBudgetExhausted,
+            StopCause::Cancelled,
+        ] {
+            assert!(cause.is_truncated());
+            assert!(!cause.to_string().is_empty());
+        }
+    }
+}

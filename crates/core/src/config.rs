@@ -68,6 +68,20 @@ pub struct SbpConfig {
     pub seed: u64,
     /// Safety cap on outer (merge + MCMC) iterations.
     pub max_outer_iterations: usize,
+    /// Drift-audit cadence in cumulative MCMC sweeps: every `audit_cadence`
+    /// sweeps the blockmodel + MDL are rebuilt from the membership vector
+    /// and compared against the incrementally-maintained state. 0 disables
+    /// auditing. Audits are read-only on healthy state, so any cadence
+    /// leaves healthy runs bit-identical.
+    pub audit_cadence: usize,
+    /// In strict mode a detected drift aborts the run with
+    /// `HsbpError::StateDrift`; otherwise the state is repaired from
+    /// membership and the event recorded in `RunStats::drift_events`.
+    pub strict_audit: bool,
+    /// Test hook: deterministically corrupt the incremental blockmodel
+    /// state right after this cumulative sweep completes (membership is
+    /// left intact, so the next audit must catch it). `None` in production.
+    pub inject_drift_at_sweep: Option<usize>,
     /// Cost model for the simulated-thread accounting.
     pub cost_model: CostModel,
     /// Virtual thread counts tracked by the simulated scheduler.
@@ -91,6 +105,9 @@ impl Default for SbpConfig {
             exact_async_workers: 8,
             seed: 0,
             max_outer_iterations: 200,
+            audit_cadence: 64,
+            strict_audit: false,
+            inject_drift_at_sweep: None,
             cost_model: CostModel::default(),
             sim_thread_counts: DEFAULT_THREAD_COUNTS.to_vec(),
             sim_chunking: Chunking::Static,
@@ -147,6 +164,7 @@ impl SbpConfig {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

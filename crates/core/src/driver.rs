@@ -7,10 +7,18 @@
 //! (`lower` fewer blocks, `upper` more blocks). Until a bracket exists,
 //! keep halving the block count; once `mid` is bracketed, bisect the larger
 //! gap (golden ratio) until no interior candidates remain.
+//!
+//! Budgeted runs ([`run_sbp_budgeted`]) check a [`RunControl`] at the top
+//! of every evaluation and inside both phases. When the control trips, the
+//! in-flight evaluation is **discarded** — not pushed to the trajectory,
+//! not counted as an outer iteration — so the returned best-so-far state is
+//! always a prefix point of what the uninterrupted run would have produced.
 
+use crate::budget::{CancelToken, RunBudget, RunControl, StopCause};
 use crate::config::SbpConfig;
-use crate::mcmc::run_mcmc_phase;
-use crate::merge::merge_phase;
+use crate::error::HsbpError;
+use crate::mcmc::run_mcmc_phase_controlled;
+use crate::merge::merge_phase_controlled;
 use crate::stats::RunStats;
 use hsbp_blockmodel::{mdl, Block, Blockmodel};
 use hsbp_graph::Graph;
@@ -25,13 +33,40 @@ pub struct SbpResult {
     pub num_blocks: usize,
     /// MDL of the returned partition.
     pub mdl: mdl::Mdl,
-    /// Normalized MDL (`MDL / MDL_null`; NaN for edgeless graphs).
+    /// Normalized MDL (`MDL / MDL_null`).
+    ///
+    /// **Edgeless contract:** for a graph with no edges the null MDL is 0,
+    /// the ratio is undefined, and this field is `NaN`. Use
+    /// [`SbpResult::normalized_mdl_checked`] to handle that case as an
+    /// `Option` instead of comparing NaN.
     pub normalized_mdl: f64,
     /// Every `(num_blocks, MDL)` point the golden-section search evaluated,
-    /// in evaluation order (the singleton start is not included).
+    /// in evaluation order (the singleton start is not included). Budgeted
+    /// runs hold the completed prefix only — a truncated evaluation is
+    /// never recorded.
     pub trajectory: Vec<(usize, f64)>,
-    /// Instrumentation gathered during the run.
+    /// Instrumentation gathered during the run, including
+    /// [`RunStats::stop_cause`] and any drift events.
     pub stats: RunStats,
+}
+
+impl SbpResult {
+    /// True when a budget or cancellation stopped the run early; the result
+    /// is the best fully-evaluated state up to that point.
+    pub fn truncated(&self) -> bool {
+        self.stats.stop_cause.is_truncated()
+    }
+
+    /// [`SbpResult::normalized_mdl`] with the edgeless-graph case made
+    /// explicit: `None` when the null MDL is 0 (no edges), `Some(ratio)`
+    /// otherwise.
+    pub fn normalized_mdl_checked(&self) -> Option<f64> {
+        if self.normalized_mdl.is_nan() {
+            None
+        } else {
+            Some(self.normalized_mdl)
+        }
+    }
 }
 
 /// One evaluated point of the search: a partition at a given block count.
@@ -50,13 +85,42 @@ const GOLDEN: f64 = 0.382;
 /// Deterministic in `(graph, cfg)`.
 ///
 /// # Panics
-/// Panics if `cfg` fails validation.
+/// Panics if `cfg` fails validation or a strict-mode drift audit fails; use
+/// [`run_sbp_checked`] to receive those as [`HsbpError`] instead.
 pub fn run_sbp(graph: &Graph, cfg: &SbpConfig) -> SbpResult {
-    cfg.validate().expect("invalid SbpConfig");
+    run_sbp_checked(graph, cfg).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`run_sbp`]: configuration problems come back as
+/// `HsbpError::InvalidConfig` and strict-mode drift as
+/// `HsbpError::StateDrift` instead of panicking. Unbudgeted and
+/// uncancellable; bit-identical to [`run_sbp`].
+pub fn run_sbp_checked(graph: &Graph, cfg: &SbpConfig) -> Result<SbpResult, HsbpError> {
+    run_sbp_budgeted(graph, cfg, &RunBudget::unlimited(), &CancelToken::new())
+}
+
+/// [`run_sbp_checked`] under a [`RunBudget`] and a [`CancelToken`].
+///
+/// When the budget expires or the token is cancelled, the run stops
+/// cooperatively and returns its best-so-far result with
+/// `stats.stop_cause` recording why (see [`SbpResult::truncated`]). The
+/// in-flight evaluation is discarded, so the truncated result always
+/// equals a prefix point of the uninterrupted run's trajectory; with an
+/// unlimited budget the checks are pure reads and the output is
+/// bit-identical to [`run_sbp`].
+pub fn run_sbp_budgeted(
+    graph: &Graph,
+    cfg: &SbpConfig,
+    budget: &RunBudget,
+    token: &CancelToken,
+) -> Result<SbpResult, HsbpError> {
+    cfg.validate().map_err(HsbpError::InvalidConfig)?;
+    budget.validate().map_err(HsbpError::InvalidConfig)?;
+    let ctrl = RunControl::new(budget, token);
     let mut stats = RunStats::new(cfg);
     let n = graph.num_vertices();
     if n == 0 {
-        return SbpResult {
+        return Ok(SbpResult {
             assignment: Vec::new(),
             num_blocks: 0,
             mdl: mdl::Mdl {
@@ -67,7 +131,7 @@ pub fn run_sbp(graph: &Graph, cfg: &SbpConfig) -> SbpResult {
             normalized_mdl: f64::NAN,
             trajectory: Vec::new(),
             stats,
-        };
+        });
     }
 
     let mut bm = stats
@@ -90,6 +154,10 @@ pub fn run_sbp(graph: &Graph, cfg: &SbpConfig) -> SbpResult {
         if stats.outer_iterations >= cfg.max_outer_iterations {
             break;
         }
+        if let Some(cause) = ctrl.eval_stop_cause(stats.mcmc_sweeps, stats.outer_iterations) {
+            stats.stop_cause = cause;
+            break;
+        }
         let bracketed = mid.is_some() && lower.is_some();
         // Decide the next block-count target and the state to merge from.
         let target = if !bracketed {
@@ -99,11 +167,9 @@ pub fn run_sbp(graph: &Graph, cfg: &SbpConfig) -> SbpResult {
             }
             (((b as f64) * cfg.block_reduction_rate).round() as usize).clamp(1, b - 1)
         } else {
-            let (u, m, l) = (
-                upper.as_ref().expect("upper always set"),
-                mid.as_ref().unwrap(),
-                lower.as_ref().unwrap(),
-            );
+            let (Some(u), Some(m), Some(l)) = (&upper, &mid, &lower) else {
+                unreachable!("bracketed implies upper, mid and lower are all set");
+            };
             if u.num_blocks.saturating_sub(l.num_blocks) <= 2 {
                 break; // no interior candidate besides mid
             }
@@ -135,11 +201,24 @@ pub fn run_sbp(graph: &Graph, cfg: &SbpConfig) -> SbpResult {
         // Merge phase, then MCMC phase (timed separately; the closures
         // borrow `stats` themselves, so time with explicit Instants).
         let start = std::time::Instant::now();
-        merge_phase(graph, &mut bm, target, cfg, phase_index, &mut stats);
+        let merge_out =
+            merge_phase_controlled(graph, &mut bm, target, cfg, phase_index, &mut stats, &ctrl);
         stats.timer.add(Phase::BlockMerge, start.elapsed());
+        if merge_out.truncated {
+            stats.stop_cause = ctrl.interrupt_cause().unwrap_or(StopCause::Cancelled);
+            break; // discard the in-flight evaluation
+        }
         let start = std::time::Instant::now();
-        let mcmc_out = run_mcmc_phase(graph, &mut bm, cfg, phase_index, &mut stats);
+        let mcmc_res =
+            run_mcmc_phase_controlled(graph, &mut bm, cfg, phase_index, &mut stats, &ctrl);
         stats.timer.add(Phase::Mcmc, start.elapsed());
+        let mcmc_out = mcmc_res?;
+        if mcmc_out.truncated {
+            stats.stop_cause = ctrl
+                .sweep_stop_cause(stats.mcmc_sweeps)
+                .unwrap_or(StopCause::Cancelled);
+            break; // discard the in-flight evaluation
+        }
         phase_index += 1;
         stats.outer_iterations += 1;
 
@@ -151,10 +230,9 @@ pub fn run_sbp(graph: &Graph, cfg: &SbpConfig) -> SbpResult {
         trajectory.push((evaluated.num_blocks, evaluated.mdl_total));
 
         // Bracket update.
-        match &mid {
+        match mid.take() {
             None => mid = Some(evaluated),
-            Some(m) if evaluated.mdl_total < m.mdl_total => {
-                let displaced = mid.take().unwrap();
+            Some(displaced) if evaluated.mdl_total < displaced.mdl_total => {
                 if evaluated.num_blocks < displaced.num_blocks {
                     // We improved while moving left: old mid bounds us above.
                     if displaced.num_blocks < upper.as_ref().map_or(usize::MAX, |u| u.num_blocks) {
@@ -180,6 +258,7 @@ pub fn run_sbp(graph: &Graph, cfg: &SbpConfig) -> SbpResult {
                 {
                     upper = Some(evaluated);
                 }
+                mid = Some(m);
             }
         }
 
@@ -189,11 +268,13 @@ pub fn run_sbp(graph: &Graph, cfg: &SbpConfig) -> SbpResult {
         }
     }
 
-    let best = mid.or(upper).expect("at least the singleton state exists");
+    let Some(best) = mid.or(upper) else {
+        unreachable!("at least the singleton state exists");
+    };
     let bm = Blockmodel::from_assignment(graph, best.assignment.clone(), best.num_blocks);
     let final_mdl = mdl::mdl(&bm, n, graph.total_weight());
     let null = mdl::null_mdl(graph.total_weight());
-    SbpResult {
+    Ok(SbpResult {
         assignment: best.assignment,
         num_blocks: best.num_blocks,
         mdl: final_mdl,
@@ -204,5 +285,5 @@ pub fn run_sbp(graph: &Graph, cfg: &SbpConfig) -> SbpResult {
         },
         trajectory,
         stats,
-    }
+    })
 }

@@ -60,6 +60,16 @@ pub enum HsbpError {
         /// Which invariant failed.
         message: String,
     },
+    /// A strict-mode drift audit found the incrementally-maintained
+    /// blockmodel diverging from the state implied by the membership
+    /// vector. In repair mode the same divergence is fixed in place and
+    /// recorded in `RunStats::drift_events` instead.
+    StateDrift {
+        /// Cumulative MCMC sweep at which the audit fired.
+        sweep: usize,
+        /// Summary of the mismatched components and the MDL delta.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for HsbpError {
@@ -94,6 +104,9 @@ impl std::fmt::Display for HsbpError {
             }
             HsbpError::InvariantViolation { shard, message } => {
                 write!(f, "shard {shard} produced an invalid result: {message}")
+            }
+            HsbpError::StateDrift { sweep, detail } => {
+                write!(f, "state drift detected at sweep {sweep}: {detail}")
             }
         }
     }
@@ -137,6 +150,7 @@ impl HsbpError {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 
@@ -166,6 +180,10 @@ mod tests {
             HsbpError::InvariantViolation {
                 shard: 1,
                 message: "block id 9 out of range".into(),
+            },
+            HsbpError::StateDrift {
+                sweep: 128,
+                detail: "d_out mismatch in 1 block; MDL delta 3.2e0".into(),
             },
         ];
         for e in errors {

@@ -92,6 +92,7 @@ pub fn asbp_convergence_risk(graph: &Graph) -> AsbpRisk {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use hsbp_graph::Graph;

@@ -34,6 +34,12 @@
 //! assert!(result.num_blocks >= 1);
 //! ```
 
+// Algorithm internals may still panic on broken invariants, but they must
+// do so deliberately (`panic!`/`unreachable!` with a message), never through
+// a stray `unwrap`/`expect` on a fallible path.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+pub mod budget;
 pub mod config;
 pub mod driver;
 pub mod error;
@@ -42,10 +48,11 @@ pub mod mcmc;
 pub mod merge;
 pub mod stats;
 
+pub use budget::{CancelToken, RunBudget, RunControl, StopCause};
 pub use config::{SbpConfig, Variant};
-pub use driver::{run_sbp, SbpResult};
+pub use driver::{run_sbp, run_sbp_budgeted, run_sbp_checked, SbpResult};
 pub use error::HsbpError;
 pub use influence::{asbp_convergence_risk, degree_concentration, degree_gini, AsbpRisk};
-pub use mcmc::{run_mcmc_phase, McmcOutcome};
-pub use merge::{merge_phase, MergeOutcome};
-pub use stats::RunStats;
+pub use mcmc::{run_mcmc_phase, run_mcmc_phase_controlled, McmcOutcome};
+pub use merge::{merge_phase, merge_phase_controlled, MergeOutcome};
+pub use stats::{DriftEvent, RunStats};

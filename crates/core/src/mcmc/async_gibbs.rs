@@ -16,6 +16,7 @@
 //! schedules the vertices over threads.
 
 use super::SweepCounters;
+use crate::budget::RunControl;
 use crate::config::SbpConfig;
 use crate::stats::RunStats;
 use hsbp_blockmodel::{
@@ -106,6 +107,7 @@ pub(crate) fn sweep_stale(
     counters
 }
 
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn sweep(
     graph: &Graph,
     bm: &mut Blockmodel,
@@ -114,6 +116,7 @@ pub(crate) fn sweep(
     sweep_idx: u64,
     stats: &mut RunStats,
     parallel_costs: &[f64],
+    ctrl: &RunControl,
 ) -> SweepCounters {
     let n = graph.num_vertices();
     let mut counters = SweepCounters::default();
@@ -121,6 +124,11 @@ pub(crate) fn sweep(
     let batch_len = n.div_ceil(batches.max(1));
 
     for batch in 0..batches {
+        // Cancellation checkpoint between batches: each completed batch
+        // ends in a rebuild, so bailing here always leaves exact state.
+        if batch > 0 && ctrl.interrupt_cause().is_some() {
+            break;
+        }
         let start = batch * batch_len;
         let end = ((batch + 1) * batch_len).min(n);
         if start >= end {

@@ -15,6 +15,7 @@
 //! quantify that trade-off against the paper's snapshot-based A-SBP.
 
 use super::SweepCounters;
+use crate::budget::{RunControl, VERTEX_CHECK_STRIDE};
 use crate::config::SbpConfig;
 use crate::stats::RunStats;
 use hsbp_blockmodel::{
@@ -25,6 +26,7 @@ use hsbp_collections::SplitMix64;
 use hsbp_graph::{Graph, Vertex};
 use rayon::prelude::*;
 
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn sweep(
     graph: &Graph,
     bm: &mut Blockmodel,
@@ -33,6 +35,7 @@ pub(crate) fn sweep(
     sweep_idx: u64,
     stats: &mut RunStats,
     parallel_costs: &[f64],
+    ctrl: &RunControl,
 ) -> SweepCounters {
     let n = graph.num_vertices();
     let workers = cfg.exact_async_workers.clamp(1, n.max(1));
@@ -44,12 +47,23 @@ pub(crate) fn sweep(
     let shard_results: Vec<(usize, Vec<Block>, u64)> = (0..workers)
         .into_par_iter()
         .map(|w| {
-            let start = w * shard_len;
+            // Both ends clamp to `n`: on tiny graphs trailing workers get an
+            // empty shard rather than an out-of-range slice.
+            let start = (w * shard_len).min(n);
             let end = ((w + 1) * shard_len).min(n);
             let mut local = frozen.clone();
             let mut scratch = MoveScratch::default();
             let mut accepted = 0u64;
             for v in start..end {
+                // Coarse per-worker cancellation checkpoint; each worker
+                // bails with a consistent local replica, and the global
+                // rebuild below still runs.
+                if ((v - start) as u64).is_multiple_of(VERTEX_CHECK_STRIDE)
+                    && v > start
+                    && ctrl.interrupt_cause().is_some()
+                {
+                    break;
+                }
                 let v = v as Vertex;
                 let mut rng = SplitMix64::for_item(salt, sweep_idx, u64::from(v));
                 let from = local.block_of(v);

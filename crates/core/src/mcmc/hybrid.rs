@@ -9,6 +9,7 @@
 
 use super::async_gibbs::evaluate_vertex;
 use super::SweepCounters;
+use crate::budget::{RunControl, VERTEX_CHECK_STRIDE};
 use crate::config::SbpConfig;
 use crate::stats::RunStats;
 use hsbp_blockmodel::{
@@ -30,13 +31,22 @@ pub(crate) fn sweep(
     sweep_idx: u64,
     stats: &mut RunStats,
     tail_costs: &[f64],
+    ctrl: &RunControl,
 ) -> SweepCounters {
     let mut counters = SweepCounters::default();
     let mut scratch = MoveScratch::default();
 
     // Serial Metropolis-Hastings pass over the influential set V*.
     let mut serial_cost = 0.0;
-    for &v in &order[..vstar_len] {
+    for (i, &v) in order[..vstar_len].iter().enumerate() {
+        // Coarse cancellation checkpoint (see metropolis::sweep); the
+        // interrupted state is a consistent prefix of the serial pass.
+        if (i as u64).is_multiple_of(VERTEX_CHECK_STRIDE)
+            && i > 0
+            && ctrl.interrupt_cause().is_some()
+        {
+            break;
+        }
         let mut rng = SplitMix64::for_item(salt, sweep_idx, u64::from(v));
         let from = bm.block_of(v);
         let to = propose_block(graph, bm, bm.assignment(), v, &mut rng);
@@ -57,8 +67,10 @@ pub(crate) fn sweep(
     stats.sim_mcmc.add_serial(serial_cost);
 
     // Asynchronous-Gibbs pass over the tail V⁻ (frozen model + snapshot).
+    // Skipped entirely when an interrupt is already pending — the model is
+    // consistent after the serial pass, and the phase discards the sweep.
     let tail = &order[vstar_len..];
-    if !tail.is_empty() {
+    if !tail.is_empty() && ctrl.interrupt_cause().is_none() {
         let snapshot = bm.assignment_snapshot();
         let frozen: &Blockmodel = bm;
         let decisions: Vec<Option<Block>> = tail

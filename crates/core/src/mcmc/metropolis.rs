@@ -4,6 +4,7 @@
 //! exactly the dependency chain that makes this phase inherently serial.
 
 use super::SweepCounters;
+use crate::budget::{RunControl, VERTEX_CHECK_STRIDE};
 use crate::config::SbpConfig;
 use crate::stats::RunStats;
 use hsbp_blockmodel::{
@@ -19,11 +20,17 @@ pub(crate) fn sweep(
     salt: u64,
     sweep_idx: u64,
     stats: &mut RunStats,
+    ctrl: &RunControl,
 ) -> SweepCounters {
     let mut counters = SweepCounters::default();
     let mut scratch = MoveScratch::default();
     let mut serial_cost = 0.0;
     for v in 0..graph.num_vertices() as Vertex {
+        // Coarse cancellation checkpoint; every state it leaves behind is a
+        // consistent prefix of the sweep (moves apply immediately).
+        if u64::from(v) % VERTEX_CHECK_STRIDE == 0 && v > 0 && ctrl.interrupt_cause().is_some() {
+            break;
+        }
         let mut rng = SplitMix64::for_item(salt, sweep_idx, u64::from(v));
         let from = bm.block_of(v);
         let to = propose_block(graph, bm, bm.assignment(), v, &mut rng);

@@ -7,9 +7,11 @@ mod exact_async;
 mod hybrid;
 mod metropolis;
 
+use crate::budget::RunControl;
 use crate::config::{SbpConfig, Variant};
-use crate::stats::RunStats;
-use hsbp_blockmodel::{mdl, Blockmodel};
+use crate::error::HsbpError;
+use crate::stats::{DriftEvent, RunStats};
+use hsbp_blockmodel::{audit_blockmodel, mdl, repair_blockmodel, Blockmodel};
 use hsbp_collections::sample::mix_words;
 use hsbp_graph::{stats::vertices_by_degree_desc, Graph, Vertex};
 
@@ -29,6 +31,10 @@ pub struct McmcOutcome {
     pub mdl: mdl::Mdl,
     /// True if the threshold test fired (false = sweep cap hit).
     pub converged: bool,
+    /// True when a budget or cancellation stopped the phase early; the
+    /// in-flight sweep (if any) may be partially applied, so the driver
+    /// discards the whole evaluation.
+    pub truncated: bool,
 }
 
 /// Per-vertex proposal costs in a fixed iteration order (static across the
@@ -43,6 +49,11 @@ fn proposal_costs(graph: &Graph, order: impl Iterator<Item = Vertex>, cfg: &SbpC
 ///
 /// `phase_index` salts the RNG so successive phases of one run draw
 /// independent randomness.
+///
+/// # Panics
+/// Panics if a strict-mode drift audit fails; use
+/// [`run_mcmc_phase_controlled`] to receive that as `HsbpError::StateDrift`
+/// instead.
 pub fn run_mcmc_phase(
     graph: &Graph,
     bm: &mut Blockmodel,
@@ -50,6 +61,28 @@ pub fn run_mcmc_phase(
     phase_index: u64,
     stats: &mut RunStats,
 ) -> McmcOutcome {
+    run_mcmc_phase_controlled(graph, bm, cfg, phase_index, stats, &RunControl::unlimited())
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`run_mcmc_phase`] under a [`RunControl`], with the cadenced drift audit.
+///
+/// Budget/cancel checks run at every sweep boundary (and, for the serial
+/// sweep loops, every [`crate::budget::VERTEX_CHECK_STRIDE`] vertices); a
+/// tripped control marks the outcome `truncated` and stops the phase. When
+/// `cfg.audit_cadence > 0`, the incremental blockmodel state is audited
+/// against a rebuild from membership every `audit_cadence` cumulative
+/// sweeps: divergence is repaired in place and recorded in
+/// `stats.drift_events`, or — with `cfg.strict_audit` — returned as
+/// `Err(HsbpError::StateDrift)`. That error is the only failure mode.
+pub fn run_mcmc_phase_controlled(
+    graph: &Graph,
+    bm: &mut Blockmodel,
+    cfg: &SbpConfig,
+    phase_index: u64,
+    stats: &mut RunStats,
+    ctrl: &RunControl,
+) -> Result<McmcOutcome, HsbpError> {
     let salt = mix_words(&[cfg.seed, 0x4d43_4d43, phase_index]); // "MCMC"
     let n = graph.num_vertices();
     stats.mcmc_phases += 1;
@@ -73,6 +106,7 @@ pub fn run_mcmc_phase(
     let mut recent_deltas: Vec<f64> = Vec::with_capacity(3);
     let mut sweeps = 0;
     let mut converged = false;
+    let mut truncated = false;
 
     // History of past models for the distributed-staleness emulation (only
     // populated when it is actually consulted).
@@ -84,15 +118,18 @@ pub fn run_mcmc_phase(
     }
 
     while sweeps < cfg.max_sweeps {
+        if ctrl.sweep_stop_cause(stats.mcmc_sweeps).is_some() {
+            truncated = true;
+            break;
+        }
         let counters = match cfg.variant {
-            Variant::Metropolis => metropolis::sweep(graph, bm, cfg, salt, sweeps as u64, stats),
+            Variant::Metropolis => {
+                metropolis::sweep(graph, bm, cfg, salt, sweeps as u64, stats, ctrl)
+            }
             Variant::AsyncGibbs if use_stale => {
                 // Evaluate against the oldest retained model (at most
                 // `staleness` sweeps old), then retire it.
-                let eval_model = history
-                    .front()
-                    .expect("history seeded before the loop")
-                    .clone();
+                let eval_model = history.front().cloned().unwrap_or_else(|| bm.clone());
                 let counters = async_gibbs::sweep_stale(
                     graph,
                     bm,
@@ -109,12 +146,26 @@ pub fn run_mcmc_phase(
                 }
                 counters
             }
-            Variant::AsyncGibbs => {
-                async_gibbs::sweep(graph, bm, cfg, salt, sweeps as u64, stats, &parallel_costs)
-            }
-            Variant::ExactAsync => {
-                exact_async::sweep(graph, bm, cfg, salt, sweeps as u64, stats, &parallel_costs)
-            }
+            Variant::AsyncGibbs => async_gibbs::sweep(
+                graph,
+                bm,
+                cfg,
+                salt,
+                sweeps as u64,
+                stats,
+                &parallel_costs,
+                ctrl,
+            ),
+            Variant::ExactAsync => exact_async::sweep(
+                graph,
+                bm,
+                cfg,
+                salt,
+                sweeps as u64,
+                stats,
+                &parallel_costs,
+                ctrl,
+            ),
             Variant::Hybrid => hybrid::sweep(
                 graph,
                 bm,
@@ -125,12 +176,46 @@ pub fn run_mcmc_phase(
                 sweeps as u64,
                 stats,
                 &parallel_costs,
+                ctrl,
             ),
         };
+        if ctrl.interrupt_cause().is_some() {
+            // The sweep may have bailed out part-way; the whole evaluation
+            // is discarded by the driver, so don't count it.
+            truncated = true;
+            break;
+        }
         sweeps += 1;
         stats.mcmc_sweeps += 1;
         stats.proposals += counters.proposals;
         stats.accepted += counters.accepted;
+
+        if cfg.inject_drift_at_sweep == Some(stats.mcmc_sweeps) {
+            bm.inject_state_corruption(mix_words(&[
+                cfg.seed,
+                0x4452_4946, // "DRIF"
+                stats.mcmc_sweeps as u64,
+            ]));
+        }
+        if cfg.audit_cadence > 0 && stats.mcmc_sweeps.is_multiple_of(cfg.audit_cadence) {
+            stats.audits_run += 1;
+            if let Some(report) = audit_blockmodel(bm, graph) {
+                if cfg.strict_audit {
+                    return Err(HsbpError::StateDrift {
+                        sweep: stats.mcmc_sweeps,
+                        detail: report.summary(),
+                    });
+                }
+                repair_blockmodel(bm, graph);
+                stats.drift_events.push(DriftEvent {
+                    total_sweep: stats.mcmc_sweeps,
+                    phase_index,
+                    mismatches: report.mismatches,
+                    mdl_delta: report.mdl_delta,
+                    repaired: true,
+                });
+            }
+        }
 
         let current = mdl::mdl(bm, n, graph.total_weight());
         let delta = previous.total - current.total;
@@ -148,14 +233,16 @@ pub fn run_mcmc_phase(
         }
     }
 
-    McmcOutcome {
+    Ok(McmcOutcome {
         sweeps,
         mdl: previous,
         converged,
-    }
+        truncated,
+    })
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use hsbp_graph::Graph;

@@ -7,6 +7,7 @@
 //! merges are applied greedily until the number of blocks reaches the
 //! target.
 
+use crate::budget::RunControl;
 use crate::config::SbpConfig;
 use crate::stats::RunStats;
 use hsbp_blockmodel::{delta_mdl_merge, propose_merge_target, Block, Blockmodel};
@@ -22,6 +23,9 @@ pub struct MergeOutcome {
     pub merges_applied: usize,
     /// Block count after the phase.
     pub num_blocks: usize,
+    /// True when a budget deadline or cancellation stopped the phase before
+    /// it reached its target block count.
+    pub truncated: bool,
 }
 
 /// Shrink `bm` to (at most) `target_blocks` blocks.
@@ -37,10 +41,40 @@ pub fn merge_phase(
     phase_index: u64,
     stats: &mut RunStats,
 ) -> MergeOutcome {
+    merge_phase_controlled(
+        graph,
+        bm,
+        target_blocks,
+        cfg,
+        phase_index,
+        stats,
+        &RunControl::unlimited(),
+    )
+}
+
+/// [`merge_phase`] under a [`RunControl`]: the deadline/cancel check runs
+/// at the top of every propose-select-apply round, so the phase stops
+/// between rounds (never mid-round — applied merges always form a complete
+/// round). An unlimited control makes this identical to [`merge_phase`].
+#[allow(clippy::too_many_arguments)]
+pub fn merge_phase_controlled(
+    graph: &Graph,
+    bm: &mut Blockmodel,
+    target_blocks: usize,
+    cfg: &SbpConfig,
+    phase_index: u64,
+    stats: &mut RunStats,
+    ctrl: &RunControl,
+) -> MergeOutcome {
     let target_blocks = target_blocks.max(1);
     let mut merges_applied = 0;
+    let mut truncated = false;
     let mut round: u64 = 0;
     while bm.num_blocks() > target_blocks {
+        if ctrl.interrupt_cause().is_some() {
+            truncated = true;
+            break;
+        }
         let c = bm.num_blocks();
         let salt = mix_words(&[cfg.seed, 0x4d45_5247, phase_index, round]); // "MERG"
         let frozen: &Blockmodel = bm;
@@ -119,10 +153,12 @@ pub fn merge_phase(
     MergeOutcome {
         merges_applied,
         num_blocks: bm.num_blocks(),
+        truncated,
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use hsbp_blockmodel::mdl;
@@ -234,6 +270,21 @@ mod tests {
             bm.assignment().to_vec()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn cancelled_control_truncates_merge() {
+        let (g, _) = planted(10, 3);
+        let cfg = SbpConfig::default();
+        let mut bm = Blockmodel::singleton_partition(&g);
+        let mut stats = RunStats::new(&cfg);
+        let token = crate::budget::CancelToken::new();
+        token.cancel();
+        let ctrl = RunControl::new(&crate::budget::RunBudget::unlimited(), &token);
+        let out = merge_phase_controlled(&g, &mut bm, 5, &cfg, 0, &mut stats, &ctrl);
+        assert!(out.truncated);
+        assert_eq!(out.merges_applied, 0);
+        assert_eq!(bm.num_blocks(), g.num_vertices());
     }
 
     #[test]

@@ -1,8 +1,26 @@
 //! Per-run instrumentation: wall-clock phase timers, simulated-thread
 //! accounting, and the MCMC counters the paper's appendix reports (Fig. 8).
 
+use crate::budget::StopCause;
 use crate::config::SbpConfig;
 use hsbp_timing::{PhaseTimer, SimAccumulator};
+
+/// One detection (and, outside strict mode, repair) of incremental-state
+/// drift by the cadenced blockmodel audit.
+#[derive(Debug, Clone)]
+pub struct DriftEvent {
+    /// Cumulative MCMC sweep count when the audit fired.
+    pub total_sweep: usize,
+    /// Phase index (outer iteration) the drift was caught in.
+    pub phase_index: u64,
+    /// Mismatched blockmodel components, one description each.
+    pub mismatches: Vec<String>,
+    /// |incremental MDL − recomputed MDL| at detection time.
+    pub mdl_delta: f64,
+    /// True when the state was rebuilt from membership (repair mode);
+    /// false only for events surfaced through `HsbpError::StateDrift`.
+    pub repaired: bool,
+}
 
 /// Everything measured during one SBP run.
 #[derive(Debug, Clone)]
@@ -23,6 +41,13 @@ pub struct RunStats {
     pub proposals: u64,
     /// Vertex-move proposals accepted.
     pub accepted: u64,
+    /// Why the run stopped: `Completed` for a natural finish, anything else
+    /// means the result is a budget/cancel-truncated best-so-far prefix.
+    pub stop_cause: StopCause,
+    /// Drift audits executed (cadence-driven rebuild-and-compare passes).
+    pub audits_run: usize,
+    /// Drift detections, in the order the audits caught them.
+    pub drift_events: Vec<DriftEvent>,
 }
 
 impl RunStats {
@@ -42,6 +67,9 @@ impl RunStats {
             outer_iterations: 0,
             proposals: 0,
             accepted: 0,
+            stop_cause: StopCause::Completed,
+            audits_run: 0,
+            drift_events: Vec::new(),
         }
     }
 
@@ -66,6 +94,7 @@ impl RunStats {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 
@@ -76,6 +105,9 @@ mod tests {
         assert_eq!(stats.acceptance_rate(), 0.0);
         assert_eq!(stats.sim_mcmc_time(1), Some(0.0));
         assert_eq!(stats.sim_total_time(128), Some(0.0));
+        assert_eq!(stats.stop_cause, StopCause::Completed);
+        assert_eq!(stats.audits_run, 0);
+        assert!(stats.drift_events.is_empty());
     }
 
     #[test]

@@ -190,6 +190,10 @@ fn fold_stats<'a>(stats: &mut RunStats, results: impl Iterator<Item = &'a SbpRes
         stats.outer_iterations += result.stats.outer_iterations;
         stats.proposals += result.stats.proposals;
         stats.accepted += result.stats.accepted;
+        stats.audits_run += result.stats.audits_run;
+        stats
+            .drift_events
+            .extend(result.stats.drift_events.iter().cloned());
     }
 }
 

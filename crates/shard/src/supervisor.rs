@@ -8,8 +8,12 @@
 //! the full edge set (Roy & Atchadé, arXiv:1610.09724), so the supervisor
 //! turns shard failures into policy instead of aborts:
 //!
-//! * every attempt runs under [`std::panic::catch_unwind`];
-//! * a completed attempt is checked against a **deadline** (the simulated
+//! * every attempt runs under [`std::panic::catch_unwind`], and — when a
+//!   `shard_timeout` is set — under a **cooperative wall-clock deadline**
+//!   ([`hsbp_core::RunBudget`]): an attempt that overruns stops itself at
+//!   the next cancellation checkpoint and surfaces as a truncated result
+//!   instead of hogging the rank;
+//! * a completed attempt is checked against the **deadline** (the simulated
 //!   cost account, falling back to wall clock — straggler detection) and a
 //!   **post-shard invariant validator** (membership bounds, block counts,
 //!   edge conservation — the last line of defence against corrupt results);
@@ -30,12 +34,12 @@ use crate::runner::{
 };
 use crate::ShardConfig;
 use hsbp_blockmodel::Blockmodel;
-use hsbp_core::{run_sbp, HsbpError, SbpResult};
+use hsbp_core::{run_sbp_budgeted, CancelToken, HsbpError, RunBudget, SbpResult};
 use hsbp_graph::Graph;
 use rayon::prelude::*;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Once;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Supervision policy of a sharded run.
 #[derive(Debug, Clone)]
@@ -45,8 +49,11 @@ pub struct SupervisorConfig {
     pub max_retries: usize,
     /// Per-attempt deadline. Checked against the shard's simulated cost
     /// account (abstract units) when it tracks one thread, its wall-clock
-    /// seconds otherwise — and always against wall clock, so a genuinely
-    /// hung host surfaces too. `None` disables straggler detection.
+    /// seconds otherwise — and always against wall clock, both as a
+    /// post-hoc straggler check *and* as a cooperative in-run deadline
+    /// (the attempt's [`hsbp_core::RunBudget`]), so a genuinely slow host
+    /// stops itself instead of running to completion. `None` disables
+    /// straggler detection.
     pub shard_timeout: Option<f64>,
     /// Base of the exponential backoff before retry `k`, in milliseconds:
     /// `backoff_base_ms << (k - 1)`. 0 (the default) records the schedule
@@ -264,6 +271,16 @@ fn supervise_shard(
     for attempt in 1..=max_attempts {
         let shard_cfg = shard_sbp_config(plan, cfg, shard, attempt);
         let fault = sup.fault_plan.fault_for(shard, attempt);
+        // Cooperative wall-clock deadline: instead of only judging a shard
+        // *after* it finishes (PR 2), hand the timeout to the run itself so
+        // a genuinely slow attempt stops at the next cancellation checkpoint
+        // and comes back truncated rather than hogging the rank. Simulated
+        // cost is still judged post-hoc below — it is only known at the end.
+        let budget = match sup.shard_timeout {
+            Some(secs) => RunBudget::unlimited().with_deadline(Duration::from_secs_f64(secs)),
+            None => RunBudget::unlimited(),
+        };
+        let token = CancelToken::new();
         let started = Instant::now();
         let run = catch_unwind(AssertUnwindSafe(|| {
             if matches!(fault, Some(FaultKind::Panic)) {
@@ -271,13 +288,14 @@ fn supervise_shard(
                     message: format!("injected panic (shard {shard}, attempt {attempt})"),
                 });
             }
-            run_sbp(graph, &shard_cfg)
+            run_sbp_budgeted(graph, &shard_cfg, &budget, &token)
         }));
         let wall_secs = started.elapsed().as_secs_f64();
 
         let failure = match run {
             Err(payload) => FailureKind::Panic(payload_message(payload.as_ref())),
-            Ok(mut result) => {
+            Ok(Err(e)) => FailureKind::Invalid(format!("run failed: {e}")),
+            Ok(Ok(mut result)) => {
                 if matches!(fault, Some(FaultKind::Corrupt)) {
                     corrupt_result(&mut result, mix(shard_cfg.seed, attempt as u64));
                 }
@@ -285,9 +303,10 @@ fn supervise_shard(
                 if let Some(FaultKind::Delay(secs)) = fault {
                     cost += secs;
                 }
-                let over_deadline = sup.shard_timeout.is_some_and(|budget| {
-                    cost > budget || (basis == CostBasis::Simulated && wall_secs > budget)
-                });
+                let over_deadline = result.truncated()
+                    || sup.shard_timeout.is_some_and(|budget| {
+                        cost > budget || (basis == CostBasis::Simulated && wall_secs > budget)
+                    });
                 if over_deadline {
                     let budget = sup.shard_timeout.unwrap_or(f64::INFINITY);
                     FailureKind::Straggler {

@@ -3,9 +3,12 @@
 //! ```text
 //! hsbp detect  --input graph.mtx [--variant sbp|asbp|hsbp] [--seed N]
 //!              [--output labels.tsv] [--restarts N]
+//!              [--deadline SECS] [--max-sweeps N]
+//!              [--audit-cadence N] [--strict-audit true]
 //! hsbp shard   --input graph.mtx [--shards K] [--strategy rr|degree|file]
 //!              [--parts graph.part.K] [--seed N] [--compare true]
 //!              [--max-retries N] [--shard-timeout SECS] [--fault-plan SPEC]
+//!              [--audit-cadence N] [--strict-audit true]
 //!              [--checkpoint DIR | --resume DIR] [--output labels.tsv]
 //! hsbp stats   --input graph.mtx
 //! hsbp generate --vertices N --edges M [--communities C] [--ratio R]
@@ -15,6 +18,17 @@
 //! `detect` reads a Matrix Market (`.mtx`) or whitespace edge-list file,
 //! runs the chosen SBP variant (default: H-SBP) with the best-of-restarts
 //! protocol, and writes one `vertex<TAB>community` line per vertex.
+//!
+//! `--deadline` and `--max-sweeps` put the whole `detect` invocation under
+//! a run budget shared across restarts: the run stops cooperatively when
+//! the wall-clock deadline or total-sweep cap is reached and the
+//! best-so-far labels are still written, with exit code 8 marking the
+//! truncation. `--audit-cadence N` audits the incremental blockmodel
+//! against a from-scratch rebuild every N sweeps (default 64, 0 disables),
+//! repairing any drift it finds; `--strict-audit true` turns detected
+//! drift into a failure (exit code 7) instead. `--inject-drift N`
+//! deliberately corrupts the incremental state at sweep N (a test hook for
+//! the auditor).
 //!
 //! `shard` runs the sharded divide-and-conquer pipeline (partition →
 //! supervised per-shard SBP → stitch → H-SBP finetune), reporting cut
@@ -27,7 +41,9 @@
 //!
 //! Failures exit with a one-line diagnostic and a distinct code:
 //! 2 = usage / invalid flags, 3 = unreadable graph, 4 = bad partition file,
-//! 5 = checkpoint error, 6 = run failed (e.g. every shard lost).
+//! 5 = checkpoint error, 6 = run failed (e.g. every shard lost),
+//! 7 = state drift under `--strict-audit`, 8 = run truncated by its budget
+//! (labels were still written).
 
 use hsbp::generator::{generate, DcsbmConfig};
 use hsbp::graph::io::{load_path, write_matrix_market};
@@ -35,10 +51,14 @@ use hsbp::graph::partition::read_partition_file;
 use hsbp::graph::GraphStats;
 use hsbp::metrics::{directed_modularity, nmi, normalized_mdl};
 use hsbp::shard::{run_sharded_sbp_detailed, run_sharded_sbp_resumable, ShardStatus};
-use hsbp::{run_sbp, FaultPlan, HsbpError, PartitionStrategy, SbpConfig, ShardConfig, Variant};
+use hsbp::{
+    run_sbp, run_sbp_budgeted, CancelToken, FaultPlan, HsbpError, PartitionStrategy, RunBudget,
+    SbpConfig, ShardConfig, Variant,
+};
 use std::collections::HashMap;
 use std::io::Write;
 use std::process::ExitCode;
+use std::time::{Duration, Instant};
 
 /// Exit code for failures to read or parse the input graph.
 const EXIT_BAD_GRAPH: u8 = 3;
@@ -48,6 +68,11 @@ const EXIT_BAD_PARTITION: u8 = 4;
 const EXIT_BAD_CHECKPOINT: u8 = 5;
 /// Exit code for runs that failed outright (e.g. all shards lost).
 const EXIT_RUN_FAILED: u8 = 6;
+/// Exit code for drift detected under `--strict-audit true`.
+const EXIT_STATE_DRIFT: u8 = 7;
+/// Exit code for runs truncated by `--deadline` / `--max-sweeps`; the
+/// best-so-far labels were still written.
+const EXIT_BUDGET_TRUNCATED: u8 = 8;
 
 fn usage(msg: &str) -> ExitCode {
     if !msg.is_empty() {
@@ -55,10 +80,13 @@ fn usage(msg: &str) -> ExitCode {
     }
     eprintln!(
         "usage:\n  hsbp detect --input FILE [--variant sbp|asbp|hsbp] [--seed N] \\\n\
-         \x20             [--restarts N] [--output FILE]\n\
+         \x20             [--restarts N] [--output FILE] \\\n\
+         \x20             [--deadline SECS] [--max-sweeps N] \\\n\
+         \x20             [--audit-cadence N] [--strict-audit true]\n\
          \x20 hsbp shard --input FILE [--shards K] [--strategy rr|degree|file] \\\n\
          \x20             [--parts FILE] [--seed N] [--compare true] \\\n\
          \x20             [--max-retries N] [--shard-timeout SECS] [--fault-plan SPEC] \\\n\
+         \x20             [--audit-cadence N] [--strict-audit true] \\\n\
          \x20             [--checkpoint DIR | --resume DIR] [--output FILE]\n\
          \x20 hsbp stats --input FILE\n\
          \x20 hsbp generate --vertices N --edges M [--communities C] [--ratio R] \\\n\
@@ -86,11 +114,35 @@ fn report_error(e: &HsbpError) -> ExitCode {
         HsbpError::Io { .. } => EXIT_BAD_GRAPH,
         HsbpError::PartitionMismatch { .. } => EXIT_BAD_PARTITION,
         HsbpError::Checkpoint { .. } => EXIT_BAD_CHECKPOINT,
+        HsbpError::StateDrift { .. } => EXIT_STATE_DRIFT,
         HsbpError::ShardFailed { .. }
         | HsbpError::AllShardsFailed { .. }
         | HsbpError::InvariantViolation { .. } => EXIT_RUN_FAILED,
     };
     ExitCode::from(code)
+}
+
+/// Apply the shared `--audit-cadence` / `--strict-audit` / `--inject-drift`
+/// flags to an [`SbpConfig`].
+fn apply_audit_flags(flags: &HashMap<String, String>, cfg: &mut SbpConfig) -> Result<(), String> {
+    if let Some(s) = flags.get("audit-cadence") {
+        cfg.audit_cadence = s
+            .parse()
+            .map_err(|_| "--audit-cadence needs a non-negative integer (0 disables)".to_string())?;
+    }
+    match flags.get("strict-audit").map(String::as_str) {
+        None => {}
+        Some("true") => cfg.strict_audit = true,
+        Some("false") => cfg.strict_audit = false,
+        Some(other) => return Err(format!("--strict-audit needs true or false, got `{other}`")),
+    }
+    if let Some(s) = flags.get("inject-drift") {
+        cfg.inject_drift_at_sweep = Some(
+            s.parse()
+                .map_err(|_| "--inject-drift needs a sweep number".to_string())?,
+        );
+    }
+    Ok(())
 }
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -125,7 +177,21 @@ fn main() -> ExitCode {
 }
 
 fn detect(flags: &HashMap<String, String>) -> ExitCode {
-    if let Err(e) = check_flags(flags, &["input", "variant", "seed", "restarts", "output"]) {
+    if let Err(e) = check_flags(
+        flags,
+        &[
+            "input",
+            "variant",
+            "seed",
+            "restarts",
+            "output",
+            "deadline",
+            "max-sweeps",
+            "audit-cadence",
+            "strict-audit",
+            "inject-drift",
+        ],
+    ) {
         return usage(&e);
     }
     let Some(input) = flags.get("input") else {
@@ -142,6 +208,16 @@ fn detect(flags: &HashMap<String, String>) -> ExitCode {
         .get("restarts")
         .map_or(Ok(1), |s| s.parse())
         .unwrap_or(1);
+    let deadline: Option<Duration> = match flags.get("deadline").map(|s| s.parse::<f64>()) {
+        None => None,
+        Some(Ok(t)) if t.is_finite() && t > 0.0 => Some(Duration::from_secs_f64(t)),
+        Some(_) => return usage("--deadline needs a positive number of seconds"),
+    };
+    let max_sweeps: Option<usize> = match flags.get("max-sweeps").map(|s| s.parse::<usize>()) {
+        None => None,
+        Some(Ok(n)) if n > 0 => Some(n),
+        Some(_) => return usage("--max-sweeps needs a positive integer"),
+    };
 
     let graph = match load_path(input) {
         Ok(g) => g,
@@ -159,15 +235,60 @@ fn detect(flags: &HashMap<String, String>) -> ExitCode {
         restarts.max(1)
     );
 
+    // The deadline and sweep cap are *overall* budgets, shared across
+    // restarts: each restart runs under whatever is left of them.
+    let started = Instant::now();
+    let token = CancelToken::new();
+    let mut sweeps_left = max_sweeps;
     let mut best: Option<hsbp::SbpResult> = None;
+    let mut truncated = false;
     for restart in 0..restarts.max(1) {
-        let cfg = SbpConfig::new(variant, seed.wrapping_add(restart as u64 * 7919));
-        let result = run_sbp(&graph, &cfg);
+        let mut budget = RunBudget::unlimited();
+        if let Some(total) = deadline {
+            let remaining = total.saturating_sub(started.elapsed());
+            if remaining.is_zero() {
+                truncated = true;
+                eprintln!("deadline reached; skipping remaining restart(s)");
+                break;
+            }
+            budget = budget.with_deadline(remaining);
+        }
+        if let Some(left) = sweeps_left {
+            if left == 0 {
+                truncated = true;
+                eprintln!("sweep budget exhausted; skipping remaining restart(s)");
+                break;
+            }
+            budget = budget.with_max_total_sweeps(left);
+        }
+        let mut cfg = SbpConfig::new(variant, seed.wrapping_add(restart as u64 * 7919));
+        if let Err(e) = apply_audit_flags(flags, &mut cfg) {
+            return usage(&e);
+        }
+        let result = match run_sbp_budgeted(&graph, &cfg, &budget, &token) {
+            Ok(r) => r,
+            Err(e) => return report_error(&e),
+        };
+        if let Some(left) = sweeps_left.as_mut() {
+            *left = left.saturating_sub(result.stats.mcmc_sweeps);
+        }
+        if result.truncated() {
+            truncated = true;
+            eprintln!(
+                "restart {restart}: stopped early ({})",
+                result.stats.stop_cause
+            );
+        }
         if best.as_ref().is_none_or(|b| result.mdl.total < b.mdl.total) {
             best = Some(result);
         }
     }
-    let result = best.expect("at least one restart");
+    let Some(result) = best else {
+        // Unreachable in practice: the first restart always runs (its
+        // budget is checked non-zero above) and returns best-so-far.
+        eprintln!("error: budget exhausted before any restart produced a result");
+        return ExitCode::from(EXIT_BUDGET_TRUNCATED);
+    };
     eprintln!(
         "found {} communities  MDL {:.1}  MDL_norm {:.4}  modularity {:.4}  ({} MCMC sweeps)",
         result.num_blocks,
@@ -176,6 +297,13 @@ fn detect(flags: &HashMap<String, String>) -> ExitCode {
         directed_modularity(&graph, &result.assignment),
         result.stats.mcmc_sweeps
     );
+    if result.stats.audits_run > 0 {
+        eprintln!(
+            "audits: {} run, {} drift event(s) detected and repaired",
+            result.stats.audits_run,
+            result.stats.drift_events.len()
+        );
+    }
 
     let write_result = || -> std::io::Result<()> {
         match flags.get("output") {
@@ -202,6 +330,10 @@ fn detect(flags: &HashMap<String, String>) -> ExitCode {
         eprintln!("cannot write labels: {e}");
         return ExitCode::FAILURE;
     }
+    if truncated {
+        eprintln!("run truncated by its budget; labels are the best-so-far state");
+        return ExitCode::from(EXIT_BUDGET_TRUNCATED);
+    }
     ExitCode::SUCCESS
 }
 
@@ -219,6 +351,8 @@ fn shard_cmd(flags: &HashMap<String, String>) -> ExitCode {
             "max-retries",
             "shard-timeout",
             "fault-plan",
+            "audit-cadence",
+            "strict-audit",
             "checkpoint",
             "resume",
         ],
@@ -290,13 +424,17 @@ fn shard_cmd(flags: &HashMap<String, String>) -> ExitCode {
             return ExitCode::from(EXIT_BAD_GRAPH);
         }
     };
+    let mut sbp_cfg = SbpConfig {
+        seed,
+        ..Default::default()
+    };
+    if let Err(e) = apply_audit_flags(flags, &mut sbp_cfg) {
+        return usage(&e);
+    }
     let mut cfg = ShardConfig {
         num_shards: shards,
         strategy,
-        sbp: SbpConfig {
-            seed,
-            ..Default::default()
-        },
+        sbp: sbp_cfg,
         ..Default::default()
     };
     cfg.supervision.max_retries = max_retries;

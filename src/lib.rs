@@ -58,7 +58,10 @@ pub use hsbp_core as sbp;
 /// Sharded divide-and-conquer SBP.
 pub use hsbp_shard as shard;
 
-pub use hsbp_core::{run_sbp, HsbpError, McmcOutcome, RunStats, SbpConfig, SbpResult, Variant};
+pub use hsbp_core::{
+    run_sbp, run_sbp_budgeted, run_sbp_checked, CancelToken, DriftEvent, HsbpError, McmcOutcome,
+    RunBudget, RunStats, SbpConfig, SbpResult, StopCause, Variant,
+};
 pub use hsbp_graph::{Graph, GraphBuilder};
 pub use hsbp_shard::{
     run_sharded_sbp, run_sharded_sbp_detailed, run_sharded_sbp_resumable, FaultPlan,

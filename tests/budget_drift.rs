@@ -1,0 +1,342 @@
+//! Run-budget, cooperative-cancellation and drift-audit behaviour of the
+//! core SBP runtime.
+//!
+//! The contract under test: an unbudgeted `run_sbp_budgeted` is
+//! bit-identical to `run_sbp`; a tripped budget returns the best-so-far
+//! state equal to a *prefix point* of the uninterrupted run's trajectory;
+//! injected incremental-state corruption is detected by the next audit and
+//! repaired (or, in strict mode, surfaced as `HsbpError::StateDrift`).
+
+use hsbp::blockmodel::{mdl, Blockmodel};
+use hsbp::generator::{generate, DcsbmConfig};
+use hsbp::metrics::nmi;
+use hsbp::{
+    run_sbp, run_sbp_budgeted, run_sbp_checked, CancelToken, Graph, HsbpError, RunBudget,
+    SbpConfig, SbpResult, StopCause, Variant,
+};
+use proptest::prelude::*;
+use std::time::Duration;
+
+const VARIANTS: [Variant; 4] = [
+    Variant::Metropolis,
+    Variant::AsyncGibbs,
+    Variant::Hybrid,
+    Variant::ExactAsync,
+];
+
+fn planted_graph(seed: u64) -> (Graph, Vec<u32>) {
+    let data = generate(DcsbmConfig {
+        num_vertices: 200,
+        num_communities: 4,
+        target_num_edges: 1600,
+        within_between_ratio: 3.0,
+        seed,
+        ..Default::default()
+    });
+    (data.graph, data.ground_truth)
+}
+
+fn singleton_mdl(graph: &Graph) -> f64 {
+    let bm = Blockmodel::singleton_partition(graph);
+    mdl::mdl(&bm, graph.num_vertices(), graph.total_weight()).total
+}
+
+/// The truncated run must equal a prefix of the uninterrupted trajectory
+/// and still beat (or tie) the singleton start.
+fn assert_prefix_of(truncated: &SbpResult, full: &SbpResult, graph: &Graph) {
+    let k = truncated.trajectory.len();
+    assert!(
+        k <= full.trajectory.len(),
+        "truncated trajectory longer than the full one"
+    );
+    assert_eq!(
+        truncated.trajectory,
+        full.trajectory[..k],
+        "truncated trajectory is not a prefix of the uninterrupted run's"
+    );
+    assert!(
+        truncated.mdl.total <= singleton_mdl(graph) + 1e-9,
+        "best-so-far MDL {} worse than the singleton start {}",
+        truncated.mdl.total,
+        singleton_mdl(graph)
+    );
+    // Best-so-far = the argmin over the evaluated prefix (or the singleton
+    // start when nothing completed).
+    let prefix_best = truncated
+        .trajectory
+        .iter()
+        .map(|&(_, m)| m)
+        .fold(f64::INFINITY, f64::min);
+    if k > 0 {
+        assert!(truncated.mdl.total <= prefix_best + 1e-9);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Satellite (a) + tentpole acceptance: with no budget, the budgeted
+    /// entry point is bit-identical to `run_sbp` for every variant.
+    #[test]
+    fn unlimited_budget_is_bit_identical(seed in 0u64..1000, which in 0usize..4) {
+        let (graph, _) = planted_graph(seed % 7);
+        let cfg = SbpConfig::new(VARIANTS[which], seed);
+        let plain = run_sbp(&graph, &cfg);
+        let budgeted =
+            run_sbp_budgeted(&graph, &cfg, &RunBudget::unlimited(), &CancelToken::new())
+                .expect("valid config");
+        prop_assert_eq!(plain.assignment, budgeted.assignment);
+        prop_assert_eq!(plain.num_blocks, budgeted.num_blocks);
+        prop_assert_eq!(plain.mdl.total, budgeted.mdl.total);
+        prop_assert_eq!(plain.trajectory, budgeted.trajectory);
+        prop_assert_eq!(budgeted.stats.stop_cause, StopCause::Completed);
+        prop_assert!(!budgeted.truncated());
+    }
+}
+
+#[test]
+fn sweep_budget_truncates_to_trajectory_prefix() {
+    let (graph, _) = planted_graph(1);
+    for variant in VARIANTS {
+        let cfg = SbpConfig::new(variant, 11);
+        let full = run_sbp(&graph, &cfg);
+        let total = full.stats.mcmc_sweeps;
+        assert!(total >= 2, "{variant:?} run too short to truncate");
+        let budget = RunBudget::unlimited().with_max_total_sweeps(total / 2);
+        let cut = run_sbp_budgeted(&graph, &cfg, &budget, &CancelToken::new()).unwrap();
+        assert!(cut.truncated(), "{variant:?} did not truncate");
+        assert_eq!(cut.stats.stop_cause, StopCause::SweepBudgetExhausted);
+        assert!(cut.stats.mcmc_sweeps <= total);
+        assert_prefix_of(&cut, &full, &graph);
+    }
+}
+
+#[test]
+fn eval_budget_caps_outer_iterations() {
+    let (graph, _) = planted_graph(2);
+    let cfg = SbpConfig::new(Variant::Hybrid, 5);
+    let full = run_sbp(&graph, &cfg);
+    assert!(full.stats.outer_iterations > 1);
+    let budget = RunBudget::unlimited().with_max_evaluations(1);
+    let cut = run_sbp_budgeted(&graph, &cfg, &budget, &CancelToken::new()).unwrap();
+    assert_eq!(cut.stats.outer_iterations, 1);
+    assert_eq!(cut.trajectory.len(), 1);
+    assert_eq!(cut.stats.stop_cause, StopCause::EvalBudgetExhausted);
+    assert_prefix_of(&cut, &full, &graph);
+}
+
+#[test]
+fn expired_deadline_returns_best_so_far() {
+    let (graph, _) = planted_graph(3);
+    for variant in VARIANTS {
+        let cfg = SbpConfig::new(variant, 7);
+        let full = run_sbp(&graph, &cfg);
+        // A 1ns deadline has expired by the first check: the run must come
+        // back immediately with the singleton start as best-so-far.
+        let budget = RunBudget::unlimited().with_deadline(Duration::from_nanos(1));
+        let cut = run_sbp_budgeted(&graph, &cfg, &budget, &CancelToken::new()).unwrap();
+        assert!(cut.truncated());
+        assert_eq!(cut.stats.stop_cause, StopCause::DeadlineExpired);
+        assert!(cut.trajectory.is_empty());
+        assert_eq!(cut.num_blocks, graph.num_vertices());
+        assert_eq!(cut.assignment.len(), graph.num_vertices());
+        assert_prefix_of(&cut, &full, &graph);
+    }
+}
+
+#[test]
+fn mid_run_deadline_is_still_a_trajectory_prefix() {
+    // Wall-clock truncation lands at an arbitrary point, but wherever it
+    // lands the result must be a completed prefix of the same trajectory.
+    let (graph, _) = planted_graph(4);
+    let cfg = SbpConfig::new(Variant::Metropolis, 13);
+    let full = run_sbp(&graph, &cfg);
+    for micros in [1u64, 50, 500, 5000] {
+        let budget = RunBudget::unlimited().with_deadline(Duration::from_micros(micros));
+        let cut = run_sbp_budgeted(&graph, &cfg, &budget, &CancelToken::new()).unwrap();
+        assert_prefix_of(&cut, &full, &graph);
+        if cut.truncated() {
+            assert_eq!(cut.stats.stop_cause, StopCause::DeadlineExpired);
+        }
+    }
+}
+
+#[test]
+fn pre_cancelled_token_stops_before_any_evaluation() {
+    let (graph, _) = planted_graph(5);
+    let token = CancelToken::new();
+    token.cancel();
+    let cfg = SbpConfig::new(Variant::Hybrid, 1);
+    let cut = run_sbp_budgeted(&graph, &cfg, &RunBudget::unlimited(), &token).unwrap();
+    assert!(cut.truncated());
+    assert_eq!(cut.stats.stop_cause, StopCause::Cancelled);
+    assert!(cut.trajectory.is_empty());
+    assert_eq!(cut.num_blocks, graph.num_vertices());
+}
+
+#[test]
+fn cancel_from_another_thread_is_honoured() {
+    let (graph, _) = planted_graph(6);
+    let cfg = SbpConfig::new(Variant::Metropolis, 2);
+    let token = CancelToken::new();
+    let canceller = {
+        let token = token.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(2));
+            token.cancel();
+        })
+    };
+    let result = run_sbp_budgeted(&graph, &cfg, &RunBudget::unlimited(), &token).unwrap();
+    canceller.join().unwrap();
+    // The run may finish before the cancel lands; either way the result is
+    // coherent and the cause is recorded faithfully.
+    assert_eq!(result.assignment.len(), graph.num_vertices());
+    if result.truncated() {
+        assert_eq!(result.stats.stop_cause, StopCause::Cancelled);
+    }
+}
+
+#[test]
+fn zero_deadline_is_rejected_as_config_error() {
+    let (graph, _) = planted_graph(7);
+    let cfg = SbpConfig::new(Variant::Hybrid, 1);
+    let budget = RunBudget::unlimited().with_deadline(Duration::ZERO);
+    match run_sbp_budgeted(&graph, &cfg, &budget, &CancelToken::new()) {
+        Err(HsbpError::InvalidConfig(_)) => {}
+        other => panic!("expected InvalidConfig, got {other:?}"),
+    }
+}
+
+#[test]
+fn healthy_audits_are_pure_reads() {
+    // Auditing at the tightest cadence must leave a healthy run
+    // bit-identical to an unaudited one, for every variant.
+    let (graph, _) = planted_graph(8);
+    for variant in VARIANTS {
+        let mut audited = SbpConfig::new(variant, 17);
+        audited.audit_cadence = 1;
+        let mut unaudited = audited.clone();
+        unaudited.audit_cadence = 0;
+        let a = run_sbp(&graph, &audited);
+        let u = run_sbp(&graph, &unaudited);
+        assert_eq!(a.assignment, u.assignment, "{variant:?}");
+        assert_eq!(a.mdl.total, u.mdl.total, "{variant:?}");
+        assert!(a.stats.audits_run > 0, "{variant:?} never audited");
+        assert_eq!(u.stats.audits_run, 0);
+        assert!(
+            a.stats.drift_events.is_empty(),
+            "{variant:?} phantom drift: {:?}",
+            a.stats.drift_events
+        );
+    }
+}
+
+#[test]
+fn injected_drift_is_detected_and_repaired_immediately() {
+    // Cadence 1 audits right after the injection, before any sweep can act
+    // on the corrupted state — so the repaired run is bit-identical to the
+    // clean one and the event is fully recorded.
+    let (graph, _) = planted_graph(9);
+    let mut clean = SbpConfig::new(Variant::Hybrid, 23);
+    clean.audit_cadence = 1;
+    let mut corrupted = clean.clone();
+    corrupted.inject_drift_at_sweep = Some(3);
+    let c = run_sbp(&graph, &clean);
+    let r = run_sbp(&graph, &corrupted);
+    assert_eq!(r.stats.drift_events.len(), 1, "exactly one injection");
+    let event = &r.stats.drift_events[0];
+    assert_eq!(event.total_sweep, 3);
+    assert!(event.repaired);
+    assert!(!event.mismatches.is_empty());
+    assert!(event.mdl_delta >= 0.0);
+    assert!(c.stats.drift_events.is_empty());
+    assert_eq!(r.assignment, c.assignment);
+    assert_eq!(r.mdl.total, c.mdl.total);
+}
+
+#[test]
+fn drift_caught_at_cadence_boundary_recovers_quality() {
+    // Corruption at sweep 2, audit every 4 sweeps: sweeps 3–4 run against
+    // the drifted state, the audit at sweep 4 repairs it, and the finished
+    // run must land within 0.05 NMI of the uncorrupted one. Metropolis is
+    // the variant whose incremental state persists across sweeps (the
+    // rebuild-based variants self-heal at every sweep boundary), so it is
+    // the one where drift can actually survive to a cadence boundary.
+    let (graph, truth) = planted_graph(10);
+    let mut clean = SbpConfig::new(Variant::Metropolis, 29);
+    clean.audit_cadence = 4;
+    let mut corrupted = clean.clone();
+    corrupted.inject_drift_at_sweep = Some(2);
+    let c = run_sbp(&graph, &clean);
+    let r = run_sbp(&graph, &corrupted);
+    assert!(
+        !r.stats.drift_events.is_empty(),
+        "audit missed the injected corruption"
+    );
+    assert_eq!(r.stats.drift_events[0].total_sweep, 4);
+    let agreement = nmi(&c.assignment, &r.assignment);
+    assert!(
+        agreement >= 0.95,
+        "repaired run diverged: NMI(clean, repaired) = {agreement}"
+    );
+    // Both runs must still recover the planted structure.
+    assert!(nmi(&truth, &r.assignment) > 0.8);
+}
+
+#[test]
+fn strict_audit_turns_drift_into_an_error() {
+    let (graph, _) = planted_graph(11);
+    let mut cfg = SbpConfig::new(Variant::Metropolis, 29);
+    cfg.audit_cadence = 4;
+    cfg.strict_audit = true;
+    cfg.inject_drift_at_sweep = Some(2);
+    match run_sbp_checked(&graph, &cfg) {
+        Err(HsbpError::StateDrift { sweep, detail }) => {
+            assert_eq!(sweep, 4);
+            assert!(!detail.is_empty());
+        }
+        other => panic!("expected StateDrift, got {other:?}"),
+    }
+}
+
+/// Audit overhead at the default cadence on the acceptance-sized graph.
+/// Ignored by default (slow); run with `--ignored` to print the numbers.
+#[test]
+#[ignore]
+fn audit_overhead_at_default_cadence_is_small() {
+    let data = generate(DcsbmConfig {
+        num_vertices: 5000,
+        num_communities: 32,
+        target_num_edges: 50_000,
+        within_between_ratio: 3.0,
+        seed: 42,
+        ..Default::default()
+    });
+    let mut unaudited = SbpConfig::new(Variant::Hybrid, 1);
+    unaudited.audit_cadence = 0;
+    let mut audited = unaudited.clone();
+    audited.audit_cadence = 64;
+
+    // Warm-up, then measure each configuration.
+    let _ = run_sbp(&data.graph, &unaudited);
+    let t0 = std::time::Instant::now();
+    let base = run_sbp(&data.graph, &unaudited);
+    let base_secs = t0.elapsed().as_secs_f64();
+    let t1 = std::time::Instant::now();
+    let checked = run_sbp(&data.graph, &audited);
+    let audit_secs = t1.elapsed().as_secs_f64();
+
+    assert_eq!(base.assignment, checked.assignment);
+    let overhead = audit_secs / base_secs - 1.0;
+    eprintln!(
+        "5k-vertex DCSBM: unaudited {base_secs:.3}s, cadence-64 audited {audit_secs:.3}s \
+         ({} audits) -> overhead {:.2}%",
+        checked.stats.audits_run,
+        overhead * 100.0
+    );
+    assert!(
+        overhead < 0.05,
+        "audit overhead {:.2}% exceeds the 5% budget",
+        overhead * 100.0
+    );
+}

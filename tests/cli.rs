@@ -156,3 +156,102 @@ fn detect_reads_plain_edge_lists() {
     );
     assert_eq!(String::from_utf8_lossy(&out.stdout).lines().count(), 6);
 }
+
+/// Generate a small planted graph for the budget/audit CLI tests.
+fn generated_graph(name: &str) -> PathBuf {
+    let mtx = tmp(name);
+    let status = hsbp()
+        .args(["generate", "--vertices", "150", "--edges", "1200"])
+        .args(["--communities", "4", "--ratio", "3.0", "--seed", "9"])
+        .args(["--output", mtx.to_str().unwrap()])
+        .status()
+        .unwrap();
+    assert!(status.success());
+    mtx
+}
+
+#[test]
+fn budget_truncation_exits_8_and_still_writes_labels() {
+    let mtx = generated_graph("budget.mtx");
+    let labels = tmp("budget-labels.tsv");
+    let out = hsbp()
+        .args(["detect", "--input", mtx.to_str().unwrap()])
+        .args(["--max-sweeps", "1", "--output", labels.to_str().unwrap()])
+        .output()
+        .unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(8), "stderr:\n{stderr}");
+    assert!(stderr.contains("truncated"), "stderr:\n{stderr}");
+    // Best-so-far labels are written even on truncation.
+    let body = std::fs::read_to_string(&labels).unwrap();
+    assert_eq!(body.lines().count(), 150);
+}
+
+#[test]
+fn generous_budgets_leave_detect_successful() {
+    let mtx = generated_graph("budget-ok.mtx");
+    let out = hsbp()
+        .args(["detect", "--input", mtx.to_str().unwrap()])
+        .args(["--deadline", "3600", "--max-sweeps", "1000000"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn strict_audit_drift_exits_7() {
+    let mtx = generated_graph("drift.mtx");
+    // The serial variant keeps incremental state across sweeps, so the
+    // injected corruption survives until the cadence-4 audit catches it.
+    let out = hsbp()
+        .args(["detect", "--input", mtx.to_str().unwrap()])
+        .args(["--variant", "sbp"])
+        .args(["--inject-drift", "2", "--audit-cadence", "4"])
+        .args(["--strict-audit", "true"])
+        .output()
+        .unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(7), "stderr:\n{stderr}");
+    assert!(stderr.contains("drift"), "stderr:\n{stderr}");
+}
+
+#[test]
+fn lenient_audit_repairs_drift_and_succeeds() {
+    let mtx = generated_graph("drift-repair.mtx");
+    let out = hsbp()
+        .args(["detect", "--input", mtx.to_str().unwrap()])
+        .args(["--variant", "sbp"])
+        .args(["--inject-drift", "2", "--audit-cadence", "4"])
+        .output()
+        .unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "stderr:\n{stderr}");
+    assert!(
+        stderr.contains("1 drift event(s) detected and repaired"),
+        "stderr:\n{stderr}"
+    );
+}
+
+#[test]
+fn bad_budget_flags_are_usage_errors() {
+    let mtx = generated_graph("badflags.mtx");
+    for args in [
+        ["--deadline", "0"],
+        ["--deadline", "frog"],
+        ["--max-sweeps", "0"],
+        ["--max-sweeps", "-3"],
+        ["--audit-cadence", "many"],
+        ["--strict-audit", "maybe"],
+    ] {
+        let out = hsbp()
+            .args(["detect", "--input", mtx.to_str().unwrap()])
+            .args(args)
+            .output()
+            .unwrap();
+        assert_eq!(out.status.code(), Some(2), "args {args:?}");
+    }
+}

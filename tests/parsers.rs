@@ -1,0 +1,202 @@
+//! Parser hardening: the three input parsers (Matrix Market, edge list,
+//! METIS `.part.K`) must turn every malformed input into a line-numbered
+//! `IoError::Parse` — never panic — and accept every well-formed input.
+//!
+//! Coverage comes from two directions: a curated corpus of malformed files
+//! under `tests/data/`, and property tests throwing random byte soup,
+//! token soup and single-token corruptions at each parser.
+
+use hsbp::graph::io::{load_path, read_edge_list, read_matrix_market, write_edge_list, IoError};
+use hsbp::graph::partition::read_partition;
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+fn data(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/data")
+        .join(name)
+}
+
+/// Parse one corpus file with the parser its extension selects.
+fn parse_corpus_file(name: &str) -> Result<(), IoError> {
+    let path = data(name);
+    let bytes = std::fs::read(&path).unwrap_or_else(|e| panic!("read {path:?}: {e}"));
+    match name.rsplit('.').next() {
+        Some("mtx") => read_matrix_market(bytes.as_slice()).map(|_| ()),
+        Some("edges") => read_edge_list(bytes.as_slice(), None).map(|_| ()),
+        Some("part") => read_partition(bytes.as_slice()).map(|_| ()),
+        other => panic!("unknown corpus extension {other:?}"),
+    }
+}
+
+#[test]
+fn malformed_corpus_yields_line_numbered_errors() {
+    // (file, 1-based line the diagnostic must point at)
+    let corpus: [(&str, usize); 12] = [
+        ("mm_bad_header.mtx", 1),
+        ("mm_bad_field.mtx", 1),
+        ("mm_bad_size.mtx", 2),
+        ("mm_index_oob.mtx", 3),
+        ("mm_truncated.mtx", 4),
+        ("mm_bad_value.mtx", 3),
+        ("el_bad_source.edges", 1),
+        ("el_missing_target.edges", 1),
+        ("el_bad_weight.edges", 1),
+        ("part_bad_id.part", 3),
+        ("part_two_ids.part", 1),
+        ("part_empty.part", 1),
+    ];
+    for (name, expected_line) in corpus {
+        match parse_corpus_file(name) {
+            Err(IoError::Parse { line, message }) => {
+                assert_eq!(line, expected_line, "{name}: wrong line in `{message}`");
+                assert!(!message.is_empty(), "{name}: empty diagnostic");
+            }
+            Err(other) => panic!("{name}: expected Parse error, got {other:?}"),
+            Ok(()) => panic!("{name}: malformed input parsed successfully"),
+        }
+    }
+}
+
+#[test]
+fn load_path_reports_corpus_errors_without_panicking() {
+    for name in [
+        "mm_bad_header.mtx",
+        "mm_truncated.mtx",
+        "el_bad_weight.edges",
+    ] {
+        let err = load_path(data(name)).expect_err(name);
+        assert!(err.to_string().contains("line"), "{name}: {err}");
+    }
+}
+
+/// A pool of tokens that exercises every parser code path: valid numbers,
+/// signed/float/overflow numbers, comments, header fragments and garbage.
+const TOKENS: [&str; 16] = [
+    "0",
+    "1",
+    "17",
+    "-3",
+    "4.5",
+    "99999999999999999999",
+    "frog",
+    "%",
+    "#",
+    "%%MatrixMarket",
+    "matrix",
+    "coordinate",
+    "pattern",
+    "integer",
+    "general",
+    "",
+];
+
+fn token_soup() -> impl Strategy<Value = String> {
+    proptest::collection::vec(proptest::collection::vec(0usize..TOKENS.len(), 0..6), 0..12)
+        .prop_map(|lines| {
+            lines
+                .iter()
+                .map(|line| {
+                    line.iter()
+                        .map(|&t| TOKENS[t])
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                })
+                .collect::<Vec<_>>()
+                .join("\n")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes (including invalid UTF-8) must come back as a clean
+    /// `Result` from all three parsers.
+    #[test]
+    fn random_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = read_matrix_market(bytes.as_slice());
+        let _ = read_edge_list(bytes.as_slice(), None);
+        let _ = read_partition(bytes.as_slice());
+    }
+
+    /// Structured token soup — much likelier than raw bytes to get past the
+    /// early header checks and into the per-line parsing.
+    #[test]
+    fn token_soup_never_panics(text in token_soup()) {
+        let _ = read_matrix_market(text.as_bytes());
+        let _ = read_edge_list(text.as_bytes(), None);
+        let _ = read_partition(text.as_bytes());
+    }
+
+    /// Every well-formed random edge list parses and round-trips.
+    #[test]
+    fn valid_edge_lists_roundtrip(
+        edges in proptest::collection::vec((0u32..40, 0u32..40, 1u64..5), 1..50)
+    ) {
+        let text: String = edges
+            .iter()
+            .map(|(u, v, w)| format!("{u} {v} {w}\n"))
+            .collect();
+        let g = read_edge_list(text.as_bytes(), None).expect("valid edge list");
+        // Parallel edges collapse into one weighted edge at build time.
+        let unique: std::collections::HashSet<(u32, u32)> =
+            edges.iter().map(|&(u, v, _)| (u, v)).collect();
+        prop_assert_eq!(g.num_edges(), unique.len());
+        let weight: u64 = edges.iter().map(|&(_, _, w)| w).sum();
+        prop_assert_eq!(g.total_weight(), weight);
+
+        let mut out = Vec::new();
+        write_edge_list(&g, &mut out).expect("write");
+        let g2 = read_edge_list(out.as_slice(), None).expect("reparse");
+        prop_assert_eq!(g, g2);
+    }
+
+    /// Corrupting one token of a valid edge list fails with the exact line
+    /// number of the corruption.
+    #[test]
+    fn corrupted_line_is_reported_precisely(
+        edges in proptest::collection::vec((0u32..40, 0u32..40), 2..30),
+        pick in any::<u64>(),
+    ) {
+        let bad = (pick as usize) % edges.len();
+        let text: String = edges
+            .iter()
+            .enumerate()
+            .map(|(i, (u, v))| {
+                if i == bad {
+                    format!("{u} garbage\n")
+                } else {
+                    format!("{u} {v}\n")
+                }
+            })
+            .collect();
+        match read_edge_list(text.as_bytes(), None) {
+            Err(IoError::Parse { line, .. }) => prop_assert_eq!(line, bad + 1),
+            other => panic!("expected Parse error, got {other:?}"),
+        }
+    }
+
+    /// Same precision for the partition parser.
+    #[test]
+    fn corrupted_partition_line_is_reported_precisely(
+        parts in proptest::collection::vec(0u32..8, 2..30),
+        pick in any::<u64>(),
+    ) {
+        let bad = (pick as usize) % parts.len();
+        let text: String = parts
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                if i == bad {
+                    "nope\n".to_string()
+                } else {
+                    format!("{p}\n")
+                }
+            })
+            .collect();
+        match read_partition(text.as_bytes()) {
+            Err(IoError::Parse { line, .. }) => prop_assert_eq!(line, bad + 1),
+            other => panic!("expected Parse error, got {other:?}"),
+        }
+    }
+}

@@ -5,7 +5,14 @@ use hsbp::generator::{generate, DcsbmConfig};
 use hsbp::graph::GraphBuilder;
 use hsbp::metrics::nmi;
 use hsbp::sbp::{asbp_convergence_risk, degree_concentration, AsbpRisk};
-use hsbp::{run_sbp, Graph, SbpConfig, Variant};
+use hsbp::{run_sbp, run_sbp_checked, Graph, SbpConfig, Variant};
+
+const ALL_VARIANTS: [Variant; 4] = [
+    Variant::Metropolis,
+    Variant::AsyncGibbs,
+    Variant::Hybrid,
+    Variant::ExactAsync,
+];
 
 #[test]
 fn weighted_graph_detection() {
@@ -132,4 +139,69 @@ fn influence_heuristic_separates_domains() {
     );
     assert_eq!(asbp_convergence_risk(&regular.graph), AsbpRisk::High);
     assert_ne!(asbp_convergence_risk(&social.graph), AsbpRisk::High);
+}
+
+#[test]
+fn degenerate_graphs_return_finite_mdl_for_every_variant() {
+    let no_edges: [(u32, u32); 0] = [];
+    let self_loops: Vec<(u32, u32)> = (0..8u32).map(|v| (v, v)).collect();
+    // A 4-clique plus six isolated vertices.
+    let mut with_isolated = Vec::new();
+    for a in 0..4u32 {
+        for b in 0..4u32 {
+            if a != b {
+                with_isolated.push((a, b));
+            }
+        }
+    }
+    let cases: Vec<(&str, Graph)> = vec![
+        ("edgeless", Graph::from_edges(10, &no_edges)),
+        ("single-vertex", Graph::from_edges(1, &no_edges)),
+        ("single-vertex-loop", Graph::from_edges(1, &[(0, 0)])),
+        ("all-self-loops", Graph::from_edges(8, &self_loops)),
+        ("isolated-vertices", Graph::from_edges(10, &with_isolated)),
+    ];
+    for (name, graph) in &cases {
+        for variant in ALL_VARIANTS {
+            let result = run_sbp_checked(graph, &SbpConfig::new(variant, 3))
+                .unwrap_or_else(|e| panic!("{name}/{variant:?}: {e}"));
+            assert_eq!(
+                result.assignment.len(),
+                graph.num_vertices(),
+                "{name}/{variant:?}"
+            );
+            assert!(
+                result.mdl.total.is_finite(),
+                "{name}/{variant:?}: MDL {}",
+                result.mdl.total
+            );
+            assert!(result.num_blocks >= 1, "{name}/{variant:?}");
+        }
+    }
+}
+
+#[test]
+fn edgeless_normalized_mdl_contract() {
+    // With no edges the null MDL is 0 and the ratio is undefined: the raw
+    // field is NaN by contract, and the checked accessor makes it explicit.
+    let no_edges: [(u32, u32); 0] = [];
+    let empty = Graph::from_edges(5, &no_edges);
+    let result = run_sbp_checked(&empty, &SbpConfig::new(Variant::Hybrid, 1)).unwrap();
+    assert!(result.normalized_mdl.is_nan());
+    assert_eq!(result.normalized_mdl_checked(), None);
+
+    let with_edges = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+    let result = run_sbp_checked(&with_edges, &SbpConfig::new(Variant::Hybrid, 1)).unwrap();
+    assert!(result.normalized_mdl_checked().is_some());
+}
+
+#[test]
+fn invalid_config_is_an_error_not_a_panic() {
+    let graph = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+    let mut cfg = SbpConfig::new(Variant::Hybrid, 1);
+    cfg.hybrid_serial_fraction = -0.5;
+    assert!(matches!(
+        run_sbp_checked(&graph, &cfg),
+        Err(hsbp::HsbpError::InvalidConfig(_))
+    ));
 }
