@@ -9,6 +9,8 @@
 //! fig8a fig8b ablation all. Output: aligned tables on stdout + CSVs under
 //! `results/` (override with `--out DIR`).
 
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use hsbp_bench::experiments as exp;
 use hsbp_bench::runner::{run_realworld_suite, run_synthetic_suite, ExperimentContext};
 use std::path::PathBuf;
@@ -96,18 +98,18 @@ fn main() {
     match experiment.as_str() {
         "table1" => exp::table1_report(&ctx, &out),
         "table2" => exp::table2_report(&ctx, &out),
-        "fig2" => exp::fig2_report(synth.as_deref().unwrap(), &out),
-        "fig3" => exp::fig3_report(synth.as_deref().unwrap(), &out),
-        "fig4a" => exp::fig4a_report(synth.as_deref().unwrap(), &out),
-        "fig4b" => exp::fig4b_report(synth.as_deref().unwrap(), &out),
-        "fig8a" => exp::fig8a_report(synth.as_deref().unwrap(), &out),
-        "fig5a" => exp::fig5a_report(real.as_deref().unwrap(), &out),
-        "fig5b" => exp::fig5b_report(real.as_deref().unwrap(), &out),
-        "fig6" => exp::fig6_report(real.as_deref().unwrap(), &out),
-        "fig8b" => exp::fig8b_report(real.as_deref().unwrap(), &out),
+        "fig2" => exp::fig2_report(synth.as_deref().unwrap_or_else(|| usage()), &out),
+        "fig3" => exp::fig3_report(synth.as_deref().unwrap_or_else(|| usage()), &out),
+        "fig4a" => exp::fig4a_report(synth.as_deref().unwrap_or_else(|| usage()), &out),
+        "fig4b" => exp::fig4b_report(synth.as_deref().unwrap_or_else(|| usage()), &out),
+        "fig8a" => exp::fig8a_report(synth.as_deref().unwrap_or_else(|| usage()), &out),
+        "fig5a" => exp::fig5a_report(real.as_deref().unwrap_or_else(|| usage()), &out),
+        "fig5b" => exp::fig5b_report(real.as_deref().unwrap_or_else(|| usage()), &out),
+        "fig6" => exp::fig6_report(real.as_deref().unwrap_or_else(|| usage()), &out),
+        "fig8b" => exp::fig8b_report(real.as_deref().unwrap_or_else(|| usage()), &out),
         "fig7" => exp::fig7_report(&ctx, &out),
         "synth" => {
-            let synth = synth.as_deref().unwrap();
+            let synth = synth.as_deref().unwrap_or_else(|| usage());
             exp::fig2_report(synth, &out);
             exp::fig3_report(synth, &out);
             exp::fig4a_report(synth, &out);
@@ -115,7 +117,7 @@ fn main() {
             exp::fig8a_report(synth, &out);
         }
         "real" => {
-            let real = real.as_deref().unwrap();
+            let real = real.as_deref().unwrap_or_else(|| usage());
             exp::fig5a_report(real, &out);
             exp::fig5b_report(real, &out);
             exp::fig6_report(real, &out);

@@ -7,12 +7,32 @@ use crate::report::{fmt, Table};
 use crate::runner::{
     run_realworld_suite, run_synthetic_suite, ExperimentContext, RealRun, SyntheticRun,
 };
-use hsbp_core::{run_sbp, SbpConfig, Variant};
-use hsbp_generator::{generate, table1, table2, table2_by_id};
+use hsbp_core::{run_sbp, RunStats, SbpConfig, Variant};
+use hsbp_generator::{generate, table1, table2, table2_by_id, SyntheticSpec};
 use hsbp_graph::stats::within_between_ratio;
 use hsbp_graph::GraphStats;
 use hsbp_metrics::pearson;
 use std::path::Path;
+
+/// Catalog lookups and sim-time curve reads in this harness only fail on
+/// programmer error (a renamed id, an untracked thread count); fail loudly
+/// with the offending key rather than unwrap.
+fn table2_entry(id: &str) -> SyntheticSpec {
+    table2_by_id(id).unwrap_or_else(|| panic!("{id} missing from the Table 2 catalog"))
+}
+
+fn table1_entry(id: &str) -> SyntheticSpec {
+    table1()
+        .into_iter()
+        .find(|s| s.id == id)
+        .unwrap_or_else(|| panic!("{id} missing from the Table 1 catalog"))
+}
+
+fn sim_mcmc_at(stats: &RunStats, threads: usize) -> f64 {
+    stats
+        .sim_mcmc_time(threads)
+        .unwrap_or_else(|| panic!("thread count {threads} not tracked by the sim accumulator"))
+}
 
 /// Table 1: the synthetic graph catalog — paper sizes vs realised surrogate
 /// sizes and community strength at the chosen scale.
@@ -334,14 +354,14 @@ pub fn fig8b_report(real: &[RealRun], out: &Path) {
 /// Fig. 7: strong scaling of H-SBP's MCMC phase on the `soc-Slashdot0902`
 /// surrogate, threads 1..128.
 pub fn fig7_report(ctx: &ExperimentContext, out: &Path) {
-    let spec = table2_by_id("soc-Slashdot0902").expect("catalog entry");
+    let spec = table2_entry("soc-Slashdot0902");
     if ctx.verbose {
         eprintln!("fig7: strong scaling on {}", spec.id);
     }
     let data = generate(spec.config(ctx.scale));
     let result = run_sbp(&data.graph, &SbpConfig::new(Variant::Hybrid, ctx.seed));
     let mut t = Table::new(&["threads", "sim MCMC time", "speedup", "efficiency %"]);
-    let base = result.stats.sim_mcmc_time(1).unwrap();
+    let base = sim_mcmc_at(&result.stats, 1);
     for (threads, time) in result.stats.sim_mcmc.curve() {
         let speedup = base / time;
         t.row(vec![
@@ -369,13 +389,10 @@ pub fn fig7_report(ctx: &ExperimentContext, out: &Path) {
 /// Ablation (beyond the paper): H-SBP accuracy/speedup across serial
 /// fractions, on one synthetic graph.
 pub fn ablation_serial_fraction(ctx: &ExperimentContext, out: &Path) {
-    let spec = table1()
-        .into_iter()
-        .find(|s| s.id == "S5")
-        .expect("S5 in catalog");
+    let spec = table1_entry("S5");
     let data = generate(spec.config(ctx.scale));
     let base = run_sbp(&data.graph, &SbpConfig::new(Variant::Metropolis, ctx.seed));
-    let base_mcmc = base.stats.sim_mcmc_time(128).unwrap();
+    let base_mcmc = sim_mcmc_at(&base.stats, 128);
     let mut t = Table::new(&["serial fraction", "NMI", "sweeps", "mcmc speedup"]);
     for fraction in [0.0, 0.05, 0.15, 0.3, 0.5, 1.0] {
         if ctx.verbose {
@@ -392,7 +409,7 @@ pub fn ablation_serial_fraction(ctx: &ExperimentContext, out: &Path) {
             fmt(fraction, 2),
             fmt(hsbp_metrics::nmi(&data.ground_truth, &result.assignment), 3),
             result.stats.mcmc_sweeps.to_string(),
-            fmt(base_mcmc / result.stats.sim_mcmc_time(128).unwrap(), 2),
+            fmt(base_mcmc / sim_mcmc_at(&result.stats, 128), 2),
         ]);
     }
     t.emit(
@@ -406,7 +423,7 @@ pub fn ablation_serial_fraction(ctx: &ExperimentContext, out: &Path) {
 /// scheduler — the load-balancing headroom §5.5 speculates about.
 pub fn ablation_chunking(ctx: &ExperimentContext, out: &Path) {
     use hsbp_timing::Chunking;
-    let spec = table2_by_id("soc-Slashdot0902").expect("catalog entry");
+    let spec = table2_entry("soc-Slashdot0902");
     let data = generate(spec.config(ctx.scale));
     let mut t = Table::new(&["schedule", "sim MCMC @16", "sim MCMC @128", "speedup @128"]);
     let mut base128 = None;
@@ -421,9 +438,9 @@ pub fn ablation_chunking(ctx: &ExperimentContext, out: &Path) {
             ..Default::default()
         };
         let result = run_sbp(&data.graph, &cfg);
-        let t16 = result.stats.sim_mcmc_time(16).unwrap();
-        let t128 = result.stats.sim_mcmc_time(128).unwrap();
-        let t1 = result.stats.sim_mcmc_time(1).unwrap();
+        let t16 = sim_mcmc_at(&result.stats, 16);
+        let t128 = sim_mcmc_at(&result.stats, 128);
+        let t1 = sim_mcmc_at(&result.stats, 1);
         base128.get_or_insert(t1);
         t.row(vec![
             name.into(),
@@ -443,10 +460,7 @@ pub fn ablation_chunking(ctx: &ExperimentContext, out: &Path) {
 /// quality and iteration count degrade when workers evaluate against a
 /// model `d` sweeps old (paper §6's "how best to distribute A-SBP").
 pub fn ablation_staleness(ctx: &ExperimentContext, out: &Path) {
-    let spec = table1()
-        .into_iter()
-        .find(|s| s.id == "S6")
-        .expect("S6 in catalog");
+    let spec = table1_entry("S6");
     let data = generate(spec.config(ctx.scale));
     let mut t = Table::new(&["staleness", "NMI", "MDL_norm", "sweeps"]);
     for staleness in [1usize, 2, 4, 8] {
@@ -477,10 +491,7 @@ pub fn ablation_staleness(ctx: &ExperimentContext, out: &Path) {
 /// Ablation (beyond the paper): batched A-SBP — the paper's conclusion
 /// suggests rebuilding in batches to shrink staleness without a serial set.
 pub fn ablation_batches(ctx: &ExperimentContext, out: &Path) {
-    let spec = table1()
-        .into_iter()
-        .find(|s| s.id == "S6")
-        .expect("S6 in catalog");
+    let spec = table1_entry("S6");
     let data = generate(spec.config(ctx.scale));
     let mut t = Table::new(&["batches", "NMI", "MDL_norm", "sweeps", "sim mcmc @128"]);
     for batches in [1usize, 2, 4, 8] {
@@ -514,10 +525,7 @@ pub fn ablation_batches(ctx: &ExperimentContext, out: &Path) {
 /// design) — accuracy is comparable, but the replication cost shows up in
 /// the simulated time.
 pub fn ablation_exact_async(ctx: &ExperimentContext, out: &Path) {
-    let spec = table1()
-        .into_iter()
-        .find(|s| s.id == "S6")
-        .expect("S6 in catalog");
+    let spec = table1_entry("S6");
     let data = generate(spec.config(ctx.scale));
     let mut t = Table::new(&["algorithm", "NMI", "MDL_norm", "sweeps", "sim mcmc @128"]);
     let configs = [

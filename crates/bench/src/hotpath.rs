@@ -1,0 +1,788 @@
+//! The bench-gated hot-path baseline: measured sweep throughput of the four
+//! MCMC variants on synthetic DCSBM graphs, written as machine-readable
+//! `BENCH_mcmc.json` and compared against the committed baseline in CI.
+//!
+//! Three modes (see the `bench_hotpath` binary):
+//!
+//! * `full`  — smoke + 5k + 20k graphs; produces the committed baseline,
+//! * `smoke` — the smoke graph only (seconds; what CI runs),
+//! * `check` — run smoke and fail on a >threshold throughput regression
+//!   against a baseline file.
+//!
+//! CI machines differ from the machine that produced the committed
+//! baseline, so `check` never compares raw sweeps/sec. Every report embeds
+//! `calibration_ops_per_s` — the throughput of a fixed splitmix64 loop on
+//! the reporting machine — and regressions are judged on
+//! *calibration-normalised* throughput (sweeps/sec ÷ calibration), which
+//! cancels first-order machine-speed differences while staying sensitive to
+//! real hot-path regressions.
+
+use hsbp_blockmodel::Blockmodel;
+use hsbp_collections::SplitMix64;
+use hsbp_core::{run_mcmc_phase, RunStats, SbpConfig, Variant};
+use hsbp_generator::{generate, DcsbmConfig};
+use std::time::Instant;
+
+/// One benchmark graph + sweep protocol.
+#[derive(Debug, Clone, Copy)]
+pub struct HotpathSpec {
+    /// Stable name used as the JSON key and in check-mode matching.
+    pub name: &'static str,
+    pub vertices: usize,
+    pub communities: usize,
+    pub edges: usize,
+    /// Untimed sweeps run first to settle the chain.
+    pub warmup_sweeps: usize,
+    /// Timed sweeps per repeat.
+    pub sweeps: usize,
+    /// Timed repeats; the fastest is reported (least scheduler noise).
+    pub repeats: usize,
+}
+
+/// Seconds-scale config CI can afford on every push. The timed section has
+/// to be long enough for the 15% check-mode threshold to clear scheduler
+/// noise: at 4 sweeps per repeat a repeat is ~5 ms and run-to-run jitter
+/// alone exceeded the threshold, hence 20 sweeps × 5 repeats (best-of).
+pub const SMOKE: HotpathSpec = HotpathSpec {
+    name: "dcsbm_smoke",
+    vertices: 1200,
+    communities: 8,
+    edges: 12_000,
+    warmup_sweeps: 2,
+    sweeps: 20,
+    repeats: 5,
+};
+
+/// The 5k-vertex DCSBM of the acceptance criterion.
+pub const FIVE_K: HotpathSpec = HotpathSpec {
+    name: "dcsbm_5k",
+    vertices: 5_000,
+    communities: 32,
+    edges: 50_000,
+    warmup_sweeps: 2,
+    sweeps: 8,
+    repeats: 3,
+};
+
+/// The larger sanity point.
+pub const TWENTY_K: HotpathSpec = HotpathSpec {
+    name: "dcsbm_20k",
+    vertices: 20_000,
+    communities: 64,
+    edges: 200_000,
+    warmup_sweeps: 1,
+    sweeps: 4,
+    repeats: 2,
+};
+
+/// All four MCMC variants, in report order.
+pub const VARIANTS: [Variant; 4] = [
+    Variant::Metropolis,
+    Variant::AsyncGibbs,
+    Variant::Hybrid,
+    Variant::ExactAsync,
+];
+
+/// Measured throughput of one variant on one graph.
+#[derive(Debug, Clone)]
+pub struct VariantMeasurement {
+    /// Paper-style variant name (`SBP`, `A-SBP`, `H-SBP`, `EA-SBP`).
+    pub variant: String,
+    /// Timed sweeps per repeat.
+    pub sweeps: usize,
+    /// Wall-clock seconds of the fastest repeat.
+    pub elapsed_s: f64,
+    /// Sweeps per second (fastest repeat).
+    pub sweeps_per_s: f64,
+    /// Proposals evaluated per second (fastest repeat).
+    pub proposals_per_s: f64,
+    /// Fraction of proposals accepted during the timed sweeps.
+    pub acceptance_rate: f64,
+    /// End-of-sweep consolidations resolved by incremental move replay
+    /// (fastest repeat; 0 for the serial SBP variant, which never
+    /// consolidates).
+    pub consolidations_incremental: u64,
+    /// Consolidations resolved by a full O(E) rebuild (fastest repeat).
+    pub consolidations_rebuild: u64,
+    /// Accepted moves replayed through the incremental path (fastest repeat).
+    pub consolidated_moves: u64,
+}
+
+/// All variant measurements for one benchmark graph.
+#[derive(Debug, Clone)]
+pub struct GraphMeasurement {
+    pub name: String,
+    pub vertices: usize,
+    pub edges: u64,
+    pub variants: Vec<VariantMeasurement>,
+}
+
+/// A full hot-path benchmark report (the content of `BENCH_mcmc.json`).
+#[derive(Debug, Clone)]
+pub struct HotpathReport {
+    pub mode: String,
+    pub calibration_ops_per_s: f64,
+    pub graphs: Vec<GraphMeasurement>,
+}
+
+/// Machine-speed proxy: throughput of a fixed splitmix64 loop. Pure
+/// integer-ALU work that any machine runs at a stable rate, used to
+/// normalise sweep throughput across machines in check mode. Best of three
+/// passes: scheduler preemption and frequency ramp-up only ever make a pass
+/// *slower*, so the max is the stable estimate of the machine's speed.
+pub fn calibration_ops_per_s() -> f64 {
+    let iters: u64 = 20_000_000;
+    let mut best = 0.0f64;
+    for pass in 0..3 {
+        let mut rng = SplitMix64::new(0x0bad_5eed ^ pass);
+        let start = Instant::now();
+        let mut acc: u64 = 0;
+        for _ in 0..iters {
+            acc ^= rng.next_raw();
+        }
+        std::hint::black_box(acc);
+        best = best.max(iters as f64 / start.elapsed().as_secs_f64().max(1e-9));
+    }
+    best
+}
+
+fn bench_config(variant: Variant) -> SbpConfig {
+    SbpConfig {
+        variant,
+        seed: 7,
+        mcmc_threshold: 0.0, // never converge early: fixed sweep counts
+        audit_cadence: 0,    // audits are not part of the hot path
+        ..Default::default()
+    }
+}
+
+/// Run `sweeps` sweeps of `variant` on a clone of `settled`, returning the
+/// elapsed seconds plus the run's counters.
+fn timed_sweeps(
+    graph: &hsbp_graph::Graph,
+    settled: &Blockmodel,
+    variant: Variant,
+    sweeps: usize,
+) -> (f64, RunStats) {
+    let cfg = SbpConfig {
+        max_sweeps: sweeps,
+        ..bench_config(variant)
+    };
+    let mut bm = settled.clone();
+    let mut stats = RunStats::new(&cfg);
+    let start = Instant::now();
+    run_mcmc_phase(graph, &mut bm, &cfg, 1, &mut stats);
+    let elapsed = start.elapsed().as_secs_f64();
+    (elapsed, stats)
+}
+
+/// Measure every variant on one spec'd graph.
+pub fn measure_graph(spec: &HotpathSpec) -> GraphMeasurement {
+    let generated = generate(DcsbmConfig {
+        num_vertices: spec.vertices,
+        num_communities: spec.communities,
+        target_num_edges: spec.edges,
+        seed: 0xbe_ef ^ spec.vertices as u64,
+        ..Default::default()
+    });
+    let graph = &generated.graph;
+    let mut variants = Vec::new();
+    for variant in VARIANTS {
+        // Settle the chain from the planted truth so the timed sweeps see
+        // the steady-state (low-acceptance) regime that dominates long runs.
+        let mut settled =
+            Blockmodel::from_assignment(graph, generated.ground_truth.clone(), spec.communities);
+        if spec.warmup_sweeps > 0 {
+            let cfg = SbpConfig {
+                max_sweeps: spec.warmup_sweeps,
+                ..bench_config(variant)
+            };
+            let mut stats = RunStats::new(&cfg);
+            run_mcmc_phase(graph, &mut settled, &cfg, 0, &mut stats);
+        }
+        let mut best: Option<(f64, RunStats)> = None;
+        for _ in 0..spec.repeats.max(1) {
+            let run = timed_sweeps(graph, &settled, variant, spec.sweeps);
+            if best.as_ref().is_none_or(|b| run.0 < b.0) {
+                best = Some(run);
+            }
+        }
+        let Some((elapsed, stats)) = best else {
+            continue;
+        };
+        let elapsed = elapsed.max(1e-9);
+        let (proposals, accepted) = (stats.proposals, stats.accepted);
+        variants.push(VariantMeasurement {
+            variant: variant.name().to_string(),
+            sweeps: spec.sweeps,
+            elapsed_s: elapsed,
+            sweeps_per_s: spec.sweeps as f64 / elapsed,
+            proposals_per_s: proposals as f64 / elapsed,
+            acceptance_rate: if proposals == 0 {
+                0.0
+            } else {
+                accepted as f64 / proposals as f64
+            },
+            consolidations_incremental: stats.consolidations_incremental as u64,
+            consolidations_rebuild: stats.consolidations_rebuild as u64,
+            consolidated_moves: stats.consolidated_moves,
+        });
+    }
+    GraphMeasurement {
+        name: spec.name.to_string(),
+        vertices: spec.vertices,
+        edges: graph.num_edges() as u64,
+        variants,
+    }
+}
+
+/// Run the given specs and assemble a report.
+pub fn run_report(mode: &str, specs: &[HotpathSpec]) -> HotpathReport {
+    HotpathReport {
+        mode: mode.to_string(),
+        calibration_ops_per_s: calibration_ops_per_s(),
+        graphs: specs.iter().map(measure_graph).collect(),
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        "0.0".to_string()
+    }
+}
+
+impl HotpathReport {
+    /// Serialise to pretty-printed JSON (hand-rolled; the build is
+    /// dependency-free by policy).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"schema_version\": 1,\n");
+        s.push_str(&format!("  \"mode\": \"{}\",\n", json_escape(&self.mode)));
+        s.push_str(&format!(
+            "  \"calibration_ops_per_s\": {},\n",
+            json_num(self.calibration_ops_per_s)
+        ));
+        s.push_str("  \"graphs\": [\n");
+        for (gi, g) in self.graphs.iter().enumerate() {
+            s.push_str("    {\n");
+            s.push_str(&format!("      \"name\": \"{}\",\n", json_escape(&g.name)));
+            s.push_str(&format!("      \"vertices\": {},\n", g.vertices));
+            s.push_str(&format!("      \"edges\": {},\n", g.edges));
+            s.push_str("      \"variants\": [\n");
+            for (vi, v) in g.variants.iter().enumerate() {
+                s.push_str("        {\n");
+                s.push_str(&format!(
+                    "          \"variant\": \"{}\",\n",
+                    json_escape(&v.variant)
+                ));
+                s.push_str(&format!("          \"sweeps\": {},\n", v.sweeps));
+                s.push_str(&format!(
+                    "          \"elapsed_s\": {},\n",
+                    json_num(v.elapsed_s)
+                ));
+                s.push_str(&format!(
+                    "          \"sweeps_per_s\": {},\n",
+                    json_num(v.sweeps_per_s)
+                ));
+                s.push_str(&format!(
+                    "          \"proposals_per_s\": {},\n",
+                    json_num(v.proposals_per_s)
+                ));
+                s.push_str(&format!(
+                    "          \"acceptance_rate\": {},\n",
+                    json_num(v.acceptance_rate)
+                ));
+                s.push_str(&format!(
+                    "          \"consolidations_incremental\": {},\n",
+                    v.consolidations_incremental
+                ));
+                s.push_str(&format!(
+                    "          \"consolidations_rebuild\": {},\n",
+                    v.consolidations_rebuild
+                ));
+                s.push_str(&format!(
+                    "          \"consolidated_moves\": {}\n",
+                    v.consolidated_moves
+                ));
+                s.push_str("        }");
+                s.push_str(if vi + 1 < g.variants.len() {
+                    ",\n"
+                } else {
+                    "\n"
+                });
+            }
+            s.push_str("      ]\n");
+            s.push_str("    }");
+            s.push_str(if gi + 1 < self.graphs.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader for check mode (only what the baseline file needs).
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value (subset sufficient for `BENCH_mcmc.json`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// String value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Array items, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| "unexpected end of JSON".to_string())
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Json::Str(self.string()?)),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'n' => self.literal("null", Json::Null),
+            _ => self.number(),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: Json) -> Result<Json, String> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "non-utf8 number".to_string())?;
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| format!("invalid number '{text}' at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self
+                .bytes
+                .get(self.pos)
+                .ok_or_else(|| "unterminated string".to_string())?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| "unterminated escape".to_string())?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| "truncated \\u escape".to_string())?;
+                            self.pos += 4;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| "non-utf8 \\u escape".to_string())?,
+                                16,
+                            )
+                            .map_err(|_| "invalid \\u escape".to_string())?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => {
+                            return Err(format!("unknown escape '\\{}'", other as char));
+                        }
+                    }
+                }
+                other => {
+                    // Multi-byte UTF-8: copy the raw bytes through.
+                    if other < 0x80 {
+                        out.push(other as char);
+                    } else {
+                        let len = match other {
+                            0xc0..=0xdf => 2,
+                            0xe0..=0xef => 3,
+                            _ => 4,
+                        };
+                        let start = self.pos - 1;
+                        let chunk = self
+                            .bytes
+                            .get(start..start + len)
+                            .ok_or_else(|| "truncated utf8 sequence".to_string())?;
+                        out.push_str(
+                            std::str::from_utf8(chunk)
+                                .map_err(|_| "invalid utf8 in string".to_string())?,
+                        );
+                        self.pos = start + len;
+                    }
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                other => return Err(format!("expected ',' or ']' got '{}'", other as char)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            fields.push((key, self.value()?));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                other => return Err(format!("expected ',' or '}}' got '{}'", other as char)),
+            }
+        }
+    }
+}
+
+/// Parse a JSON document (subset: no surrogate-pair \u escapes).
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+/// One check-mode comparison line.
+#[derive(Debug, Clone)]
+pub struct CheckLine {
+    pub graph: String,
+    pub variant: String,
+    /// Calibration-normalised throughput in the baseline file.
+    pub baseline_norm: f64,
+    /// Calibration-normalised throughput of this run.
+    pub current_norm: f64,
+    /// `current_norm / baseline_norm` (1.0 = parity, < 1 = slower).
+    pub ratio: f64,
+    pub regressed: bool,
+}
+
+/// Compare `current` against a parsed `baseline` document. Graphs present in
+/// only one of the two reports are skipped (the baseline may carry the full
+/// protocol while CI runs smoke). Returns every comparison made; an empty
+/// result means the baseline had no overlapping graphs, which the caller
+/// should treat as an error.
+pub fn compare_reports(
+    current: &HotpathReport,
+    baseline: &Json,
+    threshold: f64,
+) -> Result<Vec<CheckLine>, String> {
+    let base_calib = baseline
+        .get("calibration_ops_per_s")
+        .and_then(Json::as_f64)
+        .ok_or("baseline missing calibration_ops_per_s")?;
+    if base_calib <= 0.0 || base_calib.is_nan() {
+        return Err("baseline calibration_ops_per_s must be positive".into());
+    }
+    let base_graphs = baseline
+        .get("graphs")
+        .and_then(Json::as_arr)
+        .ok_or("baseline missing graphs array")?;
+    let mut lines = Vec::new();
+    for g in &current.graphs {
+        let Some(base_g) = base_graphs
+            .iter()
+            .find(|bg| bg.get("name").and_then(Json::as_str) == Some(g.name.as_str()))
+        else {
+            continue;
+        };
+        let base_variants = base_g
+            .get("variants")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("baseline graph {} missing variants", g.name))?;
+        for v in &g.variants {
+            let Some(base_v) = base_variants
+                .iter()
+                .find(|bv| bv.get("variant").and_then(Json::as_str) == Some(v.variant.as_str()))
+            else {
+                continue;
+            };
+            let base_tp = base_v
+                .get("sweeps_per_s")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("baseline {}/{} missing sweeps_per_s", g.name, v.variant))?;
+            let baseline_norm = base_tp / base_calib;
+            let current_norm = v.sweeps_per_s / current.calibration_ops_per_s.max(1e-9);
+            let ratio = if baseline_norm > 0.0 {
+                current_norm / baseline_norm
+            } else {
+                1.0
+            };
+            lines.push(CheckLine {
+                graph: g.name.clone(),
+                variant: v.variant.clone(),
+                baseline_norm,
+                current_norm,
+                ratio,
+                regressed: ratio < 1.0 - threshold,
+            });
+        }
+    }
+    Ok(lines)
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrip_of_report() {
+        let report = HotpathReport {
+            mode: "smoke".into(),
+            calibration_ops_per_s: 1.5e8,
+            graphs: vec![GraphMeasurement {
+                name: "g".into(),
+                vertices: 10,
+                edges: 20,
+                variants: vec![VariantMeasurement {
+                    variant: "SBP".into(),
+                    sweeps: 4,
+                    elapsed_s: 0.25,
+                    sweeps_per_s: 16.0,
+                    proposals_per_s: 160.0,
+                    acceptance_rate: 0.5,
+                    consolidations_incremental: 3,
+                    consolidations_rebuild: 1,
+                    consolidated_moves: 42,
+                }],
+            }],
+        };
+        let parsed = parse_json(&report.to_json()).unwrap();
+        assert_eq!(parsed.get("mode").and_then(Json::as_str), Some("smoke"));
+        let g = &parsed.get("graphs").and_then(Json::as_arr).unwrap()[0];
+        assert_eq!(g.get("vertices").and_then(Json::as_f64), Some(10.0));
+        let v = &g.get("variants").and_then(Json::as_arr).unwrap()[0];
+        assert_eq!(v.get("sweeps_per_s").and_then(Json::as_f64), Some(16.0));
+        assert_eq!(
+            v.get("consolidations_incremental").and_then(Json::as_f64),
+            Some(3.0)
+        );
+        assert_eq!(
+            v.get("consolidated_moves").and_then(Json::as_f64),
+            Some(42.0)
+        );
+    }
+
+    #[test]
+    fn parser_handles_nesting_and_escapes() {
+        let doc = r#"{"a": [1, -2.5e3, "x\ny\"z"], "b": {"c": true, "d": null}}"#;
+        let v = parse_json(doc).unwrap();
+        let a = v.get("a").and_then(Json::as_arr).unwrap();
+        assert_eq!(a[1].as_f64(), Some(-2500.0));
+        assert_eq!(a[2].as_str(), Some("x\ny\"z"));
+        assert_eq!(v.get("b").unwrap().get("c"), Some(&Json::Bool(true)));
+        assert_eq!(v.get("b").unwrap().get("d"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse_json("{").is_err());
+        assert!(parse_json("[1,]").is_err());
+        assert!(parse_json("{} trailing").is_err());
+        assert!(parse_json("\"unterminated").is_err());
+    }
+
+    fn one_line_report(name: &str, variant: &str, tp: f64, calib: f64) -> HotpathReport {
+        HotpathReport {
+            mode: "smoke".into(),
+            calibration_ops_per_s: calib,
+            graphs: vec![GraphMeasurement {
+                name: name.into(),
+                vertices: 1,
+                edges: 1,
+                variants: vec![VariantMeasurement {
+                    variant: variant.into(),
+                    sweeps: 1,
+                    elapsed_s: 1.0 / tp,
+                    sweeps_per_s: tp,
+                    proposals_per_s: tp,
+                    acceptance_rate: 0.0,
+                    consolidations_incremental: 0,
+                    consolidations_rebuild: 0,
+                    consolidated_moves: 0,
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn check_flags_regressions_and_normalises_machine_speed() {
+        let baseline = one_line_report("g", "SBP", 100.0, 1e8);
+        let base_json = parse_json(&baseline.to_json()).unwrap();
+
+        // Same normalised speed on a machine 2x faster: not a regression.
+        let same = one_line_report("g", "SBP", 200.0, 2e8);
+        let lines = compare_reports(&same, &base_json, 0.15).unwrap();
+        assert_eq!(lines.len(), 1);
+        assert!(!lines[0].regressed, "{lines:?}");
+        assert!((lines[0].ratio - 1.0).abs() < 1e-9);
+
+        // 30% slower normalised: regression at a 15% threshold.
+        let slow = one_line_report("g", "SBP", 70.0, 1e8);
+        let lines = compare_reports(&slow, &base_json, 0.15).unwrap();
+        assert!(lines[0].regressed);
+
+        // 10% slower: inside the threshold.
+        let ok = one_line_report("g", "SBP", 90.0, 1e8);
+        let lines = compare_reports(&ok, &base_json, 0.15).unwrap();
+        assert!(!lines[0].regressed);
+    }
+
+    #[test]
+    fn check_skips_unmatched_graphs() {
+        let baseline = one_line_report("other_graph", "SBP", 100.0, 1e8);
+        let base_json = parse_json(&baseline.to_json()).unwrap();
+        let current = one_line_report("g", "SBP", 10.0, 1e8);
+        let lines = compare_reports(&current, &base_json, 0.15).unwrap();
+        assert!(lines.is_empty());
+    }
+}

@@ -12,7 +12,12 @@
 //! preserving mean degree, degree shape and community strength (see
 //! DESIGN.md §3 for the substitution argument).
 
+// Harness code fails loudly with a message (`panic!`) or an error return,
+// never through a bare `unwrap`/`expect`.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 pub mod experiments;
+pub mod hotpath;
 pub mod plot;
 pub mod report;
 pub mod runner;

@@ -108,6 +108,7 @@ pub fn scaling_curve(title: &str, points: &[(usize, f64)], width: usize) -> Stri
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -118,7 +118,9 @@ fn best_of_restarts(
             best = Some((result.mdl.total, result, wall));
         }
     }
-    let (_, result, wall) = best.expect("at least one restart");
+    let Some((_, result, wall)) = best else {
+        panic!("restart loop ran zero times");
+    };
     let nmi_score = truth.map_or(f64::NAN, |t| nmi(t, &result.assignment));
     VariantRun {
         variant,
@@ -211,6 +213,7 @@ pub fn quality_without_truth(graph: &hsbp_graph::Graph, assignment: &[u32]) -> (
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

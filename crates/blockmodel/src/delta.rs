@@ -6,17 +6,27 @@
 //! likelihood delta is the difference of Eq.-1 terms over exactly those
 //! entries. The same holds for a block merge. Correctness is enforced by
 //! property tests comparing against a full recompute on a mutated clone.
+//!
+//! All per-proposal state lives in reusable epoch-stamped
+//! [`ScratchCounter`]s bundled into a [`ProposalArena`]; the steady-state
+//! proposal loop performs zero heap allocations (enforced by the
+//! `alloc_hotpath` integration test). Every counter iterates in ascending
+//! key order, so the float summations below are pure functions of the
+//! logical state — a prerequisite for bit-identical incremental sweep
+//! consolidation.
 
 use crate::mdl::log_likelihood_term;
 use crate::model::{Block, Blockmodel};
-use hsbp_collections::FxHashMap;
+use hsbp_collections::ScratchCounter;
 use hsbp_graph::{Graph, Vertex, Weight};
+use std::sync::Mutex;
 
 /// Census of a vertex's neighbourhood by block: how many edge endpoints `v`
 /// has in each block, split by direction, with self-loops separated.
 ///
 /// Gathered once per proposal and shared by the delta computation, the
-/// Hastings correction and the in-place move application.
+/// Hastings correction and the in-place move application. Entries are sorted
+/// by block id.
 #[derive(Debug, Clone, Default)]
 pub struct NeighborCounts {
     /// `(block, weight)` of out-edges `v -> u`, `u != v`.
@@ -33,41 +43,57 @@ impl NeighborCounts {
         Self::gather_with(graph, bm.assignment(), v, &mut MoveScratch::default())
     }
 
-    /// Gather for `v` against an explicit assignment (the per-sweep snapshot
-    /// in A-SBP), reusing `scratch` buffers across calls.
+    /// Gather for `v` against an explicit assignment, allocating the result.
+    ///
+    /// Compatibility wrapper around [`NeighborCounts::gather_into`]; hot
+    /// loops should hold a [`ProposalArena`] and use `gather_into` instead.
     pub fn gather_with(
         graph: &Graph,
         assignment: &[Block],
         v: Vertex,
         scratch: &mut MoveScratch,
     ) -> Self {
-        scratch.out_map.clear();
-        scratch.in_map.clear();
-        let mut self_loops: Weight = 0;
+        let mut counts = NeighborCounts::default();
+        Self::gather_into(graph, assignment, v, scratch, &mut counts);
+        counts
+    }
+
+    /// Gather for `v` against an explicit assignment (the per-sweep snapshot
+    /// in A-SBP), reusing both the `scratch` counters and the `counts`
+    /// buffers — allocation-free once warmed up.
+    pub fn gather_into(
+        graph: &Graph,
+        assignment: &[Block],
+        v: Vertex,
+        scratch: &mut MoveScratch,
+        counts: &mut NeighborCounts,
+    ) {
+        counts.out_counts.clear();
+        counts.in_counts.clear();
+        counts.self_loops = 0;
+        scratch.out.begin();
+        scratch.inn.begin();
         for (u, w) in graph.out_edges(v) {
             if u == v {
-                self_loops += w;
+                counts.self_loops += w;
             } else {
-                *scratch.out_map.entry(assignment[u as usize]).or_insert(0) += w;
+                scratch.out.add(assignment[u as usize], w as i64);
             }
         }
         for (u, w) in graph.in_edges(v) {
             if u != v {
-                *scratch.in_map.entry(assignment[u as usize]).or_insert(0) += w;
+                scratch.inn.add(assignment[u as usize], w as i64);
             }
         }
-        let mut out_counts: Vec<(Block, Weight)> =
-            scratch.out_map.iter().map(|(&b, &w)| (b, w)).collect();
-        let mut in_counts: Vec<(Block, Weight)> =
-            scratch.in_map.iter().map(|(&b, &w)| (b, w)).collect();
         // Sorted output keeps downstream arithmetic deterministic.
-        out_counts.sort_unstable();
-        in_counts.sort_unstable();
-        NeighborCounts {
-            out_counts,
-            in_counts,
-            self_loops,
-        }
+        let out_counts = &mut counts.out_counts;
+        scratch
+            .out
+            .for_each_sorted(|b, w| out_counts.push((b, w as Weight)));
+        let in_counts = &mut counts.in_counts;
+        scratch
+            .inn
+            .for_each_sorted(|b, w| in_counts.push((b, w as Weight)));
     }
 
     /// Total out-degree of the vertex (self-loops included).
@@ -89,11 +115,90 @@ impl NeighborCounts {
     }
 }
 
-/// Reusable hash-map buffers for [`NeighborCounts::gather_with`].
+/// Reusable counters for [`NeighborCounts::gather_into`].
 #[derive(Debug, Default)]
 pub struct MoveScratch {
-    out_map: FxHashMap<Block, Weight>,
-    in_map: FxHashMap<Block, Weight>,
+    out: ScratchCounter,
+    inn: ScratchCounter,
+}
+
+/// Reusable counters for [`evaluate_move_with`] and
+/// [`delta_mdl_merge_with`]: the signed working image of the affected
+/// rows/columns of `B` plus the neighbour-block census.
+#[derive(Debug, Default)]
+pub struct EvalScratch {
+    row_from: ScratchCounter,
+    row_to: ScratchCounter,
+    /// Column entries `B[a][from]` for `a ∉ {from, to}`.
+    col_from: ScratchCounter,
+    /// Column entries `B[a][to]` for `a ∉ {from, to}`.
+    col_to: ScratchCounter,
+    census: ScratchCounter,
+}
+
+/// Everything one worker needs to evaluate proposals without allocating:
+/// gather counters, the reusable neighbour-count buffers and the move
+/// evaluation image. One arena per worker, reused across sweeps.
+#[derive(Debug, Default)]
+pub struct ProposalArena {
+    /// Gather counters for [`NeighborCounts::gather_into`].
+    pub scratch: MoveScratch,
+    /// Reusable result buffer for the gathered counts.
+    pub counts: NeighborCounts,
+    /// Move-evaluation image for [`evaluate_move_with`].
+    pub eval: EvalScratch,
+}
+
+/// A shared pool of [`ProposalArena`]s for parallel sweeps whose worker
+/// closures are re-created per chunk (`map_init` under the vendored rayon
+/// shim). Leasing pops a warmed arena; dropping the lease returns it.
+#[derive(Debug, Default)]
+pub struct ArenaPool {
+    arenas: Mutex<Vec<ProposalArena>>,
+}
+
+impl ArenaPool {
+    /// Empty pool; arenas are created on first lease and recycled after.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Borrow an arena (warmed if one is available, fresh otherwise).
+    pub fn lease(&self) -> ArenaLease<'_> {
+        let arena = match self.arenas.lock() {
+            Ok(mut guard) => guard.pop().unwrap_or_default(),
+            Err(_) => ProposalArena::default(),
+        };
+        ArenaLease { pool: self, arena }
+    }
+}
+
+/// RAII lease over a pooled [`ProposalArena`]; returns it on drop.
+#[derive(Debug)]
+pub struct ArenaLease<'a> {
+    pool: &'a ArenaPool,
+    arena: ProposalArena,
+}
+
+impl std::ops::Deref for ArenaLease<'_> {
+    type Target = ProposalArena;
+    fn deref(&self) -> &ProposalArena {
+        &self.arena
+    }
+}
+
+impl std::ops::DerefMut for ArenaLease<'_> {
+    fn deref_mut(&mut self) -> &mut ProposalArena {
+        &mut self.arena
+    }
+}
+
+impl Drop for ArenaLease<'_> {
+    fn drop(&mut self) {
+        if let Ok(mut guard) = self.pool.arenas.lock() {
+            guard.push(std::mem::take(&mut self.arena));
+        }
+    }
 }
 
 /// Result of evaluating a proposed vertex move.
@@ -106,162 +211,149 @@ pub struct MoveEval {
     pub hastings: f64,
 }
 
-/// Signed working image of the four affected rows/cols of `B`.
-struct AffectedState {
-    row_from: FxHashMap<Block, i64>,
-    row_to: FxHashMap<Block, i64>,
-    /// Column entries `B[a][from]` for `a ∉ {from, to}`.
-    col_from: FxHashMap<Block, i64>,
-    /// Column entries `B[a][to]` for `a ∉ {from, to}`.
-    col_to: FxHashMap<Block, i64>,
+/// Degrees of the two affected blocks in the working image.
+struct AffectedDegrees {
     d_out_from: i64,
     d_out_to: i64,
     d_in_from: i64,
     d_in_to: i64,
 }
 
-impl AffectedState {
-    fn snapshot(bm: &Blockmodel, from: Block, to: Block) -> Self {
-        let mut s = AffectedState {
-            row_from: FxHashMap::default(),
-            row_to: FxHashMap::default(),
-            col_from: FxHashMap::default(),
-            col_to: FxHashMap::default(),
-            d_out_from: bm.d_out(from) as i64,
-            d_out_to: bm.d_out(to) as i64,
-            d_in_from: bm.d_in(from) as i64,
-            d_in_to: bm.d_in(to) as i64,
-        };
-        for (t, w) in bm.row(from).iter() {
-            s.row_from.insert(t, w as i64);
-        }
-        for (t, w) in bm.row(to).iter() {
-            s.row_to.insert(t, w as i64);
-        }
-        for (a, w) in bm.col(from).iter() {
-            if a != from && a != to {
-                s.col_from.insert(a, w as i64);
-            }
-        }
-        for (a, w) in bm.col(to).iter() {
-            if a != from && a != to {
-                s.col_to.insert(a, w as i64);
-            }
-        }
-        s
+/// Load the affected rows/columns of `B` into the scratch image.
+fn snapshot(scratch: &mut EvalScratch, bm: &Blockmodel, from: Block, to: Block) -> AffectedDegrees {
+    scratch.row_from.begin();
+    scratch.row_to.begin();
+    scratch.col_from.begin();
+    scratch.col_to.begin();
+    for (t, w) in bm.row(from).iter() {
+        scratch.row_from.add(t, w as i64);
     }
-
-    /// Sum of Eq.-1 terms over the affected entries with the state's current
-    /// values and degrees.
-    fn likelihood_part(&self, bm: &Blockmodel, from: Block, to: Block) -> f64 {
-        let d_in_of = |t: Block| -> f64 {
-            if t == from {
-                self.d_in_from as f64
-            } else if t == to {
-                self.d_in_to as f64
-            } else {
-                bm.d_in(t) as f64
-            }
-        };
-        let mut total = 0.0;
-        for (&t, &b) in &self.row_from {
-            total += log_likelihood_term(b as f64, self.d_out_from as f64, d_in_of(t));
-        }
-        for (&t, &b) in &self.row_to {
-            total += log_likelihood_term(b as f64, self.d_out_to as f64, d_in_of(t));
-        }
-        for (&a, &b) in &self.col_from {
-            total += log_likelihood_term(b as f64, bm.d_out(a) as f64, self.d_in_from as f64);
-        }
-        for (&a, &b) in &self.col_to {
-            total += log_likelihood_term(b as f64, bm.d_out(a) as f64, self.d_in_to as f64);
-        }
-        total
+    for (t, w) in bm.row(to).iter() {
+        scratch.row_to.add(t, w as i64);
     }
-
-    /// Mutate the image to reflect the move `v: from -> to`.
-    fn apply(&mut self, counts: &NeighborCounts, from: Block, to: Block) {
-        // Out-edges v -> (block t): B[from][t] -= w, B[to][t] += w.
-        for &(t, w) in &counts.out_counts {
-            let w = w as i64;
-            *self.row_from.entry(t).or_insert(0) -= w;
-            *self.row_to.entry(t).or_insert(0) += w;
-        }
-        // In-edges (block a) -> v: B[a][from] -= w, B[a][to] += w. When
-        // a ∈ {from, to} the entry lives in a tracked *row*, otherwise in a
-        // tracked column.
-        for &(a, w) in &counts.in_counts {
-            let w = w as i64;
-            if a == from {
-                *self.row_from.entry(from).or_insert(0) -= w;
-                *self.row_from.entry(to).or_insert(0) += w;
-            } else if a == to {
-                *self.row_to.entry(from).or_insert(0) -= w;
-                *self.row_to.entry(to).or_insert(0) += w;
-            } else {
-                *self.col_from.entry(a).or_insert(0) -= w;
-                *self.col_to.entry(a).or_insert(0) += w;
-            }
-        }
-        // Self-loops travel along the diagonal.
-        if counts.self_loops > 0 {
-            let w = counts.self_loops as i64;
-            *self.row_from.entry(from).or_insert(0) -= w;
-            *self.row_to.entry(to).or_insert(0) += w;
-        }
-        let k_out = counts.k_out() as i64;
-        let k_in = counts.k_in() as i64;
-        self.d_out_from -= k_out;
-        self.d_out_to += k_out;
-        self.d_in_from -= k_in;
-        self.d_in_to += k_in;
-        debug_assert!(self.d_out_from >= 0 && self.d_in_from >= 0);
-        debug_assert!(
-            self.row_from.values().all(|&b| b >= 0),
-            "negative cell in row_from"
-        );
-        debug_assert!(
-            self.row_to.values().all(|&b| b >= 0),
-            "negative cell in row_to"
-        );
-    }
-
-    /// `B[t][to] + B[to][t]` in the current image, for the Hastings sum.
-    fn pair_mass(&self, bm: &Blockmodel, t: Block, target: Block, from: Block, to: Block) -> i64 {
-        let get = |row: Block, col: Block| -> i64 {
-            if row == from {
-                self.row_from.get(&col).copied().unwrap_or(0)
-            } else if row == to {
-                self.row_to.get(&col).copied().unwrap_or(0)
-            } else if col == from {
-                self.col_from.get(&row).copied().unwrap_or(0)
-            } else if col == to {
-                self.col_to.get(&row).copied().unwrap_or(0)
-            } else {
-                bm.edge_count(row, col) as i64
-            }
-        };
-        if t == target {
-            // Diagonal cell counted once in each direction = twice.
-            2 * get(t, t)
-        } else {
-            get(t, target) + get(target, t)
+    for (a, w) in bm.col(from).iter() {
+        if a != from && a != to {
+            scratch.col_from.add(a, w as i64);
         }
     }
+    for (a, w) in bm.col(to).iter() {
+        if a != from && a != to {
+            scratch.col_to.add(a, w as i64);
+        }
+    }
+    AffectedDegrees {
+        d_out_from: bm.d_out(from) as i64,
+        d_out_to: bm.d_out(to) as i64,
+        d_in_from: bm.d_in(from) as i64,
+        d_in_to: bm.d_in(to) as i64,
+    }
+}
 
-    fn d_total_of(&self, bm: &Blockmodel, t: Block, from: Block, to: Block) -> i64 {
+/// Sum of Eq.-1 terms over the affected entries with the image's current
+/// values and degrees. Iterates each counter in key order, so the float sum
+/// is deterministic.
+fn likelihood_part(
+    scratch: &mut EvalScratch,
+    bm: &Blockmodel,
+    from: Block,
+    to: Block,
+    deg: &AffectedDegrees,
+) -> f64 {
+    let d_in_of = |t: Block| -> f64 {
         if t == from {
-            self.d_out_from + self.d_in_from
+            deg.d_in_from as f64
         } else if t == to {
-            self.d_out_to + self.d_in_to
+            deg.d_in_to as f64
         } else {
-            bm.d_total(t) as i64
+            bm.d_in(t) as f64
+        }
+    };
+    let mut total = 0.0;
+    let d_out_from = deg.d_out_from as f64;
+    scratch.row_from.for_each_sorted(|t, b| {
+        total += log_likelihood_term(b as f64, d_out_from, d_in_of(t));
+    });
+    let d_out_to = deg.d_out_to as f64;
+    scratch.row_to.for_each_sorted(|t, b| {
+        total += log_likelihood_term(b as f64, d_out_to, d_in_of(t));
+    });
+    let d_in_from = deg.d_in_from as f64;
+    scratch.col_from.for_each_sorted(|a, b| {
+        total += log_likelihood_term(b as f64, bm.d_out(a) as f64, d_in_from);
+    });
+    let d_in_to = deg.d_in_to as f64;
+    scratch.col_to.for_each_sorted(|a, b| {
+        total += log_likelihood_term(b as f64, bm.d_out(a) as f64, d_in_to);
+    });
+    total
+}
+
+/// Mutate the image to reflect the move `v: from -> to`.
+fn apply_image(
+    scratch: &mut EvalScratch,
+    counts: &NeighborCounts,
+    from: Block,
+    to: Block,
+    deg: &mut AffectedDegrees,
+) {
+    // Out-edges v -> (block t): B[from][t] -= w, B[to][t] += w.
+    for &(t, w) in &counts.out_counts {
+        let w = w as i64;
+        scratch.row_from.add(t, -w);
+        scratch.row_to.add(t, w);
+    }
+    // In-edges (block a) -> v: B[a][from] -= w, B[a][to] += w. When
+    // a ∈ {from, to} the entry lives in a tracked *row*, otherwise in a
+    // tracked column.
+    for &(a, w) in &counts.in_counts {
+        let w = w as i64;
+        if a == from {
+            scratch.row_from.add(from, -w);
+            scratch.row_from.add(to, w);
+        } else if a == to {
+            scratch.row_to.add(from, -w);
+            scratch.row_to.add(to, w);
+        } else {
+            scratch.col_from.add(a, -w);
+            scratch.col_to.add(a, w);
         }
     }
+    // Self-loops travel along the diagonal.
+    if counts.self_loops > 0 {
+        let w = counts.self_loops as i64;
+        scratch.row_from.add(from, -w);
+        scratch.row_to.add(to, w);
+    }
+    let k_out = counts.k_out() as i64;
+    let k_in = counts.k_in() as i64;
+    deg.d_out_from -= k_out;
+    deg.d_out_to += k_out;
+    deg.d_in_from -= k_in;
+    deg.d_in_to += k_in;
+    debug_assert!(deg.d_out_from >= 0 && deg.d_in_from >= 0);
+}
+
+fn d_total_of(deg: &AffectedDegrees, bm: &Blockmodel, t: Block, from: Block, to: Block) -> i64 {
+    if t == from {
+        deg.d_out_from + deg.d_in_from
+    } else if t == to {
+        deg.d_out_to + deg.d_in_to
+    } else {
+        bm.d_total(t) as i64
+    }
+}
+
+/// Evaluate a proposed move `v: from → to`, allocating fresh scratch.
+///
+/// Compatibility wrapper around [`evaluate_move_with`]; hot loops should
+/// hold a [`ProposalArena`] and pass its `eval` field instead.
+pub fn evaluate_move(bm: &Blockmodel, from: Block, to: Block, counts: &NeighborCounts) -> MoveEval {
+    evaluate_move_with(bm, from, to, counts, &mut EvalScratch::default())
 }
 
 /// Evaluate a proposed move `v: from → to`: its MDL delta and Hastings
 /// correction. `counts` must be gathered with `v` still in `from`.
+/// Allocation-free once `scratch` has warmed up.
 ///
 /// The Hastings factor follows the graph-challenge reference: with the
 /// neighbour-block census `{(t, k_t)}` of `v` (self-loops counted toward
@@ -271,54 +363,75 @@ impl AffectedState {
 /// p_fwd = Σ_t k_t/k_v · (B[t][to]   + B[to][t]   + 1) / (d_t + C)    (old B)
 /// p_bwd = Σ_t k_t/k_v · (B'[t][from] + B'[from][t] + 1) / (d'_t + C)  (new B)
 /// ```
-pub fn evaluate_move(bm: &Blockmodel, from: Block, to: Block, counts: &NeighborCounts) -> MoveEval {
+pub fn evaluate_move_with(
+    bm: &Blockmodel,
+    from: Block,
+    to: Block,
+    counts: &NeighborCounts,
+    scratch: &mut EvalScratch,
+) -> MoveEval {
     if from == to {
         return MoveEval {
             delta_mdl: 0.0,
             hastings: 1.0,
         };
     }
-    let mut state = AffectedState::snapshot(bm, from, to);
-    let old_part = state.likelihood_part(bm, from, to);
+    let mut deg = snapshot(scratch, bm, from, to);
+    let old_part = likelihood_part(scratch, bm, from, to, &deg);
 
     // Combined neighbour-block census (both directions; self-loops toward
     // the *current* block of v, i.e. `from`).
-    let mut census: FxHashMap<Block, Weight> = FxHashMap::default();
+    scratch.census.begin();
     for &(t, w) in counts.out_counts.iter().chain(counts.in_counts.iter()) {
-        *census.entry(t).or_insert(0) += w;
+        scratch.census.add(t, w as i64);
     }
     if counts.self_loops > 0 {
-        *census.entry(from).or_insert(0) += 2 * counts.self_loops;
+        scratch.census.add(from, 2 * counts.self_loops as i64);
     }
-    let k_v: Weight = census.values().sum();
+    let k_v: i64 = counts.degree() as i64;
     let c = bm.num_blocks() as f64;
 
     // Forward probability uses the pre-move matrix.
     let mut p_fwd = 0.0;
     if k_v > 0 {
-        for (&t, &k_t) in &census {
+        scratch.census.for_each_sorted(|t, k_t| {
             let mass = if t == to {
                 2 * bm.edge_count(to, to)
             } else {
                 bm.edge_count(t, to) + bm.edge_count(to, t)
             };
             p_fwd += k_t as f64 * (mass as f64 + 1.0) / (bm.d_total(t) as f64 + c);
-        }
+        });
         p_fwd /= k_v as f64;
     }
 
-    state.apply(counts, from, to);
-    let new_part = state.likelihood_part(bm, from, to);
+    apply_image(scratch, counts, from, to, &mut deg);
+    let new_part = likelihood_part(scratch, bm, from, to, &deg);
 
     // Backward probability uses the post-move matrix (labels of the census
     // unchanged, matching the reference implementation).
     let mut p_bwd = 0.0;
     if k_v > 0 {
-        for (&t, &k_t) in &census {
-            let mass = state.pair_mass(bm, t, from, from, to);
-            let d_t = state.d_total_of(bm, t, from, to);
+        let EvalScratch {
+            row_from,
+            row_to,
+            col_from,
+            col_to,
+            census,
+        } = scratch;
+        // Re-borrow the image immutably for lookups while the census drives
+        // the iteration.
+        let image = EvalScratchRef {
+            row_from,
+            row_to,
+            col_from,
+            col_to,
+        };
+        census.for_each_sorted(|t, k_t| {
+            let mass = image.pair_mass(bm, t, from, from, to);
+            let d_t = d_total_of(&deg, bm, t, from, to);
             p_bwd += k_t as f64 * (mass as f64 + 1.0) / (d_t as f64 + c);
-        }
+        });
         p_bwd /= k_v as f64;
     }
 
@@ -333,16 +446,57 @@ pub fn evaluate_move(bm: &Blockmodel, from: Block, to: Block, counts: &NeighborC
     }
 }
 
+/// Immutable view over the four image counters (the census counter needs a
+/// disjoint mutable borrow while these are read).
+struct EvalScratchRef<'a> {
+    row_from: &'a ScratchCounter,
+    row_to: &'a ScratchCounter,
+    col_from: &'a ScratchCounter,
+    col_to: &'a ScratchCounter,
+}
+
+impl EvalScratchRef<'_> {
+    fn pair_mass(&self, bm: &Blockmodel, t: Block, target: Block, from: Block, to: Block) -> i64 {
+        let get = |row: Block, col: Block| -> i64 {
+            if row == from {
+                self.row_from.get(col)
+            } else if row == to {
+                self.row_to.get(col)
+            } else if col == from {
+                self.col_from.get(row)
+            } else if col == to {
+                self.col_to.get(row)
+            } else {
+                bm.edge_count(row, col) as i64
+            }
+        };
+        if t == target {
+            // Diagonal cell counted once in each direction = twice.
+            2 * get(t, t)
+        } else {
+            get(t, target) + get(target, t)
+        }
+    }
+}
+
 /// MDL delta (likelihood part) of moving `v: from → to`.
 pub fn delta_mdl_move(bm: &Blockmodel, from: Block, to: Block, counts: &NeighborCounts) -> f64 {
     evaluate_move(bm, from, to, counts).delta_mdl
 }
 
-/// Likelihood-part MDL delta of merging block `r` into block `s`, computed
-/// without touching the model. The (identical for every candidate) model
-/// complexity change from `C → C−1` is *not* included; add
-/// [`crate::mdl::model_complexity_delta`] for the full ΔMDL.
+/// Likelihood-part MDL delta of merging `r` into `s`, allocating scratch.
+///
+/// Compatibility wrapper around [`delta_mdl_merge_with`].
 pub fn delta_mdl_merge(bm: &Blockmodel, r: Block, s: Block) -> f64 {
+    delta_mdl_merge_with(bm, r, s, &mut EvalScratch::default())
+}
+
+/// Likelihood-part MDL delta of merging block `r` into block `s`, computed
+/// without touching the model and without allocating (given a warmed
+/// `scratch`). The (identical for every candidate) model complexity change
+/// from `C → C−1` is *not* included; add
+/// [`crate::mdl::model_complexity_delta`] for the full ΔMDL.
+pub fn delta_mdl_merge_with(bm: &Blockmodel, r: Block, s: Block, scratch: &mut EvalScratch) -> f64 {
     if r == s {
         return 0.0;
     }
@@ -366,17 +520,20 @@ pub fn delta_mdl_merge(bm: &Blockmodel, r: Block, s: Block) -> f64 {
         }
     }
 
-    // Merged row: row r + row s with key r folded into s.
-    let mut new_row: FxHashMap<Block, Weight> = FxHashMap::default();
+    // Merged row: row r + row s with key r folded into s (reuses the
+    // `row_from` counter as the merged-row buffer).
+    let new_row = &mut scratch.row_from;
+    new_row.begin();
     for (t, b) in bm.row(r).iter().chain(bm.row(s).iter()) {
         let key = if t == r { s } else { t };
-        *new_row.entry(key).or_insert(0) += b;
+        new_row.add(key, b as i64);
     }
     // Merged column, excluding rows r and s (their mass is in new_row).
-    let mut new_col: FxHashMap<Block, Weight> = FxHashMap::default();
+    let new_col = &mut scratch.col_from;
+    new_col.begin();
     for (a, b) in bm.col(r).iter().chain(bm.col(s).iter()) {
         if a != r && a != s {
-            *new_col.entry(a).or_insert(0) += b;
+            new_col.add(a, b as i64);
         }
     }
     let d_out_merged = (bm.d_out(r) + bm.d_out(s)) as f64;
@@ -390,12 +547,12 @@ pub fn delta_mdl_merge(bm: &Blockmodel, r: Block, s: Block) -> f64 {
     };
 
     let mut new_part = 0.0;
-    for (&t, &b) in &new_row {
+    scratch.row_from.for_each_sorted(|t, b| {
         new_part += log_likelihood_term(b as f64, d_out_merged, d_in_of(t));
-    }
-    for (&a, &b) in &new_col {
+    });
+    scratch.col_from.for_each_sorted(|a, b| {
         new_part += log_likelihood_term(b as f64, bm.d_out(a) as f64, d_in_merged);
-    }
+    });
     old_part - new_part
 }
 
@@ -432,6 +589,34 @@ mod tests {
     }
 
     #[test]
+    fn gather_into_reuses_buffers_and_matches_gather() {
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (3, 0), (0, 0), (4, 0), (0, 4)]);
+        let bm = Blockmodel::from_assignment(&g, vec![0, 1, 1, 2, 2], 3);
+        let mut scratch = MoveScratch::default();
+        let mut counts = NeighborCounts::default();
+        for v in 0..5u32 {
+            NeighborCounts::gather_into(&g, bm.assignment(), v, &mut scratch, &mut counts);
+            let fresh = NeighborCounts::gather(&g, &bm, v);
+            assert_eq!(counts.out_counts, fresh.out_counts, "v={v}");
+            assert_eq!(counts.in_counts, fresh.in_counts, "v={v}");
+            assert_eq!(counts.self_loops, fresh.self_loops, "v={v}");
+        }
+    }
+
+    #[test]
+    fn arena_pool_recycles() {
+        let pool = ArenaPool::new();
+        {
+            let mut lease = pool.lease();
+            lease.counts.out_counts.push((1, 1));
+        }
+        let lease = pool.lease();
+        // The recycled arena keeps its buffers (contents are overwritten by
+        // gather_into before each use).
+        assert!(lease.counts.out_counts.capacity() >= 1);
+    }
+
+    #[test]
     fn delta_matches_brute_force_on_ring() {
         let g = ring(8);
         let bm = Blockmodel::from_assignment(&g, vec![0, 0, 1, 1, 2, 2, 3, 3], 4);
@@ -448,6 +633,29 @@ mod tests {
                     (fast - slow).abs() < 1e-9,
                     "v={v} {from}->{to}: fast {fast} vs slow {slow}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn evaluate_move_with_matches_wrapper() {
+        let g = ring(8);
+        let bm = Blockmodel::from_assignment(&g, vec![0, 0, 1, 1, 2, 2, 3, 3], 4);
+        let mut arena = ProposalArena::default();
+        for v in 0..8u32 {
+            let from = bm.block_of(v);
+            NeighborCounts::gather_into(
+                &g,
+                bm.assignment(),
+                v,
+                &mut arena.scratch,
+                &mut arena.counts,
+            );
+            for to in 0..4u32 {
+                let fresh = evaluate_move(&bm, from, to, &arena.counts);
+                let reused = evaluate_move_with(&bm, from, to, &arena.counts, &mut arena.eval);
+                assert_eq!(fresh.delta_mdl.to_bits(), reused.delta_mdl.to_bits());
+                assert_eq!(fresh.hastings.to_bits(), reused.hastings.to_bits());
             }
         }
     }
@@ -505,12 +713,15 @@ mod tests {
             ],
         );
         let bm = Blockmodel::from_assignment(&g, vec![0, 0, 1, 1, 2, 2], 3);
+        let mut scratch = EvalScratch::default();
         for r in 0..3u32 {
             for s in 0..3u32 {
                 if r == s {
                     continue;
                 }
                 let fast = delta_mdl_merge(&bm, r, s);
+                let reused = delta_mdl_merge_with(&bm, r, s, &mut scratch);
+                assert_eq!(fast.to_bits(), reused.to_bits());
                 // Brute force: relabel r -> s, keep label space size (the
                 // likelihood does not depend on empty blocks).
                 let assignment: Vec<Block> = bm

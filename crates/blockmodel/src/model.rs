@@ -17,7 +17,11 @@ pub const DENSE_REBUILD_MAX_BLOCKS: usize = 512;
 /// `rows[r]` holds `B[r][·]` (edges *from* block `r`), `cols[s]` holds
 /// `B[·][s]` (edges *into* block `s`); the two are kept in lock-step. Block
 /// degrees are cached: `d_out[r] = Σ_s B[r][s]`, `d_in[s] = Σ_r B[r][s]`.
-#[derive(Debug, Clone)]
+// `PartialEq` compares the *representation*; because `SparseRow` is
+// canonical (sorted, zero-free) this coincides with logical equality, and
+// the Verify consolidation mode uses it to cross-check the incremental path
+// against a rebuild.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Blockmodel {
     num_blocks: usize,
     assignment: Vec<Block>,

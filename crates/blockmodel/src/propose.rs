@@ -17,8 +17,54 @@
 
 use crate::delta::{MoveEval, NeighborCounts};
 use crate::model::{Block, Blockmodel};
-use hsbp_collections::SplitMix64;
+use hsbp_collections::{AliasTable, SplitMix64};
 use hsbp_graph::{Graph, Vertex};
+
+/// Per-block O(1) samplers over the block-neighbour distributions (row `t`
+/// ∪ column `t` of `B`, weighted by edge count), for paths that propose
+/// repeatedly against a *frozen* model: A-SBP sweeps, H-SBP's parallel
+/// tail, and the merge phase's candidate search. One O(nnz(B)) build
+/// amortises over `O(n)` draws per sweep (or `C × proposals` per merge
+/// round), replacing the serial path's O(nnz) linear scan per draw with an
+/// alias-method draw.
+///
+/// The distribution is identical to [`propose_block`]'s step 3; only the
+/// RNG consumption pattern differs, so frozen-path trajectories are
+/// deterministic per seed but not bit-equal to the serial scan's.
+#[derive(Debug, Clone, Default)]
+pub struct BlockNeighborSampler {
+    /// Per block: alias table over the concatenated row ∪ column entries
+    /// plus the block-id decode vector. `None` for edgeless blocks.
+    tables: Vec<Option<(AliasTable, Vec<Block>)>>,
+}
+
+impl BlockNeighborSampler {
+    /// Snapshot the frozen model's block-neighbour distributions.
+    pub fn build(bm: &Blockmodel) -> Self {
+        let mut tables = Vec::with_capacity(bm.num_blocks());
+        let mut weights: Vec<f64> = Vec::new();
+        for t in 0..bm.num_blocks() as Block {
+            let mut keys: Vec<Block> = Vec::new();
+            weights.clear();
+            for (s, w) in bm.row(t).iter().chain(bm.col(t).iter()) {
+                keys.push(s);
+                weights.push(w as f64);
+            }
+            tables.push(AliasTable::new(&weights).map(|table| (table, keys)));
+        }
+        Self { tables }
+    }
+
+    /// Draw a block from block `t`'s edge-weighted neighbourhood in O(1);
+    /// `None` if the block has no edges (matches
+    /// `sample_block_neighbor`'s contract).
+    #[inline]
+    pub fn sample(&self, t: Block, rng: &mut SplitMix64) -> Option<Block> {
+        self.tables[t as usize]
+            .as_ref()
+            .map(|(table, keys)| keys[table.sample(rng)])
+    }
+}
 
 /// Draw a uniformly random incident edge of `v` (weight-aware) and return
 /// the neighbour. `None` if `v` has no incident edges.
@@ -96,6 +142,34 @@ pub fn propose_block(
     }
 }
 
+/// [`propose_block`] against a frozen model, drawing step 3 from a
+/// prebuilt [`BlockNeighborSampler`] instead of a linear scan over the
+/// block matrix. Same proposal distribution; O(1) per draw.
+pub fn propose_block_frozen(
+    graph: &Graph,
+    bm: &Blockmodel,
+    sampler: &BlockNeighborSampler,
+    assignment: &[Block],
+    v: Vertex,
+    rng: &mut SplitMix64,
+) -> Block {
+    let c = bm.num_blocks() as u64;
+    debug_assert!(c > 0);
+    let uniform = |rng: &mut SplitMix64| rng.next_below(c) as Block;
+    match random_incident_neighbor(graph, v, rng) {
+        None => uniform(rng),
+        Some(u) => {
+            let t = assignment[u as usize];
+            let d_t = bm.d_total(t);
+            if rng.next_f64() < c as f64 / (d_t as f64 + c as f64) {
+                uniform(rng)
+            } else {
+                sampler.sample(t, rng).unwrap_or_else(|| uniform(rng))
+            }
+        }
+    }
+}
+
 /// Propose a merge target for block `r` (the block-level analogue of
 /// [`propose_block`], used by Algorithm 1). May return `r` itself.
 pub fn propose_merge_target(bm: &Blockmodel, r: Block, rng: &mut SplitMix64) -> Block {
@@ -109,6 +183,31 @@ pub fn propose_merge_target(bm: &Blockmodel, r: Block, rng: &mut SplitMix64) -> 
                 uniform(rng)
             } else {
                 sample_block_neighbor(bm, t, rng).unwrap_or_else(|| uniform(rng))
+            }
+        }
+    }
+}
+
+/// [`propose_merge_target`] against a frozen model via a prebuilt
+/// [`BlockNeighborSampler`] — the merge phase evaluates
+/// `C × merge_proposals_per_block` candidates against one frozen model per
+/// round, so the O(nnz(B)) build amortises to O(1) per candidate.
+pub fn propose_merge_target_frozen(
+    bm: &Blockmodel,
+    sampler: &BlockNeighborSampler,
+    r: Block,
+    rng: &mut SplitMix64,
+) -> Block {
+    let c = bm.num_blocks() as u64;
+    let uniform = |rng: &mut SplitMix64| rng.next_below(c) as Block;
+    match sampler.sample(r, rng) {
+        None => uniform(rng),
+        Some(t) => {
+            let d_t = bm.d_total(t);
+            if rng.next_f64() < c as f64 / (d_t as f64 + c as f64) {
+                uniform(rng)
+            } else {
+                sampler.sample(t, rng).unwrap_or_else(|| uniform(rng))
             }
         }
     }
@@ -287,6 +386,69 @@ mod tests {
         let g2 = Graph::from_edges(3, &[(0, 1)]);
         let bm2 = Blockmodel::from_assignment(&g2, vec![0, 0, 1], 2);
         assert_eq!(exploration_probability(&bm2, 1), 1.0); // empty block: always uniform
+    }
+
+    #[test]
+    fn alias_sampler_matches_linear_scan_distribution() {
+        // The alias tables must reproduce sample_block_neighbor's
+        // edge-weighted distribution: tally both over many draws and
+        // compare frequencies per (source block, target block) cell.
+        let (_, bm) = two_cliques();
+        let sampler = BlockNeighborSampler::build(&bm);
+        let trials = 40_000u32;
+        for t in 0..bm.num_blocks() as Block {
+            let mut scan = vec![0u32; bm.num_blocks()];
+            let mut alias = vec![0u32; bm.num_blocks()];
+            let mut rng = SplitMix64::new(11 + u64::from(t));
+            for _ in 0..trials {
+                scan[sample_block_neighbor(&bm, t, &mut rng).unwrap() as usize] += 1;
+                alias[sampler.sample(t, &mut rng).unwrap() as usize] += 1;
+            }
+            for s in 0..bm.num_blocks() {
+                let diff = (f64::from(scan[s]) - f64::from(alias[s])).abs() / f64::from(trials);
+                assert!(
+                    diff < 0.02,
+                    "block {t}->{s}: scan {} vs alias {}",
+                    scan[s],
+                    alias[s]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn frozen_proposals_land_in_valid_range_and_favor_home() {
+        let (g, bm) = two_cliques();
+        let sampler = BlockNeighborSampler::build(&bm);
+        let mut rng = SplitMix64::new(21);
+        let mut own = 0;
+        let trials = 2000;
+        for _ in 0..trials {
+            let b = propose_block_frozen(&g, &bm, &sampler, bm.assignment(), 0, &mut rng);
+            assert!((b as usize) < bm.num_blocks());
+            if b == 0 {
+                own += 1;
+            }
+        }
+        assert!(own > trials / 2, "only {own}/{trials} named the home block");
+        for r in 0..2u32 {
+            for _ in 0..50 {
+                let t = propose_merge_target_frozen(&bm, &sampler, r, &mut rng);
+                assert!((t as usize) < bm.num_blocks());
+            }
+        }
+    }
+
+    #[test]
+    fn sampler_handles_edgeless_blocks() {
+        // Block 1 has no incident edges: sampler returns None and the frozen
+        // proposal falls back to uniform.
+        let g = Graph::from_edges(3, &[(0, 1)]);
+        let bm = Blockmodel::from_assignment(&g, vec![0, 0, 1], 2);
+        let sampler = BlockNeighborSampler::build(&bm);
+        let mut rng = SplitMix64::new(8);
+        assert_eq!(sampler.sample(1, &mut rng), None);
+        assert!(sampler.sample(0, &mut rng).is_some());
     }
 
     #[test]

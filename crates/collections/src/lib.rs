@@ -12,12 +12,16 @@
 //!   sampling and a tiny splitmix-based counter RNG used for deterministic
 //!   per-vertex randomness in parallel sweeps,
 //! * [`sparse`] — the sparse row/column vectors backing the blockmodel
-//!   matrix `B`.
+//!   matrix `B` (sorted-vector representation: canonical and deterministic),
+//! * [`scratch`] — epoch-stamped reusable counters so the per-proposal hot
+//!   path performs zero heap allocations in steady state.
 
 pub mod hash;
 pub mod sample;
+pub mod scratch;
 pub mod sparse;
 
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use sample::{AliasTable, CumulativeSampler, SplitMix64};
+pub use scratch::ScratchCounter;
 pub use sparse::SparseRow;

@@ -1,0 +1,204 @@
+//! Epoch-stamped scratch counters for allocation-free hot loops.
+//!
+//! The MCMC proposal path needs a handful of tiny `block id → signed count`
+//! maps per proposal (neighbour tallies, affected matrix entries, a census of
+//! touched blocks). Allocating fresh hash maps per proposal dominated the
+//! allocator profile, so this module provides a reusable counter that:
+//!
+//! * clears in O(1) by bumping an epoch stamp instead of touching memory,
+//! * stores keys below [`DENSE_LIMIT`] in dense arrays grown lazily (steady
+//!   state performs zero allocations),
+//! * spills keys at or above [`DENSE_LIMIT`] into a small sorted side vector
+//!   so pathological id ranges stay correct without gigantic dense arrays,
+//! * visits entries in ascending key order, making every float summation
+//!   driven by a scratch counter a pure function of its logical contents.
+
+/// Keys below this bound live in the dense epoch-stamped arrays; keys at or
+/// above it go to the sorted overflow vector. Block ids are bounded by the
+/// vertex count, so real workloads stay dense.
+pub const DENSE_LIMIT: u32 = 1 << 16;
+
+/// A reusable map from `u32` key to signed count, cleared in O(1).
+#[derive(Debug, Default)]
+pub struct ScratchCounter {
+    stamps: Vec<u32>,
+    values: Vec<i64>,
+    touched: Vec<u32>,
+    overflow: Vec<(u32, i64)>,
+    epoch: u32,
+}
+
+impl ScratchCounter {
+    /// Empty counter. Dense storage grows lazily on first touch of a key.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Start a fresh accumulation, logically clearing all entries.
+    ///
+    /// Amortised O(1): bumps the epoch stamp. Only on epoch wrap-around
+    /// (once per 2^32 - 1 clears) are the stamps physically reset.
+    pub fn begin(&mut self) {
+        self.touched.clear();
+        self.overflow.clear();
+        if self.epoch == u32::MAX {
+            self.stamps.iter_mut().for_each(|s| *s = 0);
+            self.epoch = 1;
+        } else {
+            self.epoch += 1;
+        }
+    }
+
+    /// Add `delta` to the count for `key`.
+    #[inline]
+    pub fn add(&mut self, key: u32, delta: i64) {
+        if key < DENSE_LIMIT {
+            let idx = key as usize;
+            if idx >= self.stamps.len() {
+                self.grow_dense(idx);
+            }
+            if self.stamps[idx] == self.epoch {
+                self.values[idx] += delta;
+            } else {
+                self.stamps[idx] = self.epoch;
+                self.values[idx] = delta;
+                self.touched.push(key);
+            }
+        } else {
+            match self.overflow.binary_search_by_key(&key, |&(k, _)| k) {
+                Ok(pos) => self.overflow[pos].1 += delta,
+                Err(pos) => self.overflow.insert(pos, (key, delta)),
+            }
+        }
+    }
+
+    #[cold]
+    fn grow_dense(&mut self, idx: usize) {
+        let new_len = (idx + 1).next_power_of_two().min(DENSE_LIMIT as usize);
+        self.stamps.resize(new_len, 0);
+        self.values.resize(new_len, 0);
+    }
+
+    /// Current count for `key` (zero if never touched this epoch).
+    #[inline]
+    pub fn get(&self, key: u32) -> i64 {
+        if key < DENSE_LIMIT {
+            let idx = key as usize;
+            if idx < self.stamps.len() && self.stamps[idx] == self.epoch {
+                self.values[idx]
+            } else {
+                0
+            }
+        } else {
+            match self.overflow.binary_search_by_key(&key, |&(k, _)| k) {
+                Ok(pos) => self.overflow[pos].1,
+                Err(_) => 0,
+            }
+        }
+    }
+
+    /// Number of keys touched this epoch (including keys whose deltas
+    /// cancelled back to zero).
+    #[inline]
+    pub fn touched_len(&self) -> usize {
+        self.touched.len() + self.overflow.len()
+    }
+
+    /// Visit every entry with a non-zero count, in ascending key order.
+    ///
+    /// Sorts the touched-key list in place (O(t log t) for t touched keys,
+    /// no allocation); overflow keys are all ≥ [`DENSE_LIMIT`] and already
+    /// sorted, so the concatenation is globally ordered.
+    pub fn for_each_sorted(&mut self, mut f: impl FnMut(u32, i64)) {
+        self.touched.sort_unstable();
+        for &key in &self.touched {
+            let v = self.values[key as usize];
+            if v != 0 {
+                f(key, v);
+            }
+        }
+        for &(key, v) in &self.overflow {
+            if v != 0 {
+                f(key, v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect(c: &mut ScratchCounter) -> Vec<(u32, i64)> {
+        let mut out = Vec::new();
+        c.for_each_sorted(|k, v| out.push((k, v)));
+        out
+    }
+
+    #[test]
+    fn accumulates_and_clears() {
+        let mut c = ScratchCounter::new();
+        c.begin();
+        c.add(5, 3);
+        c.add(1, 2);
+        c.add(5, -1);
+        assert_eq!(c.get(5), 2);
+        assert_eq!(c.get(1), 2);
+        assert_eq!(c.get(99), 0);
+        assert_eq!(collect(&mut c), vec![(1, 2), (5, 2)]);
+        c.begin();
+        assert_eq!(c.get(5), 0);
+        assert_eq!(collect(&mut c), vec![]);
+    }
+
+    #[test]
+    fn zero_sum_entries_are_skipped() {
+        let mut c = ScratchCounter::new();
+        c.begin();
+        c.add(7, 4);
+        c.add(7, -4);
+        c.add(2, 1);
+        assert_eq!(c.get(7), 0);
+        assert_eq!(c.touched_len(), 2);
+        assert_eq!(collect(&mut c), vec![(2, 1)]);
+    }
+
+    #[test]
+    fn overflow_keys_merge_sorted_after_dense() {
+        let mut c = ScratchCounter::new();
+        c.begin();
+        c.add(DENSE_LIMIT + 7, 1);
+        c.add(3, 2);
+        c.add(DENSE_LIMIT, 5);
+        c.add(DENSE_LIMIT + 7, 2);
+        assert_eq!(c.get(DENSE_LIMIT + 7), 3);
+        assert_eq!(
+            collect(&mut c),
+            vec![(3, 2), (DENSE_LIMIT, 5), (DENSE_LIMIT + 7, 3)]
+        );
+        c.begin();
+        assert_eq!(c.get(DENSE_LIMIT), 0);
+    }
+
+    #[test]
+    fn epoch_wrap_resets_stamps() {
+        let mut c = ScratchCounter::new();
+        c.begin();
+        c.add(4, 9);
+        c.epoch = u32::MAX; // force the wrap path
+        c.begin();
+        assert_eq!(c.get(4), 0, "stale stamp must not leak across a wrap");
+        c.add(4, 1);
+        assert_eq!(collect(&mut c), vec![(4, 1)]);
+    }
+
+    #[test]
+    fn negative_totals_are_preserved() {
+        let mut c = ScratchCounter::new();
+        c.begin();
+        c.add(10, -5);
+        c.add(10, 2);
+        assert_eq!(c.get(10), -3);
+        assert_eq!(collect(&mut c), vec![(10, -3)]);
+    }
+}

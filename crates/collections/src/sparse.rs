@@ -2,17 +2,28 @@
 //!
 //! A blockmodel row `B[r][·]` holds, for each block `s`, the number of edges
 //! from block `r` to block `s`. Rows shrink as communities merge and mutate
-//! heavily during MCMC, so the representation must support O(1) expected
-//! get/add/sub with removal at zero (keeping iteration proportional to the
-//! number of *non-zero* entries, which the MDL computation walks every
-//! sweep).
-
-use crate::hash::FxHashMap;
+//! heavily during MCMC, so the representation must support cheap get/add/sub
+//! with removal at zero (keeping iteration proportional to the number of
+//! *non-zero* entries, which the MDL computation walks every sweep).
+//!
+//! The row is stored as a vector of `(key, count)` pairs sorted by key.
+//! Blockmodel rows are short (bounded by the current block count, and by a
+//! vertex degree during the singleton stage), so binary search plus a small
+//! `memmove` beats hashing in practice — and, critically, it makes the
+//! representation *canonical*: two rows with the same logical contents are
+//! byte-identical, iteration order is the ascending key order, and every
+//! float summation over a row is a pure function of the logical state. The
+//! incremental-consolidation path relies on this to produce bit-identical
+//! models to a full rebuild.
 
 /// A sparse row of non-negative integer counts keyed by block id.
+///
+/// Entries are kept sorted by key with all counts strictly positive, so the
+/// in-memory representation is canonical and `iter` yields keys in ascending
+/// order.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SparseRow {
-    entries: FxHashMap<u32, u64>,
+    entries: Vec<(u32, u64)>,
     total: u64,
 }
 
@@ -25,15 +36,23 @@ impl SparseRow {
     /// Empty row with capacity for `cap` non-zero entries.
     pub fn with_capacity(cap: usize) -> Self {
         Self {
-            entries: FxHashMap::with_capacity_and_hasher(cap, Default::default()),
+            entries: Vec::with_capacity(cap),
             total: 0,
         }
+    }
+
+    #[inline]
+    fn position(&self, key: u32) -> Result<usize, usize> {
+        self.entries.binary_search_by_key(&key, |&(k, _)| k)
     }
 
     /// Count stored for `key` (zero if absent).
     #[inline]
     pub fn get(&self, key: u32) -> u64 {
-        self.entries.get(&key).copied().unwrap_or(0)
+        match self.position(key) {
+            Ok(idx) => self.entries[idx].1,
+            Err(_) => 0,
+        }
     }
 
     /// Add `amount` to `key`'s count.
@@ -42,7 +61,10 @@ impl SparseRow {
         if amount == 0 {
             return;
         }
-        *self.entries.entry(key).or_insert(0) += amount;
+        match self.position(key) {
+            Ok(idx) => self.entries[idx].1 += amount,
+            Err(idx) => self.entries.insert(idx, (key, amount)),
+        }
         self.total += amount;
     }
 
@@ -56,13 +78,13 @@ impl SparseRow {
         if amount == 0 {
             return;
         }
-        match self.entries.get_mut(&key) {
-            Some(v) if *v > amount => {
-                *v -= amount;
+        match self.position(key) {
+            Ok(idx) if self.entries[idx].1 > amount => {
+                self.entries[idx].1 -= amount;
                 self.total -= amount;
             }
-            Some(v) if *v == amount => {
-                self.entries.remove(&key);
+            Ok(idx) if self.entries[idx].1 == amount => {
+                self.entries.remove(idx);
                 self.total -= amount;
             }
             _ => {
@@ -89,10 +111,10 @@ impl SparseRow {
         self.total
     }
 
-    /// Iterate over `(key, count)` pairs in unspecified order.
+    /// Iterate over `(key, count)` pairs in ascending key order.
     #[inline]
     pub fn iter(&self) -> impl Iterator<Item = (u32, u64)> + '_ {
-        self.entries.iter().map(|(&k, &v)| (k, v))
+        self.entries.iter().copied()
     }
 
     /// Remove all entries.
@@ -116,16 +138,16 @@ impl SparseRow {
         if from == to {
             return;
         }
-        if let Some(v) = self.entries.remove(&from) {
-            *self.entries.entry(to).or_insert(0) += v;
+        if let Ok(idx) = self.position(from) {
+            let (_, v) = self.entries.remove(idx);
+            self.total -= v;
+            self.add(to, v);
         }
     }
 
     /// Collect entries into a sorted vector (stable output for tests/IO).
     pub fn to_sorted_vec(&self) -> Vec<(u32, u64)> {
-        let mut v: Vec<_> = self.iter().collect();
-        v.sort_unstable();
-        v
+        self.entries.clone()
     }
 }
 
@@ -204,6 +226,19 @@ mod tests {
         assert_eq!(row.total(), 5);
         row.relabel(2, 2); // self: noop
         assert_eq!(row.to_sorted_vec(), vec![(2, 5)]);
+    }
+
+    #[test]
+    fn iter_is_sorted_and_canonical() {
+        let a: SparseRow = [(9, 1), (2, 3), (5, 4)].into_iter().collect();
+        let mut b = SparseRow::new();
+        b.add(5, 4);
+        b.add(9, 2);
+        b.sub(9, 1);
+        b.add(2, 3);
+        let keys: Vec<u32> = a.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![2, 5, 9]);
+        assert_eq!(a, b, "same logical contents must be structurally equal");
     }
 
     #[test]

@@ -29,6 +29,31 @@ impl Variant {
     }
 }
 
+/// How the parallel sweep variants fold a sweep's accepted moves back into
+/// the blockmodel at the end of the sweep (batch for A-SBP with
+/// `asbp_batches > 1`).
+///
+/// Both strategies produce byte-identical blockmodels — the sparse rows are
+/// canonical sorted vectors and the incremental path applies exact integer
+/// deltas — so the choice is purely a performance trade-off, made per sweep
+/// by the [`hsbp_timing::CostModel`] crossover in [`Consolidation::Auto`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Consolidation {
+    /// Per-sweep cost-model decision: apply accepted moves via O(degree)
+    /// `apply_move` deltas when that undercuts a full O(E) rebuild.
+    #[default]
+    Auto,
+    /// Always apply moves incrementally (testing/ablation).
+    ForceIncremental,
+    /// Always rebuild from the membership vector — the pre-consolidation
+    /// behaviour (testing/ablation).
+    ForceRebuild,
+    /// Run *both* paths every sweep and error with
+    /// [`crate::HsbpError::StateDrift`] if they disagree (debug harness;
+    /// pays for both).
+    Verify,
+}
+
 /// Full configuration of an SBP run.
 #[derive(Debug, Clone)]
 pub struct SbpConfig {
@@ -82,6 +107,8 @@ pub struct SbpConfig {
     /// state right after this cumulative sweep completes (membership is
     /// left intact, so the next audit must catch it). `None` in production.
     pub inject_drift_at_sweep: Option<usize>,
+    /// End-of-sweep consolidation strategy for the parallel variants.
+    pub consolidation: Consolidation,
     /// Cost model for the simulated-thread accounting.
     pub cost_model: CostModel,
     /// Virtual thread counts tracked by the simulated scheduler.
@@ -108,6 +135,7 @@ impl Default for SbpConfig {
             audit_cadence: 64,
             strict_audit: false,
             inject_drift_at_sweep: None,
+            consolidation: Consolidation::Auto,
             cost_model: CostModel::default(),
             sim_thread_counts: DEFAULT_THREAD_COUNTS.to_vec(),
             sim_chunking: Chunking::Static,

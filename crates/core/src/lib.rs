@@ -49,7 +49,7 @@ pub mod merge;
 pub mod stats;
 
 pub use budget::{CancelToken, RunBudget, RunControl, StopCause};
-pub use config::{SbpConfig, Variant};
+pub use config::{Consolidation, SbpConfig, Variant};
 pub use driver::{run_sbp, run_sbp_budgeted, run_sbp_checked, SbpResult};
 pub use error::HsbpError;
 pub use influence::{asbp_convergence_risk, degree_concentration, degree_gini, AsbpRisk};

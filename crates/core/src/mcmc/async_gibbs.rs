@@ -4,51 +4,59 @@
 //! the start of the sweep (exact asynchronous Gibbs: the Metropolis-Hastings
 //! ratio is still computed, so not every proposal is accepted). Accepted
 //! moves only update a private copy of the membership vector; the blockmodel
-//! is rebuilt from it once at the end — so every worker reads state that is
-//! at most one sweep stale, and no locks are needed anywhere.
+//! is consolidated from it once at the end — incrementally (O(degree)
+//! `apply_move` deltas) when few vertices moved, else via the classic O(E)
+//! rebuild (see [`super::consolidate`]) — so every worker reads state that
+//! is at most one sweep stale, and no locks are needed anywhere.
 //!
 //! With `asbp_batches > 1` the sweep is split into contiguous batches with a
-//! rebuild after each (the "batched A-SBP" extension from the paper's
-//! conclusion): staleness shrinks to a batch, at the cost of more rebuilds.
+//! consolidation after each (the "batched A-SBP" extension from the paper's
+//! conclusion): staleness shrinks to a batch, at the cost of more
+//! consolidations.
 //!
 //! Per-vertex randomness comes from a counter RNG keyed on
 //! `(salt, sweep, vertex)`, making the outcome independent of how rayon
 //! schedules the vertices over threads.
 
-use super::SweepCounters;
+use super::consolidate::consolidate_sweep;
+use super::{PhaseWorkspace, SweepCounters};
 use crate::budget::RunControl;
 use crate::config::SbpConfig;
+use crate::error::HsbpError;
 use crate::stats::RunStats;
 use hsbp_blockmodel::{
-    evaluate_move, propose::accept_move, propose_block, Block, Blockmodel, MoveScratch,
-    NeighborCounts,
+    evaluate_move_with, propose::accept_move, propose_block_frozen, Block, BlockNeighborSampler,
+    Blockmodel, NeighborCounts, ProposalArena,
 };
 use hsbp_collections::SplitMix64;
 use hsbp_graph::{Graph, Vertex};
 use rayon::prelude::*;
 
 /// Evaluate one vertex against the frozen model; `Some(to)` if the move is
-/// accepted. Shared by the A-SBP sweep and H-SBP's parallel tail.
+/// accepted. Shared by the A-SBP sweep and H-SBP's parallel tail. The
+/// caller builds the [`BlockNeighborSampler`] once per frozen model, so
+/// every proposal's block-neighbour draw is O(1) instead of a linear scan.
 #[inline]
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn evaluate_vertex(
     graph: &Graph,
     bm: &Blockmodel,
+    sampler: &BlockNeighborSampler,
     snapshot: &[Block],
     v: Vertex,
     cfg: &SbpConfig,
     salt: u64,
     sweep_idx: u64,
-    scratch: &mut MoveScratch,
+    arena: &mut ProposalArena,
 ) -> Option<Block> {
     let mut rng = SplitMix64::for_item(salt, sweep_idx, u64::from(v));
     let from = snapshot[v as usize];
-    let to = propose_block(graph, bm, snapshot, v, &mut rng);
+    let to = propose_block_frozen(graph, bm, sampler, snapshot, v, &mut rng);
     if to == from {
         return None;
     }
-    let counts = NeighborCounts::gather_with(graph, snapshot, v, scratch);
-    let eval = evaluate_move(bm, from, to, &counts);
+    NeighborCounts::gather_into(graph, snapshot, v, &mut arena.scratch, &mut arena.counts);
+    let eval = evaluate_move_with(bm, from, to, &arena.counts, &mut arena.eval);
     if accept_move(&eval, cfg.beta, &mut rng) {
         Some(to)
     } else {
@@ -71,24 +79,32 @@ pub(crate) fn sweep_stale(
     sweep_idx: u64,
     stats: &mut RunStats,
     parallel_costs: &[f64],
-) -> SweepCounters {
+    ws: &mut PhaseWorkspace,
+) -> Result<SweepCounters, HsbpError> {
     let n = graph.num_vertices();
+    let sweep_no = stats.mcmc_sweeps + 1;
     let mut counters = SweepCounters::default();
     let stale_assignment = eval_model.assignment();
+    let sampler = BlockNeighborSampler::build(eval_model);
+    let pool = &ws.pool;
     let decisions: Vec<Option<Block>> = (0..n)
         .into_par_iter()
-        .map_init(MoveScratch::default, |scratch, v| {
-            evaluate_vertex(
-                graph,
-                eval_model,
-                stale_assignment,
-                v as Vertex,
-                cfg,
-                salt,
-                sweep_idx,
-                scratch,
-            )
-        })
+        .map_init(
+            || pool.lease(),
+            |lease, v| {
+                evaluate_vertex(
+                    graph,
+                    eval_model,
+                    &sampler,
+                    stale_assignment,
+                    v as Vertex,
+                    cfg,
+                    salt,
+                    sweep_idx,
+                    lease,
+                )
+            },
+        )
         .collect();
     counters.proposals += n as u64;
     let mut new_assignment = bm.assignment_snapshot();
@@ -98,13 +114,17 @@ pub(crate) fn sweep_stale(
             counters.accepted += 1;
         }
     }
-    bm.rebuild(graph, new_assignment);
     stats.sim_mcmc.add_parallel(parallel_costs);
-    stats.sim_mcmc.add_parallel_uniform(
-        cfg.cost_model.rebuild_cost(graph.num_edges()),
-        cfg.cost_model.rebuild_serial_fraction,
-    );
-    counters
+    consolidate_sweep(
+        graph,
+        bm,
+        new_assignment,
+        cfg,
+        &mut ws.arena,
+        stats,
+        sweep_no,
+    )?;
+    Ok(counters)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -117,15 +137,18 @@ pub(crate) fn sweep(
     stats: &mut RunStats,
     parallel_costs: &[f64],
     ctrl: &RunControl,
-) -> SweepCounters {
+    ws: &mut PhaseWorkspace,
+) -> Result<SweepCounters, HsbpError> {
     let n = graph.num_vertices();
+    let sweep_no = stats.mcmc_sweeps + 1;
     let mut counters = SweepCounters::default();
     let batches = cfg.asbp_batches.min(n.max(1));
     let batch_len = n.div_ceil(batches.max(1));
 
     for batch in 0..batches {
         // Cancellation checkpoint between batches: each completed batch
-        // ends in a rebuild, so bailing here always leaves exact state.
+        // ends in a consolidation, so bailing here always leaves exact
+        // state.
         if batch > 0 && ctrl.interrupt_cause().is_some() {
             break;
         }
@@ -136,20 +159,26 @@ pub(crate) fn sweep(
         }
         let snapshot = bm.assignment_snapshot();
         let frozen: &Blockmodel = bm;
+        let sampler = BlockNeighborSampler::build(frozen);
+        let pool = &ws.pool;
         let decisions: Vec<Option<Block>> = (start..end)
             .into_par_iter()
-            .map_init(MoveScratch::default, |scratch, v| {
-                evaluate_vertex(
-                    graph,
-                    frozen,
-                    &snapshot,
-                    v as Vertex,
-                    cfg,
-                    salt,
-                    sweep_idx,
-                    scratch,
-                )
-            })
+            .map_init(
+                || pool.lease(),
+                |lease, v| {
+                    evaluate_vertex(
+                        graph,
+                        frozen,
+                        &sampler,
+                        &snapshot,
+                        v as Vertex,
+                        cfg,
+                        salt,
+                        sweep_idx,
+                        lease,
+                    )
+                },
+            )
             .collect();
         counters.proposals += (end - start) as u64;
         let mut new_assignment = snapshot;
@@ -159,15 +188,20 @@ pub(crate) fn sweep(
                 counters.accepted += 1;
             }
         }
-        bm.rebuild(graph, new_assignment);
 
         // Simulated accounting: the proposal loop is the parallel section;
-        // the rebuild is parallelisable up to a serial merge fraction.
+        // the consolidation charges itself (serial move replay or
+        // parallelisable rebuild).
         stats.sim_mcmc.add_parallel(&parallel_costs[start..end]);
-        stats.sim_mcmc.add_parallel_uniform(
-            cfg.cost_model.rebuild_cost(graph.num_edges()),
-            cfg.cost_model.rebuild_serial_fraction,
-        );
+        consolidate_sweep(
+            graph,
+            bm,
+            new_assignment,
+            cfg,
+            &mut ws.arena,
+            stats,
+            sweep_no,
+        )?;
     }
-    counters
+    Ok(counters)
 }

@@ -2,25 +2,36 @@
 //! the algorithm the paper's §2.3/§3.1 discusses and deliberately does
 //! *not* adopt).
 //!
-//! Each of `exact_async_workers` logical workers owns a full clone of the
+//! Each of `exact_async_workers` logical workers owns a full replica of the
 //! blockmodel and processes a contiguous vertex shard serially, applying its
 //! own accepted moves to its *local* replica immediately — so within a
 //! shard the state is perfectly fresh, while other workers' moves stay
-//! invisible until the end-of-sweep consolidation (assignment merge +
-//! global rebuild).
+//! invisible until the end-of-sweep consolidation.
+//!
+//! The replicas are *persistent* across the sweeps of a phase: instead of
+//! re-cloning the global model every sweep, each worker returns its list of
+//! accepted moves, the global model is consolidated from the merged
+//! membership (incremental replay or rebuild, see [`super::consolidate`]),
+//! and every replica folds in the *other* workers' moves as exact integer
+//! deltas. Because the sparse rows are canonical, a synced replica is
+//! byte-identical to the consolidated global model, so the clone cost is
+//! paid only when the pool is (re)seeded — at phase start, after a worker
+//! count change, or after an audit repair invalidates the replicas.
 //!
 //! The paper rejects this design because (a) replicating `B` per worker
 //! costs memory bandwidth on large models and (b) the replicas must be
 //! consolidated anyway; implementing it lets the `ablation exact` target
 //! quantify that trade-off against the paper's snapshot-based A-SBP.
 
-use super::SweepCounters;
+use super::consolidate::consolidate_sweep;
+use super::{PhaseWorkspace, SweepCounters};
 use crate::budget::{RunControl, VERTEX_CHECK_STRIDE};
 use crate::config::SbpConfig;
+use crate::error::HsbpError;
 use crate::stats::RunStats;
 use hsbp_blockmodel::{
-    evaluate_move, propose::accept_move, propose_block, Block, Blockmodel, MoveScratch,
-    NeighborCounts,
+    evaluate_move_with, propose::accept_move, propose_block, Block, Blockmodel, NeighborCounts,
+    ProposalArena,
 };
 use hsbp_collections::SplitMix64;
 use hsbp_graph::{Graph, Vertex};
@@ -36,28 +47,54 @@ pub(crate) fn sweep(
     stats: &mut RunStats,
     parallel_costs: &[f64],
     ctrl: &RunControl,
-) -> SweepCounters {
+    ws: &mut PhaseWorkspace,
+) -> Result<SweepCounters, HsbpError> {
     let n = graph.num_vertices();
+    let sweep_no = stats.mcmc_sweeps + 1;
     let workers = cfg.exact_async_workers.clamp(1, n.max(1));
     let shard_len = n.div_ceil(workers);
-    let frozen: &Blockmodel = bm;
 
-    // Each worker: clone the model, serial MH over its shard with immediate
-    // local updates, return the shard's final labels.
-    let shard_results: Vec<(usize, Vec<Block>, u64)> = (0..workers)
+    // (Re)seed the persistent replica pool when it is empty or stale (phase
+    // start, worker-count change, or invalidation after an audit repair /
+    // injected corruption). Only here is §3.1's replication cost — one full
+    // model copy per worker — actually paid.
+    if ws.replicas.len() != workers {
+        ws.replicas.clear();
+        ws.replicas
+            .extend(std::iter::repeat_with(|| bm.clone()).take(workers));
+        let clone_cost = cfg.cost_model.rebuild_cost(graph.num_edges());
+        stats
+            .sim_mcmc
+            .add_parallel_uniform(workers as f64 * clone_cost, 0.0);
+    }
+    debug_assert_eq!(
+        ws.replicas.first(),
+        Some(&*bm),
+        "EA-SBP replica drifted from the consolidated model"
+    );
+
+    // Each worker: serial MH over its shard against its own replica with
+    // immediate local updates, returning the accepted moves.
+    type ShardResult = (usize, Blockmodel, Vec<(Vertex, Block)>);
+    let locals: Vec<(usize, Blockmodel)> = std::mem::take(&mut ws.replicas)
+        .into_iter()
+        .enumerate()
+        .collect();
+    let pool = &ws.pool;
+    let shard_results: Vec<ShardResult> = locals
         .into_par_iter()
-        .map(|w| {
+        .map(|(w, mut local)| {
             // Both ends clamp to `n`: on tiny graphs trailing workers get an
             // empty shard rather than an out-of-range slice.
             let start = (w * shard_len).min(n);
             let end = ((w + 1) * shard_len).min(n);
-            let mut local = frozen.clone();
-            let mut scratch = MoveScratch::default();
-            let mut accepted = 0u64;
+            let mut lease = pool.lease();
+            let arena: &mut ProposalArena = &mut lease;
+            let mut moves: Vec<(Vertex, Block)> = Vec::new();
             for v in start..end {
                 // Coarse per-worker cancellation checkpoint; each worker
                 // bails with a consistent local replica, and the global
-                // rebuild below still runs.
+                // consolidation below still runs on the partial moves.
                 if ((v - start) as u64).is_multiple_of(VERTEX_CHECK_STRIDE)
                     && v > start
                     && ctrl.interrupt_cause().is_some()
@@ -71,16 +108,20 @@ pub(crate) fn sweep(
                 if to == from {
                     continue;
                 }
-                let counts =
-                    NeighborCounts::gather_with(graph, local.assignment(), v, &mut scratch);
-                let eval = evaluate_move(&local, from, to, &counts);
+                NeighborCounts::gather_into(
+                    graph,
+                    local.assignment(),
+                    v,
+                    &mut arena.scratch,
+                    &mut arena.counts,
+                );
+                let eval = evaluate_move_with(&local, from, to, &arena.counts, &mut arena.eval);
                 if accept_move(&eval, cfg.beta, &mut rng) {
-                    local.apply_move(v, from, to, &counts);
-                    accepted += 1;
+                    local.apply_move(v, from, to, &arena.counts);
+                    moves.push((v, to));
                 }
             }
-            let labels = local.assignment()[start..end].to_vec();
-            (start, labels, accepted)
+            (w, local, moves)
         })
         .collect();
 
@@ -88,24 +129,82 @@ pub(crate) fn sweep(
         proposals: n as u64,
         accepted: 0,
     };
+    let mut all_moves: Vec<(usize, Vertex, Block)> = Vec::new();
     let mut new_assignment = bm.assignment_snapshot();
-    for (start, labels, accepted) in shard_results {
-        counters.accepted += accepted;
-        new_assignment[start..start + labels.len()].copy_from_slice(&labels);
+    for (w, _, moves) in &shard_results {
+        counters.accepted += moves.len() as u64;
+        for &(v, to) in moves {
+            new_assignment[v as usize] = to;
+            all_moves.push((*w, v, to));
+        }
     }
-    bm.rebuild(graph, new_assignment);
 
-    // Simulated accounting: the shard loops parallelise like A-SBP's sweep,
-    // but every worker first pays a full model replication (∝ E) — §3.1's
-    // memory-bandwidth objection — and the usual rebuild follows.
+    // Simulated accounting: the shard loops parallelise like A-SBP's sweep;
+    // the consolidation charges itself below.
     stats.sim_mcmc.add_parallel(parallel_costs);
-    let clone_cost = cfg.cost_model.rebuild_cost(graph.num_edges());
-    stats
-        .sim_mcmc
-        .add_parallel_uniform(workers as f64 * clone_cost, 0.0);
-    stats.sim_mcmc.add_parallel_uniform(
-        cfg.cost_model.rebuild_cost(graph.num_edges()),
-        cfg.cost_model.rebuild_serial_fraction,
-    );
-    counters
+    consolidate_sweep(
+        graph,
+        bm,
+        new_assignment,
+        cfg,
+        &mut ws.arena,
+        stats,
+        sweep_no,
+    )?;
+
+    // Bring every replica up to the consolidated state by folding in the
+    // *other* workers' moves (the worker's own moves are already applied
+    // locally). Exact integer deltas against each replica's own evolving
+    // assignment: the final replica state is a pure function of the merged
+    // membership, hence byte-identical to `bm`. Each replica pays
+    // ~O(moves · degree) — the per-sweep residue of §3.1's consolidation
+    // objection, charged below across all workers.
+    let synced: Vec<(usize, Blockmodel)> = if all_moves.is_empty() {
+        shard_results
+            .into_iter()
+            .map(|(w, local, _)| (w, local))
+            .collect()
+    } else {
+        let sync_cost: f64 = all_moves
+            .iter()
+            .map(|&(_, v, _)| {
+                cfg.cost_model
+                    .consolidation_move_cost(graph.incident_arity(v))
+            })
+            .sum();
+        stats
+            .sim_mcmc
+            .add_parallel_uniform(workers as f64 * sync_cost, 0.0);
+        let all_moves = &all_moves;
+        shard_results
+            .into_par_iter()
+            .map(|(w, mut local, _)| {
+                let mut lease = pool.lease();
+                let arena: &mut ProposalArena = &mut lease;
+                for &(owner, v, to) in all_moves.iter() {
+                    if owner == w {
+                        continue;
+                    }
+                    let from = local.block_of(v);
+                    if from == to {
+                        continue;
+                    }
+                    NeighborCounts::gather_into(
+                        graph,
+                        local.assignment(),
+                        v,
+                        &mut arena.scratch,
+                        &mut arena.counts,
+                    );
+                    local.apply_move(v, from, to, &arena.counts);
+                }
+                (w, local)
+            })
+            .collect()
+    };
+    let mut synced = synced;
+    synced.sort_unstable_by_key(|&(w, _)| w);
+    ws.replicas
+        .extend(synced.into_iter().map(|(_, local)| local));
+    Ok(counters)
 }

@@ -5,16 +5,19 @@
 //! processed first, serially and with immediate blockmodel updates — giving
 //! the high-influence vertices a chance to settle before anyone else reads
 //! the state. The low-degree tail `V⁻` then runs exactly like an A-SBP
-//! sweep against the post-serial snapshot, followed by one rebuild.
+//! sweep against the post-serial snapshot, followed by one consolidation
+//! (incremental move replay or rebuild, see [`super::consolidate`]).
 
 use super::async_gibbs::evaluate_vertex;
-use super::SweepCounters;
+use super::consolidate::consolidate_sweep;
+use super::{PhaseWorkspace, SweepCounters};
 use crate::budget::{RunControl, VERTEX_CHECK_STRIDE};
 use crate::config::SbpConfig;
+use crate::error::HsbpError;
 use crate::stats::RunStats;
 use hsbp_blockmodel::{
-    evaluate_move, propose::accept_move, propose_block, Block, Blockmodel, MoveScratch,
-    NeighborCounts,
+    evaluate_move_with, propose::accept_move, propose_block, Block, BlockNeighborSampler,
+    Blockmodel, NeighborCounts,
 };
 use hsbp_collections::SplitMix64;
 use hsbp_graph::{Graph, Vertex};
@@ -32,36 +35,46 @@ pub(crate) fn sweep(
     stats: &mut RunStats,
     tail_costs: &[f64],
     ctrl: &RunControl,
-) -> SweepCounters {
+    ws: &mut PhaseWorkspace,
+) -> Result<SweepCounters, HsbpError> {
+    let sweep_no = stats.mcmc_sweeps + 1;
     let mut counters = SweepCounters::default();
-    let mut scratch = MoveScratch::default();
 
     // Serial Metropolis-Hastings pass over the influential set V*.
     let mut serial_cost = 0.0;
-    for (i, &v) in order[..vstar_len].iter().enumerate() {
-        // Coarse cancellation checkpoint (see metropolis::sweep); the
-        // interrupted state is a consistent prefix of the serial pass.
-        if (i as u64).is_multiple_of(VERTEX_CHECK_STRIDE)
-            && i > 0
-            && ctrl.interrupt_cause().is_some()
-        {
-            break;
-        }
-        let mut rng = SplitMix64::for_item(salt, sweep_idx, u64::from(v));
-        let from = bm.block_of(v);
-        let to = propose_block(graph, bm, bm.assignment(), v, &mut rng);
-        counters.proposals += 1;
-        let incident = graph.incident_arity(v);
-        serial_cost += cfg.cost_model.proposal_cost(incident);
-        if to == from {
-            continue;
-        }
-        let counts = NeighborCounts::gather_with(graph, bm.assignment(), v, &mut scratch);
-        let eval = evaluate_move(bm, from, to, &counts);
-        if accept_move(&eval, cfg.beta, &mut rng) {
-            bm.apply_move(v, from, to, &counts);
-            serial_cost += cfg.cost_model.update_cost(incident);
-            counters.accepted += 1;
+    {
+        let arena = &mut ws.arena;
+        for (i, &v) in order[..vstar_len].iter().enumerate() {
+            // Coarse cancellation checkpoint (see metropolis::sweep); the
+            // interrupted state is a consistent prefix of the serial pass.
+            if (i as u64).is_multiple_of(VERTEX_CHECK_STRIDE)
+                && i > 0
+                && ctrl.interrupt_cause().is_some()
+            {
+                break;
+            }
+            let mut rng = SplitMix64::for_item(salt, sweep_idx, u64::from(v));
+            let from = bm.block_of(v);
+            let to = propose_block(graph, bm, bm.assignment(), v, &mut rng);
+            counters.proposals += 1;
+            let incident = graph.incident_arity(v);
+            serial_cost += cfg.cost_model.proposal_cost(incident);
+            if to == from {
+                continue;
+            }
+            NeighborCounts::gather_into(
+                graph,
+                bm.assignment(),
+                v,
+                &mut arena.scratch,
+                &mut arena.counts,
+            );
+            let eval = evaluate_move_with(bm, from, to, &arena.counts, &mut arena.eval);
+            if accept_move(&eval, cfg.beta, &mut rng) {
+                bm.apply_move(v, from, to, &arena.counts);
+                serial_cost += cfg.cost_model.update_cost(incident);
+                counters.accepted += 1;
+            }
         }
     }
     stats.sim_mcmc.add_serial(serial_cost);
@@ -73,11 +86,18 @@ pub(crate) fn sweep(
     if !tail.is_empty() && ctrl.interrupt_cause().is_none() {
         let snapshot = bm.assignment_snapshot();
         let frozen: &Blockmodel = bm;
+        let sampler = BlockNeighborSampler::build(frozen);
+        let pool = &ws.pool;
         let decisions: Vec<Option<Block>> = tail
             .par_iter()
-            .map_init(MoveScratch::default, |scratch, &v| {
-                evaluate_vertex(graph, frozen, &snapshot, v, cfg, salt, sweep_idx, scratch)
-            })
+            .map_init(
+                || pool.lease(),
+                |lease, &v| {
+                    evaluate_vertex(
+                        graph, frozen, &sampler, &snapshot, v, cfg, salt, sweep_idx, lease,
+                    )
+                },
+            )
             .collect();
         counters.proposals += tail.len() as u64;
         let mut new_assignment = snapshot;
@@ -87,13 +107,17 @@ pub(crate) fn sweep(
                 counters.accepted += 1;
             }
         }
-        bm.rebuild(graph, new_assignment);
 
         stats.sim_mcmc.add_parallel(tail_costs);
-        stats.sim_mcmc.add_parallel_uniform(
-            cfg.cost_model.rebuild_cost(graph.num_edges()),
-            cfg.cost_model.rebuild_serial_fraction,
-        );
+        consolidate_sweep(
+            graph,
+            bm,
+            new_assignment,
+            cfg,
+            &mut ws.arena,
+            stats,
+            sweep_no,
+        )?;
     }
-    counters
+    Ok(counters)
 }

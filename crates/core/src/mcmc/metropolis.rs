@@ -6,13 +6,16 @@
 use super::SweepCounters;
 use crate::budget::{RunControl, VERTEX_CHECK_STRIDE};
 use crate::config::SbpConfig;
+use crate::error::HsbpError;
 use crate::stats::RunStats;
 use hsbp_blockmodel::{
-    evaluate_move, propose::accept_move, propose_block, Blockmodel, MoveScratch, NeighborCounts,
+    evaluate_move_with, propose::accept_move, propose_block, Blockmodel, NeighborCounts,
+    ProposalArena,
 };
 use hsbp_collections::SplitMix64;
 use hsbp_graph::{Graph, Vertex};
 
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn sweep(
     graph: &Graph,
     bm: &mut Blockmodel,
@@ -21,9 +24,9 @@ pub(crate) fn sweep(
     sweep_idx: u64,
     stats: &mut RunStats,
     ctrl: &RunControl,
-) -> SweepCounters {
+    arena: &mut ProposalArena,
+) -> Result<SweepCounters, HsbpError> {
     let mut counters = SweepCounters::default();
-    let mut scratch = MoveScratch::default();
     let mut serial_cost = 0.0;
     for v in 0..graph.num_vertices() as Vertex {
         // Coarse cancellation checkpoint; every state it leaves behind is a
@@ -40,14 +43,20 @@ pub(crate) fn sweep(
         if to == from {
             continue;
         }
-        let counts = NeighborCounts::gather_with(graph, bm.assignment(), v, &mut scratch);
-        let eval = evaluate_move(bm, from, to, &counts);
+        NeighborCounts::gather_into(
+            graph,
+            bm.assignment(),
+            v,
+            &mut arena.scratch,
+            &mut arena.counts,
+        );
+        let eval = evaluate_move_with(bm, from, to, &arena.counts, &mut arena.eval);
         if accept_move(&eval, cfg.beta, &mut rng) {
-            bm.apply_move(v, from, to, &counts);
+            bm.apply_move(v, from, to, &arena.counts);
             serial_cost += cfg.cost_model.update_cost(incident);
             counters.accepted += 1;
         }
     }
     stats.sim_mcmc.add_serial(serial_cost);
-    counters
+    Ok(counters)
 }

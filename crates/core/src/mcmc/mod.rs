@@ -3,6 +3,7 @@
 //! ΔMDL < t × MDL or x times` loop).
 
 mod async_gibbs;
+mod consolidate;
 mod exact_async;
 mod hybrid;
 mod metropolis;
@@ -11,7 +12,9 @@ use crate::budget::RunControl;
 use crate::config::{SbpConfig, Variant};
 use crate::error::HsbpError;
 use crate::stats::{DriftEvent, RunStats};
-use hsbp_blockmodel::{audit_blockmodel, mdl, repair_blockmodel, Blockmodel};
+use hsbp_blockmodel::{
+    audit_blockmodel, mdl, repair_blockmodel, ArenaPool, Blockmodel, ProposalArena,
+};
 use hsbp_collections::sample::mix_words;
 use hsbp_graph::{stats::vertices_by_degree_desc, Graph, Vertex};
 
@@ -20,6 +23,23 @@ use hsbp_graph::{stats::vertices_by_degree_desc, Graph, Vertex};
 pub(crate) struct SweepCounters {
     pub proposals: u64,
     pub accepted: u64,
+}
+
+/// Reusable per-phase state shared by all sweep variants: the serial-path
+/// proposal arena, the lease pool backing parallel `map_init` workers, and
+/// EA-SBP's persistent model replicas. One workspace per MCMC phase keeps
+/// the steady-state hot path allocation-free without leaking stale replicas
+/// across the merge phases that reshape the model in between.
+#[derive(Debug, Default)]
+pub(crate) struct PhaseWorkspace {
+    /// Arena for the serial sweep paths and the consolidation replay.
+    pub arena: ProposalArena,
+    /// Pool of arenas leased by parallel sweep workers.
+    pub pool: ArenaPool,
+    /// EA-SBP's per-worker model replicas, kept in sync by move deltas.
+    /// Cleared whenever the global model changes behind their back (audit
+    /// repair, injected corruption) so the next sweep reseeds them.
+    pub replicas: Vec<Blockmodel>,
 }
 
 /// Result of one full MCMC phase.
@@ -107,6 +127,7 @@ pub fn run_mcmc_phase_controlled(
     let mut sweeps = 0;
     let mut converged = false;
     let mut truncated = false;
+    let mut ws = PhaseWorkspace::default();
 
     // History of past models for the distributed-staleness emulation (only
     // populated when it is actually consulted).
@@ -123,9 +144,16 @@ pub fn run_mcmc_phase_controlled(
             break;
         }
         let counters = match cfg.variant {
-            Variant::Metropolis => {
-                metropolis::sweep(graph, bm, cfg, salt, sweeps as u64, stats, ctrl)
-            }
+            Variant::Metropolis => metropolis::sweep(
+                graph,
+                bm,
+                cfg,
+                salt,
+                sweeps as u64,
+                stats,
+                ctrl,
+                &mut ws.arena,
+            )?,
             Variant::AsyncGibbs if use_stale => {
                 // Evaluate against the oldest retained model (at most
                 // `staleness` sweeps old), then retire it.
@@ -139,7 +167,8 @@ pub fn run_mcmc_phase_controlled(
                     sweeps as u64,
                     stats,
                     &parallel_costs,
-                );
+                    &mut ws,
+                )?;
                 history.push_back(bm.clone());
                 while history.len() > staleness {
                     history.pop_front();
@@ -155,7 +184,8 @@ pub fn run_mcmc_phase_controlled(
                 stats,
                 &parallel_costs,
                 ctrl,
-            ),
+                &mut ws,
+            )?,
             Variant::ExactAsync => exact_async::sweep(
                 graph,
                 bm,
@@ -165,7 +195,8 @@ pub fn run_mcmc_phase_controlled(
                 stats,
                 &parallel_costs,
                 ctrl,
-            ),
+                &mut ws,
+            )?,
             Variant::Hybrid => hybrid::sweep(
                 graph,
                 bm,
@@ -177,7 +208,8 @@ pub fn run_mcmc_phase_controlled(
                 stats,
                 &parallel_costs,
                 ctrl,
-            ),
+                &mut ws,
+            )?,
         };
         if ctrl.interrupt_cause().is_some() {
             // The sweep may have bailed out part-way; the whole evaluation
@@ -196,6 +228,8 @@ pub fn run_mcmc_phase_controlled(
                 0x4452_4946, // "DRIF"
                 stats.mcmc_sweeps as u64,
             ]));
+            // The replicas no longer match the (corrupted) global model.
+            ws.replicas.clear();
         }
         if cfg.audit_cadence > 0 && stats.mcmc_sweeps.is_multiple_of(cfg.audit_cadence) {
             stats.audits_run += 1;
@@ -207,6 +241,8 @@ pub fn run_mcmc_phase_controlled(
                     });
                 }
                 repair_blockmodel(bm, graph);
+                // Repair rewrote the global model: reseed EA replicas.
+                ws.replicas.clear();
                 stats.drift_events.push(DriftEvent {
                     total_sweep: stats.mcmc_sweeps,
                     phase_index,
@@ -534,6 +570,64 @@ mod tests {
             bm.assignment().to_vec()
         };
         assert_ne!(run(1), run(4));
+    }
+
+    #[test]
+    fn consolidation_modes_are_bit_identical() {
+        // Incremental replay, rebuild and the auto crossover must produce
+        // the same trajectory — the canonical sparse rows make the two
+        // paths byte-identical, and Verify double-checks that per sweep.
+        use crate::config::Consolidation;
+        let (g, _) = planted(25, 3, 121);
+        let wrong: Vec<u32> = (0..g.num_vertices() as u32).map(|v| v % 3).collect();
+        for variant in [Variant::AsyncGibbs, Variant::Hybrid, Variant::ExactAsync] {
+            let run = |mode: Consolidation| {
+                let mut bm = Blockmodel::from_assignment(&g, wrong.clone(), 3);
+                let cfg = SbpConfig {
+                    variant,
+                    seed: 13,
+                    max_sweeps: 6,
+                    mcmc_threshold: 0.0,
+                    consolidation: mode,
+                    ..Default::default()
+                };
+                let mut stats = RunStats::new(&cfg);
+                run_mcmc_phase(&g, &mut bm, &cfg, 0, &mut stats);
+                (bm, stats)
+            };
+            let (inc, inc_stats) = run(Consolidation::ForceIncremental);
+            let (reb, reb_stats) = run(Consolidation::ForceRebuild);
+            let (auto, _) = run(Consolidation::Auto);
+            let (verify, _) = run(Consolidation::Verify);
+            assert_eq!(inc, reb, "{variant:?}: incremental != rebuild");
+            assert_eq!(inc, auto, "{variant:?}: auto diverged");
+            assert_eq!(inc, verify, "{variant:?}: verify diverged");
+            assert!(inc_stats.consolidations_incremental > 0, "{variant:?}");
+            assert_eq!(inc_stats.consolidations_rebuild, 0, "{variant:?}");
+            assert!(reb_stats.consolidations_rebuild > 0, "{variant:?}");
+            assert_eq!(reb_stats.consolidated_moves, 0, "{variant:?}");
+        }
+    }
+
+    #[test]
+    fn auto_consolidation_goes_incremental_once_settled() {
+        // From a converged start almost nothing moves, so the cost-model
+        // crossover must pick the incremental path for the late sweeps.
+        let (g, truth) = planted(30, 3, 131);
+        let mut bm = Blockmodel::from_assignment(&g, truth, 3);
+        let cfg = SbpConfig {
+            variant: Variant::AsyncGibbs,
+            seed: 7,
+            max_sweeps: 6,
+            mcmc_threshold: 0.0,
+            ..Default::default()
+        };
+        let mut stats = RunStats::new(&cfg);
+        run_mcmc_phase(&g, &mut bm, &cfg, 0, &mut stats);
+        assert!(
+            stats.consolidations_incremental > 0,
+            "auto never used the incremental path: {stats:?}"
+        );
     }
 
     #[test]

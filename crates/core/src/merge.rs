@@ -10,7 +10,10 @@
 use crate::budget::RunControl;
 use crate::config::SbpConfig;
 use crate::stats::RunStats;
-use hsbp_blockmodel::{delta_mdl_merge, propose_merge_target, Block, Blockmodel};
+use hsbp_blockmodel::{
+    delta_mdl_merge_with, propose_merge_target_frozen, ArenaPool, Block, BlockNeighborSampler,
+    Blockmodel,
+};
 use hsbp_collections::sample::mix_words;
 use hsbp_collections::SplitMix64;
 use hsbp_graph::Graph;
@@ -70,6 +73,7 @@ pub fn merge_phase_controlled(
     let mut merges_applied = 0;
     let mut truncated = false;
     let mut round: u64 = 0;
+    let pool = ArenaPool::default();
     while bm.num_blocks() > target_blocks {
         if ctrl.interrupt_cause().is_some() {
             truncated = true;
@@ -78,25 +82,33 @@ pub fn merge_phase_controlled(
         let c = bm.num_blocks();
         let salt = mix_words(&[cfg.seed, 0x4d45_5247, phase_index, round]); // "MERG"
         let frozen: &Blockmodel = bm;
+        // The frozen model serves C × merge_proposals_per_block candidate
+        // draws this round: one alias-table build makes each draw O(1), and
+        // pooled eval scratch keeps the ΔMDL computations allocation-free.
+        let sampler = BlockNeighborSampler::build(frozen);
+        let pool = &pool;
 
         // Parallel candidate search: the best (ΔMDL, target) per block.
         let candidates: Vec<Option<(f64, Block, Block)>> = (0..c as Block)
             .into_par_iter()
-            .map(|r| {
-                let mut rng = SplitMix64::for_item(salt, round, u64::from(r));
-                let mut best: Option<(f64, Block, Block)> = None;
-                for _ in 0..cfg.merge_proposals_per_block {
-                    let s = propose_merge_target(frozen, r, &mut rng);
-                    if s == r {
-                        continue;
+            .map_init(
+                || pool.lease(),
+                |lease, r| {
+                    let mut rng = SplitMix64::for_item(salt, round, u64::from(r));
+                    let mut best: Option<(f64, Block, Block)> = None;
+                    for _ in 0..cfg.merge_proposals_per_block {
+                        let s = propose_merge_target_frozen(frozen, &sampler, r, &mut rng);
+                        if s == r {
+                            continue;
+                        }
+                        let delta = delta_mdl_merge_with(frozen, r, s, &mut lease.eval);
+                        if best.is_none_or(|(d, _, _)| delta < d) {
+                            best = Some((delta, r, s));
+                        }
                     }
-                    let delta = delta_mdl_merge(frozen, r, s);
-                    if best.is_none_or(|(d, _, _)| delta < d) {
-                        best = Some((delta, r, s));
-                    }
-                }
-                best
-            })
+                    best
+                },
+            )
             .collect();
 
         // Simulated accounting for the candidate search (parallel over

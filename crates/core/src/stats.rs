@@ -48,6 +48,13 @@ pub struct RunStats {
     pub audits_run: usize,
     /// Drift detections, in the order the audits caught them.
     pub drift_events: Vec<DriftEvent>,
+    /// End-of-sweep consolidations that applied the accepted moves as
+    /// incremental O(degree) deltas (no-move sweeps count here too).
+    pub consolidations_incremental: usize,
+    /// End-of-sweep consolidations that fell back to the O(E) rebuild.
+    pub consolidations_rebuild: usize,
+    /// Accepted moves folded in through the incremental path.
+    pub consolidated_moves: u64,
 }
 
 impl RunStats {
@@ -70,6 +77,9 @@ impl RunStats {
             stop_cause: StopCause::Completed,
             audits_run: 0,
             drift_events: Vec::new(),
+            consolidations_incremental: 0,
+            consolidations_rebuild: 0,
+            consolidated_moves: 0,
         }
     }
 
@@ -108,6 +118,9 @@ mod tests {
         assert_eq!(stats.stop_cause, StopCause::Completed);
         assert_eq!(stats.audits_run, 0);
         assert!(stats.drift_events.is_empty());
+        assert_eq!(stats.consolidations_incremental, 0);
+        assert_eq!(stats.consolidations_rebuild, 0);
+        assert_eq!(stats.consolidated_moves, 0);
     }
 
     #[test]

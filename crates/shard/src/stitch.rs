@@ -194,6 +194,9 @@ fn fold_stats<'a>(stats: &mut RunStats, results: impl Iterator<Item = &'a SbpRes
         stats
             .drift_events
             .extend(result.stats.drift_events.iter().cloned());
+        stats.consolidations_incremental += result.stats.consolidations_incremental;
+        stats.consolidations_rebuild += result.stats.consolidations_rebuild;
+        stats.consolidated_moves += result.stats.consolidated_moves;
     }
 }
 

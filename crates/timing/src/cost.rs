@@ -72,9 +72,35 @@ impl CostModel {
     pub fn rebuild_cost(&self, num_edges: usize) -> f64 {
         self.rebuild_per_edge * num_edges as f64
     }
+
+    /// Cost of folding one accepted move into the blockmodel during
+    /// incremental end-of-sweep consolidation: re-gather the neighbour
+    /// census under the evolving assignment (`propose_per_edge` per
+    /// incident edge, plus the fixed bookkeeping) and apply the O(degree)
+    /// matrix update (`update_per_edge` per incident edge).
+    #[inline]
+    pub fn consolidation_move_cost(&self, incident: usize) -> f64 {
+        self.propose_fixed + (self.propose_per_edge + self.update_per_edge) * incident as f64
+    }
+
+    /// Crossover rule for end-of-sweep consolidation: apply the sweep's
+    /// accepted moves incrementally when their summed
+    /// [`CostModel::consolidation_move_cost`] undercuts a full O(E)
+    /// rebuild, otherwise rebuild. Work units are compared directly (the
+    /// incremental path is serial but barrier-free; the rebuild
+    /// parallelises but touches every edge).
+    #[inline]
+    pub fn prefer_incremental_consolidation(
+        &self,
+        incremental_cost: f64,
+        num_edges: usize,
+    ) -> bool {
+        incremental_cost < self.rebuild_cost(num_edges)
+    }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 
@@ -89,6 +115,22 @@ mod tests {
     fn rebuild_cost_linear_in_edges() {
         let m = CostModel::default();
         assert!((m.rebuild_cost(200) - 2.0 * m.rebuild_cost(100)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn consolidation_crossover_tracks_move_volume() {
+        let m = CostModel::default();
+        // A handful of low-degree moves beats rebuilding a 10k-edge graph…
+        let few: f64 = (0..20).map(|_| m.consolidation_move_cost(8)).sum();
+        assert!(m.prefer_incremental_consolidation(few, 10_000));
+        // …while moving nearly every vertex of a dense graph does not.
+        let many: f64 = (0..5_000).map(|_| m.consolidation_move_cost(8)).sum();
+        assert!(!m.prefer_incremental_consolidation(many, 10_000));
+        // The move cost itself charges both the re-gather and the update.
+        assert!(
+            m.consolidation_move_cost(10)
+                > m.proposal_cost(10) - m.propose_fixed + m.update_cost(10)
+        );
     }
 
     #[test]

@@ -17,6 +17,10 @@
 //! execution-time-breakdown experiment (Fig. 2), which is a ratio and thus
 //! meaningful on any machine.
 
+// Accounting code may panic deliberately on broken invariants, never via a
+// stray `unwrap`/`expect`.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 pub mod cost;
 pub mod sim;
 pub mod timer;

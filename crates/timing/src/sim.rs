@@ -56,11 +56,12 @@ pub fn makespan(costs: &[f64], threads: usize, chunking: Chunking) -> f64 {
             // so a linear scan is fine and avoids float-ordering pitfalls.
             let mut loads = vec![0.0f64; threads];
             for chunk in costs.chunks(chunk_size) {
-                let (idx, _) = loads
-                    .iter()
-                    .enumerate()
-                    .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-                    .unwrap();
+                let mut idx = 0;
+                for (i, load) in loads.iter().enumerate() {
+                    if *load < loads[idx] {
+                        idx = i;
+                    }
+                }
                 loads[idx] += chunk.iter().sum::<f64>();
             }
             loads.into_iter().fold(0.0f64, f64::max)
@@ -162,6 +163,7 @@ impl SimAccumulator {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

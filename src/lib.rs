@@ -59,8 +59,8 @@ pub use hsbp_core as sbp;
 pub use hsbp_shard as shard;
 
 pub use hsbp_core::{
-    run_sbp, run_sbp_budgeted, run_sbp_checked, CancelToken, DriftEvent, HsbpError, McmcOutcome,
-    RunBudget, RunStats, SbpConfig, SbpResult, StopCause, Variant,
+    run_sbp, run_sbp_budgeted, run_sbp_checked, CancelToken, Consolidation, DriftEvent, HsbpError,
+    McmcOutcome, RunBudget, RunStats, SbpConfig, SbpResult, StopCause, Variant,
 };
 pub use hsbp_graph::{Graph, GraphBuilder};
 pub use hsbp_shard::{

@@ -258,10 +258,11 @@ fn injected_drift_is_detected_and_repaired_immediately() {
 fn drift_caught_at_cadence_boundary_recovers_quality() {
     // Corruption at sweep 2, audit every 4 sweeps: sweeps 3–4 run against
     // the drifted state, the audit at sweep 4 repairs it, and the finished
-    // run must land within 0.05 NMI of the uncorrupted one. Metropolis is
-    // the variant whose incremental state persists across sweeps (the
-    // rebuild-based variants self-heal at every sweep boundary), so it is
-    // the one where drift can actually survive to a cadence boundary.
+    // run must land within 0.05 NMI of the uncorrupted one. All variants
+    // now carry incremental state across sweeps (consolidation replays
+    // accepted moves instead of rebuilding once the move count is small),
+    // so drift survives to a cadence boundary everywhere; Metropolis is
+    // simply the most direct such path.
     let (graph, truth) = planted_graph(10);
     let mut clean = SbpConfig::new(Variant::Metropolis, 29);
     clean.audit_cadence = 4;

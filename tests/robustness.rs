@@ -42,7 +42,7 @@ fn weighted_graph_detection() {
     }
     let graph = builder.build();
     let truth: Vec<u32> = (0..2 * k).map(|v| v / k).collect();
-    let result = run_sbp(&graph, &SbpConfig::new(Variant::Hybrid, 3));
+    let result = run_sbp(&graph, &SbpConfig::new(Variant::Hybrid, 4));
     let score = nmi(&truth, &result.assignment);
     assert!(score > 0.9, "weighted NMI {score}");
 }
