@@ -72,8 +72,8 @@ fn parse_args() -> Result<Args, String> {
 
 fn print_report(report: &hsbp_bench::hotpath::HotpathReport) {
     println!(
-        "calibration: {:.3e} splitmix64 ops/s",
-        report.calibration_ops_per_s
+        "calibration: {:.3e} splitmix64 ops/s  (host parallelism {})",
+        report.calibration_ops_per_s, report.host_parallelism
     );
     for g in &report.graphs {
         println!(
@@ -82,8 +82,16 @@ fn print_report(report: &hsbp_bench::hotpath::HotpathReport) {
         );
         for v in &g.variants {
             println!(
-                "  {:<7} {:>9.2} sweeps/s  {:>12.0} proposals/s  accept {:.3}",
-                v.variant, v.sweeps_per_s, v.proposals_per_s, v.acceptance_rate
+                "  {:<7} t={:<2} {:>9.2} sweeps/s  {:>12.0} proposals/s  accept {:.3}  \
+                 eff {:.2}  steals {}  imbalance {:.2}",
+                v.variant,
+                v.threads,
+                v.sweeps_per_s,
+                v.proposals_per_s,
+                v.acceptance_rate,
+                v.parallel_efficiency,
+                v.pool_steals,
+                v.pool_mean_imbalance
             );
         }
     }
@@ -114,10 +122,9 @@ fn run() -> Result<(), String> {
                 ));
             }
             for line in lines {
-                match best
-                    .iter_mut()
-                    .find(|b| b.graph == line.graph && b.variant == line.variant)
-                {
+                match best.iter_mut().find(|b| {
+                    b.graph == line.graph && b.variant == line.variant && b.threads == line.threads
+                }) {
                     Some(b) if line.ratio > b.ratio => *b = line,
                     Some(_) => {}
                     None => best.push(line),
@@ -136,9 +143,10 @@ fn run() -> Result<(), String> {
         let mut regressed = false;
         for line in &best {
             println!(
-                "check {}/{:<7} normalised ratio {:.3} (baseline {:.3e}, current {:.3e}){}",
+                "check {}/{:<7} t={:<2} normalised ratio {:.3} (baseline {:.3e}, current {:.3e}){}",
                 line.graph,
                 line.variant,
+                line.threads,
                 line.ratio,
                 line.baseline_norm,
                 line.current_norm,

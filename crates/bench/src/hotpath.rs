@@ -83,11 +83,33 @@ pub const VARIANTS: [Variant; 4] = [
     Variant::ExactAsync,
 ];
 
-/// Measured throughput of one variant on one graph.
+/// Thread counts a report sweeps. `full` covers the scaling curve; the
+/// seconds-scale smoke/check modes keep CI cost down with the two endpoints
+/// that matter (serial parity and the parallel path). When `HSBP_THREADS`
+/// is pinned in the environment the sweep honours it: `{1, pinned}`,
+/// deduped — CI's matrix legs run exactly the configured width plus the
+/// serial anchor the efficiency column needs.
+pub fn threads_for_mode(mode: &str) -> Vec<usize> {
+    if let Ok(raw) = std::env::var("HSBP_THREADS") {
+        if let Ok(t) = raw.trim().parse::<usize>() {
+            let t = t.max(1);
+            return if t == 1 { vec![1] } else { vec![1, t] };
+        }
+    }
+    match mode {
+        "full" => vec![1, 2, 4, 8],
+        _ => vec![1, 4],
+    }
+}
+
+/// Measured throughput of one variant on one graph at one thread count.
 #[derive(Debug, Clone)]
 pub struct VariantMeasurement {
     /// Paper-style variant name (`SBP`, `A-SBP`, `H-SBP`, `EA-SBP`).
     pub variant: String,
+    /// Worker threads the parallel sections ran with (`SbpConfig::threads`).
+    /// The serial SBP variant is only measured at 1.
+    pub threads: usize,
     /// Timed sweeps per repeat.
     pub sweeps: usize,
     /// Wall-clock seconds of the fastest repeat.
@@ -106,6 +128,19 @@ pub struct VariantMeasurement {
     pub consolidations_rebuild: u64,
     /// Accepted moves replayed through the incremental path (fastest repeat).
     pub consolidated_moves: u64,
+    /// `(sweeps_per_s at this thread count / sweeps_per_s at 1 thread) /
+    /// threads` — 1.0 is perfect scaling. Anchored on the same-variant
+    /// 1-thread run of the same sweep (always measured first).
+    pub parallel_efficiency: f64,
+    /// Pool sections executed during the timed repeats (all repeats, not
+    /// just the fastest — scheduling stats accumulate per measurement).
+    pub pool_sections: u64,
+    /// Chunks executed by a worker other than their home worker.
+    pub pool_steals: u64,
+    /// Worst per-section imbalance: max worker busy-weight / mean.
+    pub pool_max_imbalance: f64,
+    /// Mean per-section imbalance across the timed sections.
+    pub pool_mean_imbalance: f64,
 }
 
 /// All variant measurements for one benchmark graph.
@@ -122,6 +157,14 @@ pub struct GraphMeasurement {
 pub struct HotpathReport {
     pub mode: String,
     pub calibration_ops_per_s: f64,
+    /// Hardware threads the reporting host advertises. Parallel-efficiency
+    /// figures measured with more pool threads than this are exercising the
+    /// scheduler, not the silicon — read them as correctness, not speedup.
+    pub host_parallelism: usize,
+    /// Value of `HSBP_THREADS` in the benchmarking environment, if set.
+    pub hsbp_threads_env: Option<usize>,
+    /// Thread counts this report swept (see [`threads_for_mode`]).
+    pub threads_swept: Vec<usize>,
     pub graphs: Vec<GraphMeasurement>,
 }
 
@@ -146,10 +189,11 @@ pub fn calibration_ops_per_s() -> f64 {
     best
 }
 
-fn bench_config(variant: Variant) -> SbpConfig {
+fn bench_config(variant: Variant, threads: usize) -> SbpConfig {
     SbpConfig {
         variant,
         seed: 7,
+        threads,
         mcmc_threshold: 0.0, // never converge early: fixed sweep counts
         audit_cadence: 0,    // audits are not part of the hot path
         ..Default::default()
@@ -163,10 +207,11 @@ fn timed_sweeps(
     settled: &Blockmodel,
     variant: Variant,
     sweeps: usize,
+    threads: usize,
 ) -> (f64, RunStats) {
     let cfg = SbpConfig {
         max_sweeps: sweeps,
-        ..bench_config(variant)
+        ..bench_config(variant, threads)
     };
     let mut bm = settled.clone();
     let mut stats = RunStats::new(&cfg);
@@ -176,8 +221,8 @@ fn timed_sweeps(
     (elapsed, stats)
 }
 
-/// Measure every variant on one spec'd graph.
-pub fn measure_graph(spec: &HotpathSpec) -> GraphMeasurement {
+/// Measure every variant on one spec'd graph, sweeping `threads`.
+pub fn measure_graph(spec: &HotpathSpec, threads: &[usize]) -> GraphMeasurement {
     let generated = generate(DcsbmConfig {
         num_vertices: spec.vertices,
         num_communities: spec.communities,
@@ -190,43 +235,71 @@ pub fn measure_graph(spec: &HotpathSpec) -> GraphMeasurement {
     for variant in VARIANTS {
         // Settle the chain from the planted truth so the timed sweeps see
         // the steady-state (low-acceptance) regime that dominates long runs.
+        // One settle per variant: sweeps are bit-identical across thread
+        // counts, so every thread point starts from the same state.
         let mut settled =
             Blockmodel::from_assignment(graph, generated.ground_truth.clone(), spec.communities);
         if spec.warmup_sweeps > 0 {
             let cfg = SbpConfig {
                 max_sweeps: spec.warmup_sweeps,
-                ..bench_config(variant)
+                ..bench_config(variant, 1)
             };
             let mut stats = RunStats::new(&cfg);
             run_mcmc_phase(graph, &mut settled, &cfg, 0, &mut stats);
         }
-        let mut best: Option<(f64, RunStats)> = None;
-        for _ in 0..spec.repeats.max(1) {
-            let run = timed_sweeps(graph, &settled, variant, spec.sweeps);
-            if best.as_ref().is_none_or(|b| run.0 < b.0) {
-                best = Some(run);
-            }
-        }
-        let Some((elapsed, stats)) = best else {
-            continue;
+        // The serial SBP variant has no parallel section; sweep it at 1 only.
+        let thread_points: &[usize] = if variant == Variant::Metropolis {
+            &[1]
+        } else {
+            threads
         };
-        let elapsed = elapsed.max(1e-9);
-        let (proposals, accepted) = (stats.proposals, stats.accepted);
-        variants.push(VariantMeasurement {
-            variant: variant.name().to_string(),
-            sweeps: spec.sweeps,
-            elapsed_s: elapsed,
-            sweeps_per_s: spec.sweeps as f64 / elapsed,
-            proposals_per_s: proposals as f64 / elapsed,
-            acceptance_rate: if proposals == 0 {
-                0.0
-            } else {
-                accepted as f64 / proposals as f64
-            },
-            consolidations_incremental: stats.consolidations_incremental as u64,
-            consolidations_rebuild: stats.consolidations_rebuild as u64,
-            consolidated_moves: stats.consolidated_moves,
-        });
+        let mut one_thread_tp: Option<f64> = None;
+        for &t in thread_points {
+            let pool = hsbp_parallel::pool_for(t);
+            pool.reset_stats();
+            let mut best: Option<(f64, RunStats)> = None;
+            for _ in 0..spec.repeats.max(1) {
+                let run = timed_sweeps(graph, &settled, variant, spec.sweeps, t);
+                if best.as_ref().is_none_or(|b| run.0 < b.0) {
+                    best = Some(run);
+                }
+            }
+            let pool_stats = pool.stats();
+            let Some((elapsed, stats)) = best else {
+                continue;
+            };
+            let elapsed = elapsed.max(1e-9);
+            let sweeps_per_s = spec.sweeps as f64 / elapsed;
+            if t == 1 {
+                one_thread_tp = Some(sweeps_per_s);
+            }
+            let parallel_efficiency = match one_thread_tp {
+                Some(base) if base > 0.0 => (sweeps_per_s / base) / t as f64,
+                _ => 0.0,
+            };
+            let (proposals, accepted) = (stats.proposals, stats.accepted);
+            variants.push(VariantMeasurement {
+                variant: variant.name().to_string(),
+                threads: t,
+                sweeps: spec.sweeps,
+                elapsed_s: elapsed,
+                sweeps_per_s,
+                proposals_per_s: proposals as f64 / elapsed,
+                acceptance_rate: if proposals == 0 {
+                    0.0
+                } else {
+                    accepted as f64 / proposals as f64
+                },
+                consolidations_incremental: stats.consolidations_incremental as u64,
+                consolidations_rebuild: stats.consolidations_rebuild as u64,
+                consolidated_moves: stats.consolidated_moves,
+                parallel_efficiency,
+                pool_sections: pool_stats.sections,
+                pool_steals: pool_stats.steals,
+                pool_max_imbalance: pool_stats.max_imbalance,
+                pool_mean_imbalance: pool_stats.mean_imbalance,
+            });
+        }
     }
     GraphMeasurement {
         name: spec.name.to_string(),
@@ -238,10 +311,16 @@ pub fn measure_graph(spec: &HotpathSpec) -> GraphMeasurement {
 
 /// Run the given specs and assemble a report.
 pub fn run_report(mode: &str, specs: &[HotpathSpec]) -> HotpathReport {
+    let threads = threads_for_mode(mode);
     HotpathReport {
         mode: mode.to_string(),
         calibration_ops_per_s: calibration_ops_per_s(),
-        graphs: specs.iter().map(measure_graph).collect(),
+        host_parallelism: std::thread::available_parallelism().map_or(1, usize::from),
+        hsbp_threads_env: std::env::var("HSBP_THREADS")
+            .ok()
+            .and_then(|raw| raw.trim().parse::<usize>().ok()),
+        graphs: specs.iter().map(|s| measure_graph(s, &threads)).collect(),
+        threads_swept: threads,
     }
 }
 
@@ -275,11 +354,28 @@ impl HotpathReport {
     pub fn to_json(&self) -> String {
         let mut s = String::new();
         s.push_str("{\n");
-        s.push_str("  \"schema_version\": 1,\n");
+        s.push_str("  \"schema_version\": 2,\n");
         s.push_str(&format!("  \"mode\": \"{}\",\n", json_escape(&self.mode)));
         s.push_str(&format!(
             "  \"calibration_ops_per_s\": {},\n",
             json_num(self.calibration_ops_per_s)
+        ));
+        s.push_str(&format!(
+            "  \"host_parallelism\": {},\n",
+            self.host_parallelism
+        ));
+        s.push_str(&format!(
+            "  \"hsbp_threads_env\": {},\n",
+            self.hsbp_threads_env
+                .map_or_else(|| "null".to_string(), |t| t.to_string())
+        ));
+        s.push_str(&format!(
+            "  \"threads_swept\": [{}],\n",
+            self.threads_swept
+                .iter()
+                .map(usize::to_string)
+                .collect::<Vec<_>>()
+                .join(", ")
         ));
         s.push_str("  \"graphs\": [\n");
         for (gi, g) in self.graphs.iter().enumerate() {
@@ -294,6 +390,7 @@ impl HotpathReport {
                     "          \"variant\": \"{}\",\n",
                     json_escape(&v.variant)
                 ));
+                s.push_str(&format!("          \"threads\": {},\n", v.threads));
                 s.push_str(&format!("          \"sweeps\": {},\n", v.sweeps));
                 s.push_str(&format!(
                     "          \"elapsed_s\": {},\n",
@@ -320,8 +417,25 @@ impl HotpathReport {
                     v.consolidations_rebuild
                 ));
                 s.push_str(&format!(
-                    "          \"consolidated_moves\": {}\n",
+                    "          \"consolidated_moves\": {},\n",
                     v.consolidated_moves
+                ));
+                s.push_str(&format!(
+                    "          \"parallel_efficiency\": {},\n",
+                    json_num(v.parallel_efficiency)
+                ));
+                s.push_str(&format!(
+                    "          \"pool_sections\": {},\n",
+                    v.pool_sections
+                ));
+                s.push_str(&format!("          \"pool_steals\": {},\n", v.pool_steals));
+                s.push_str(&format!(
+                    "          \"pool_max_imbalance\": {},\n",
+                    json_num(v.pool_max_imbalance)
+                ));
+                s.push_str(&format!(
+                    "          \"pool_mean_imbalance\": {}\n",
+                    json_num(v.pool_mean_imbalance)
                 ));
                 s.push_str("        }");
                 s.push_str(if vi + 1 < g.variants.len() {
@@ -596,6 +710,8 @@ pub fn parse_json(text: &str) -> Result<Json, String> {
 pub struct CheckLine {
     pub graph: String,
     pub variant: String,
+    /// Thread count of the compared measurement.
+    pub threads: usize,
     /// Calibration-normalised throughput in the baseline file.
     pub baseline_norm: f64,
     /// Calibration-normalised throughput of this run.
@@ -605,7 +721,10 @@ pub struct CheckLine {
     pub regressed: bool,
 }
 
-/// Compare `current` against a parsed `baseline` document. Graphs present in
+/// Compare `current` against a parsed `baseline` document. Measurements are
+/// matched on `(graph, variant, threads)`; a schema-1 baseline (no
+/// `threads` field) is treated as all-1-thread, so only the current run's
+/// 1-thread lines compare against it. Graphs or thread points present in
 /// only one of the two reports are skipped (the baseline may carry the full
 /// protocol while CI runs smoke). Returns every comparison made; an empty
 /// result means the baseline had no overlapping graphs, which the caller
@@ -639,10 +758,14 @@ pub fn compare_reports(
             .and_then(Json::as_arr)
             .ok_or_else(|| format!("baseline graph {} missing variants", g.name))?;
         for v in &g.variants {
-            let Some(base_v) = base_variants
-                .iter()
-                .find(|bv| bv.get("variant").and_then(Json::as_str) == Some(v.variant.as_str()))
-            else {
+            let Some(base_v) = base_variants.iter().find(|bv| {
+                bv.get("variant").and_then(Json::as_str) == Some(v.variant.as_str())
+                    && bv
+                        .get("threads")
+                        .and_then(Json::as_f64)
+                        .map_or(1, |t| t as usize)
+                        == v.threads
+            }) else {
                 continue;
             };
             let base_tp = base_v
@@ -659,6 +782,7 @@ pub fn compare_reports(
             lines.push(CheckLine {
                 graph: g.name.clone(),
                 variant: v.variant.clone(),
+                threads: v.threads,
                 baseline_norm,
                 current_norm,
                 ratio,
@@ -679,12 +803,16 @@ mod tests {
         let report = HotpathReport {
             mode: "smoke".into(),
             calibration_ops_per_s: 1.5e8,
+            host_parallelism: 4,
+            hsbp_threads_env: Some(2),
+            threads_swept: vec![1, 4],
             graphs: vec![GraphMeasurement {
                 name: "g".into(),
                 vertices: 10,
                 edges: 20,
                 variants: vec![VariantMeasurement {
                     variant: "SBP".into(),
+                    threads: 4,
                     sweeps: 4,
                     elapsed_s: 0.25,
                     sweeps_per_s: 16.0,
@@ -693,14 +821,35 @@ mod tests {
                     consolidations_incremental: 3,
                     consolidations_rebuild: 1,
                     consolidated_moves: 42,
+                    parallel_efficiency: 0.75,
+                    pool_sections: 9,
+                    pool_steals: 2,
+                    pool_max_imbalance: 1.5,
+                    pool_mean_imbalance: 1.2,
                 }],
             }],
         };
         let parsed = parse_json(&report.to_json()).unwrap();
         assert_eq!(parsed.get("mode").and_then(Json::as_str), Some("smoke"));
+        assert_eq!(
+            parsed.get("schema_version").and_then(Json::as_f64),
+            Some(2.0)
+        );
+        assert_eq!(
+            parsed.get("host_parallelism").and_then(Json::as_f64),
+            Some(4.0)
+        );
+        assert_eq!(
+            parsed.get("hsbp_threads_env").and_then(Json::as_f64),
+            Some(2.0)
+        );
+        let swept = parsed.get("threads_swept").and_then(Json::as_arr).unwrap();
+        assert_eq!(swept.len(), 2);
+        assert_eq!(swept[1].as_f64(), Some(4.0));
         let g = &parsed.get("graphs").and_then(Json::as_arr).unwrap()[0];
         assert_eq!(g.get("vertices").and_then(Json::as_f64), Some(10.0));
         let v = &g.get("variants").and_then(Json::as_arr).unwrap()[0];
+        assert_eq!(v.get("threads").and_then(Json::as_f64), Some(4.0));
         assert_eq!(v.get("sweeps_per_s").and_then(Json::as_f64), Some(16.0));
         assert_eq!(
             v.get("consolidations_incremental").and_then(Json::as_f64),
@@ -710,6 +859,29 @@ mod tests {
             v.get("consolidated_moves").and_then(Json::as_f64),
             Some(42.0)
         );
+        assert_eq!(
+            v.get("parallel_efficiency").and_then(Json::as_f64),
+            Some(0.75)
+        );
+        assert_eq!(v.get("pool_steals").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(
+            v.get("pool_mean_imbalance").and_then(Json::as_f64),
+            Some(1.2)
+        );
+    }
+
+    #[test]
+    fn null_threads_env_serialises_as_json_null() {
+        let report = HotpathReport {
+            mode: "smoke".into(),
+            calibration_ops_per_s: 1.0,
+            host_parallelism: 1,
+            hsbp_threads_env: None,
+            threads_swept: vec![1],
+            graphs: vec![],
+        };
+        let parsed = parse_json(&report.to_json()).unwrap();
+        assert_eq!(parsed.get("hsbp_threads_env"), Some(&Json::Null));
     }
 
     #[test]
@@ -731,25 +903,38 @@ mod tests {
         assert!(parse_json("\"unterminated").is_err());
     }
 
+    fn measurement(variant: &str, threads: usize, tp: f64) -> VariantMeasurement {
+        VariantMeasurement {
+            variant: variant.into(),
+            threads,
+            sweeps: 1,
+            elapsed_s: 1.0 / tp,
+            sweeps_per_s: tp,
+            proposals_per_s: tp,
+            acceptance_rate: 0.0,
+            consolidations_incremental: 0,
+            consolidations_rebuild: 0,
+            consolidated_moves: 0,
+            parallel_efficiency: 1.0,
+            pool_sections: 0,
+            pool_steals: 0,
+            pool_max_imbalance: 0.0,
+            pool_mean_imbalance: 0.0,
+        }
+    }
+
     fn one_line_report(name: &str, variant: &str, tp: f64, calib: f64) -> HotpathReport {
         HotpathReport {
             mode: "smoke".into(),
             calibration_ops_per_s: calib,
+            host_parallelism: 1,
+            hsbp_threads_env: None,
+            threads_swept: vec![1],
             graphs: vec![GraphMeasurement {
                 name: name.into(),
                 vertices: 1,
                 edges: 1,
-                variants: vec![VariantMeasurement {
-                    variant: variant.into(),
-                    sweeps: 1,
-                    elapsed_s: 1.0 / tp,
-                    sweeps_per_s: tp,
-                    proposals_per_s: tp,
-                    acceptance_rate: 0.0,
-                    consolidations_incremental: 0,
-                    consolidations_rebuild: 0,
-                    consolidated_moves: 0,
-                }],
+                variants: vec![measurement(variant, 1, tp)],
             }],
         }
     }
@@ -784,5 +969,66 @@ mod tests {
         let current = one_line_report("g", "SBP", 10.0, 1e8);
         let lines = compare_reports(&current, &base_json, 0.15).unwrap();
         assert!(lines.is_empty());
+    }
+
+    #[test]
+    fn check_matches_on_thread_count() {
+        // Baseline has 1- and 4-thread points with different speeds; each
+        // current line must compare against its own thread count.
+        let mut baseline = one_line_report("g", "A-SBP", 100.0, 1e8);
+        baseline.graphs[0]
+            .variants
+            .push(measurement("A-SBP", 4, 300.0));
+        let base_json = parse_json(&baseline.to_json()).unwrap();
+
+        let mut current = one_line_report("g", "A-SBP", 100.0, 1e8);
+        current.graphs[0]
+            .variants
+            .push(measurement("A-SBP", 4, 290.0));
+        let lines = compare_reports(&current, &base_json, 0.15).unwrap();
+        assert_eq!(lines.len(), 2);
+        let at = |t: usize| lines.iter().find(|l| l.threads == t).unwrap();
+        assert!((at(1).ratio - 1.0).abs() < 1e-9);
+        assert!((at(4).ratio - 290.0 / 300.0).abs() < 1e-9);
+        assert!(!at(4).regressed);
+    }
+
+    #[test]
+    fn check_treats_v1_baseline_as_one_thread() {
+        // A schema-1 baseline has no "threads" field: only the current
+        // report's 1-thread lines compare; other thread points are skipped.
+        let v1 = r#"{
+            "schema_version": 1,
+            "mode": "smoke",
+            "calibration_ops_per_s": 1e8,
+            "graphs": [{
+                "name": "g", "vertices": 1, "edges": 1,
+                "variants": [{"variant": "A-SBP", "sweeps": 1,
+                              "sweeps_per_s": 100.0}]
+            }]
+        }"#;
+        let base_json = parse_json(v1).unwrap();
+        let mut current = one_line_report("g", "A-SBP", 50.0, 1e8);
+        current.graphs[0]
+            .variants
+            .push(measurement("A-SBP", 4, 400.0));
+        let lines = compare_reports(&current, &base_json, 0.15).unwrap();
+        assert_eq!(lines.len(), 1);
+        assert_eq!(lines[0].threads, 1);
+        assert!(lines[0].regressed);
+    }
+
+    #[test]
+    fn thread_sweep_covers_modes() {
+        // Not under HSBP_THREADS here: the suite may run with it set, in
+        // which case the pinned sweep applies to every mode.
+        let full = threads_for_mode("full");
+        let smoke = threads_for_mode("smoke");
+        assert_eq!(full.first(), Some(&1));
+        assert_eq!(smoke.first(), Some(&1));
+        assert!(full.len() >= smoke.len() || std::env::var("HSBP_THREADS").is_ok());
+        for w in [&full, &smoke] {
+            assert!(w.windows(2).all(|p| p[0] < p[1]), "{w:?} not increasing");
+        }
     }
 }

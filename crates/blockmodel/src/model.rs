@@ -3,7 +3,6 @@
 use crate::delta::NeighborCounts;
 use hsbp_collections::SparseRow;
 use hsbp_graph::{Graph, Vertex, Weight};
-use rayon::prelude::*;
 
 /// Block (community) identifier.
 pub type Block = u32;
@@ -151,8 +150,15 @@ impl Blockmodel {
         let n = graph.num_vertices();
         // Fold vertex chunks into partial (rows, d_out, d_in, sizes); column
         // view is derived afterwards from the merged rows (cheaper than
-        // merging two map sets).
-        let chunk = (n / rayon::current_num_threads().max(1)).max(1024);
+        // merging two map sets). Chunk boundaries follow the degree
+        // prefix-sum so each partial scans a similar number of edges; chunk
+        // count stays small because each partial costs O(num_blocks) to
+        // allocate and merge.
+        let pool = hsbp_parallel::global();
+        let target = (n / 1024).clamp(1, pool.num_threads() * 4);
+        let plan = hsbp_parallel::ChunkPlan::from_prefix(n, target, |i| {
+            (graph.incident_prefix(i) + i) as u64
+        });
         struct Partial {
             rows: Vec<SparseRow>,
             d_out: Vec<Weight>,
@@ -160,18 +166,19 @@ impl Blockmodel {
             sizes: Vec<u32>,
         }
         let assignment_ref = &assignment;
-        let mut partials: Vec<Partial> = (0..n)
-            .into_par_iter()
-            .step_by(chunk)
-            .map(|start| {
-                let end = (start + chunk).min(n);
+        let ranges: Vec<std::ops::Range<usize>> =
+            (0..plan.num_chunks()).map(|c| plan.chunk(c)).collect();
+        let mut partials: Vec<Partial> = pool.map_vec(
+            ranges,
+            || (),
+            |(), range| {
                 let mut p = Partial {
                     rows: vec![SparseRow::new(); num_blocks],
                     d_out: vec![0; num_blocks],
                     d_in: vec![0; num_blocks],
                     sizes: vec![0; num_blocks],
                 };
-                for v in start..end {
+                for v in range {
                     let r = assignment_ref[v] as usize;
                     assert!(r < num_blocks, "label {r} >= num_blocks {num_blocks}");
                     p.sizes[r] += 1;
@@ -183,8 +190,8 @@ impl Blockmodel {
                     }
                 }
                 p
-            })
-            .collect();
+            },
+        );
 
         let mut merged = partials.pop().unwrap_or_else(|| Partial {
             rows: vec![SparseRow::new(); num_blocks],

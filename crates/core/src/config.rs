@@ -91,6 +91,11 @@ pub struct SbpConfig {
     pub exact_async_workers: usize,
     /// Master seed; the run is a pure function of `(graph, config)`.
     pub seed: u64,
+    /// OS worker threads for the parallel sweep sections. 0 = auto: the
+    /// `HSBP_THREADS` env var if set, else the host's available parallelism.
+    /// Results are bit-identical across thread counts (per-vertex counter
+    /// RNG + fixed output slots), so this is purely a performance knob.
+    pub threads: usize,
     /// Safety cap on outer (merge + MCMC) iterations.
     pub max_outer_iterations: usize,
     /// Drift-audit cadence in cumulative MCMC sweeps: every `audit_cadence`
@@ -131,6 +136,7 @@ impl Default for SbpConfig {
             asbp_staleness: 1,
             exact_async_workers: 8,
             seed: 0,
+            threads: 0,
             max_outer_iterations: 200,
             audit_cadence: 64,
             strict_audit: false,

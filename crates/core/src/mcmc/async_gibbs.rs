@@ -15,11 +15,12 @@
 //! consolidations.
 //!
 //! Per-vertex randomness comes from a counter RNG keyed on
-//! `(salt, sweep, vertex)`, making the outcome independent of how rayon
-//! schedules the vertices over threads.
+//! `(salt, sweep, vertex)`, making the outcome independent of how the pool
+//! schedules the vertices over threads: every decision lands in a fixed
+//! per-vertex output slot before the single consolidation point.
 
 use super::consolidate::consolidate_sweep;
-use super::{PhaseWorkspace, SweepCounters};
+use super::{degree_plan, PhaseWorkspace, SweepCounters};
 use crate::budget::RunControl;
 use crate::config::SbpConfig;
 use crate::error::HsbpError;
@@ -30,7 +31,7 @@ use hsbp_blockmodel::{
 };
 use hsbp_collections::SplitMix64;
 use hsbp_graph::{Graph, Vertex};
-use rayon::prelude::*;
+use hsbp_parallel::ThreadPool;
 
 /// Evaluate one vertex against the frozen model; `Some(to)` if the move is
 /// accepted. Shared by the A-SBP sweep and H-SBP's parallel tail. The
@@ -79,6 +80,7 @@ pub(crate) fn sweep_stale(
     sweep_idx: u64,
     stats: &mut RunStats,
     parallel_costs: &[f64],
+    exec: &ThreadPool,
     ws: &mut PhaseWorkspace,
 ) -> Result<SweepCounters, HsbpError> {
     let n = graph.num_vertices();
@@ -86,26 +88,21 @@ pub(crate) fn sweep_stale(
     let mut counters = SweepCounters::default();
     let stale_assignment = eval_model.assignment();
     let sampler = BlockNeighborSampler::build(eval_model);
-    let pool = &ws.pool;
-    let decisions: Vec<Option<Block>> = (0..n)
-        .into_par_iter()
-        .map_init(
-            || pool.lease(),
-            |lease, v| {
-                evaluate_vertex(
-                    graph,
-                    eval_model,
-                    &sampler,
-                    stale_assignment,
-                    v as Vertex,
-                    cfg,
-                    salt,
-                    sweep_idx,
-                    lease,
-                )
-            },
-        )
-        .collect();
+    let plan = degree_plan(graph, 0, n, exec.chunk_target());
+    let decisions: Vec<Option<Block>> =
+        exec.map_indexed_resident(&plan, ProposalArena::default, |arena, v| {
+            evaluate_vertex(
+                graph,
+                eval_model,
+                &sampler,
+                stale_assignment,
+                v as Vertex,
+                cfg,
+                salt,
+                sweep_idx,
+                arena,
+            )
+        });
     counters.proposals += n as u64;
     let mut new_assignment = bm.assignment_snapshot();
     for (v, decision) in decisions.into_iter().enumerate() {
@@ -137,6 +134,7 @@ pub(crate) fn sweep(
     stats: &mut RunStats,
     parallel_costs: &[f64],
     ctrl: &RunControl,
+    exec: &ThreadPool,
     ws: &mut PhaseWorkspace,
 ) -> Result<SweepCounters, HsbpError> {
     let n = graph.num_vertices();
@@ -160,26 +158,21 @@ pub(crate) fn sweep(
         let snapshot = bm.assignment_snapshot();
         let frozen: &Blockmodel = bm;
         let sampler = BlockNeighborSampler::build(frozen);
-        let pool = &ws.pool;
-        let decisions: Vec<Option<Block>> = (start..end)
-            .into_par_iter()
-            .map_init(
-                || pool.lease(),
-                |lease, v| {
-                    evaluate_vertex(
-                        graph,
-                        frozen,
-                        &sampler,
-                        &snapshot,
-                        v as Vertex,
-                        cfg,
-                        salt,
-                        sweep_idx,
-                        lease,
-                    )
-                },
-            )
-            .collect();
+        let plan = degree_plan(graph, start, end, exec.chunk_target());
+        let decisions: Vec<Option<Block>> =
+            exec.map_indexed_resident(&plan, ProposalArena::default, |arena, i| {
+                evaluate_vertex(
+                    graph,
+                    frozen,
+                    &sampler,
+                    &snapshot,
+                    (start + i) as Vertex,
+                    cfg,
+                    salt,
+                    sweep_idx,
+                    arena,
+                )
+            });
         counters.proposals += (end - start) as u64;
         let mut new_assignment = snapshot;
         for (offset, decision) in decisions.into_iter().enumerate() {

@@ -35,7 +35,7 @@ use hsbp_blockmodel::{
 };
 use hsbp_collections::SplitMix64;
 use hsbp_graph::{Graph, Vertex};
-use rayon::prelude::*;
+use hsbp_parallel::{with_resident, ThreadPool};
 
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn sweep(
@@ -47,6 +47,7 @@ pub(crate) fn sweep(
     stats: &mut RunStats,
     parallel_costs: &[f64],
     ctrl: &RunControl,
+    exec: &ThreadPool,
     ws: &mut PhaseWorkspace,
 ) -> Result<SweepCounters, HsbpError> {
     let n = graph.num_vertices();
@@ -80,50 +81,50 @@ pub(crate) fn sweep(
         .into_iter()
         .enumerate()
         .collect();
-    let pool = &ws.pool;
-    let shard_results: Vec<ShardResult> = locals
-        .into_par_iter()
-        .map(|(w, mut local)| {
+    let shard_results: Vec<ShardResult> = exec.map_vec(
+        locals,
+        || (),
+        |(), (w, mut local)| {
             // Both ends clamp to `n`: on tiny graphs trailing workers get an
             // empty shard rather than an out-of-range slice.
             let start = (w * shard_len).min(n);
             let end = ((w + 1) * shard_len).min(n);
-            let mut lease = pool.lease();
-            let arena: &mut ProposalArena = &mut lease;
-            let mut moves: Vec<(Vertex, Block)> = Vec::new();
-            for v in start..end {
-                // Coarse per-worker cancellation checkpoint; each worker
-                // bails with a consistent local replica, and the global
-                // consolidation below still runs on the partial moves.
-                if ((v - start) as u64).is_multiple_of(VERTEX_CHECK_STRIDE)
-                    && v > start
-                    && ctrl.interrupt_cause().is_some()
-                {
-                    break;
+            with_resident(ProposalArena::default, |arena| {
+                let mut moves: Vec<(Vertex, Block)> = Vec::new();
+                for v in start..end {
+                    // Coarse per-worker cancellation checkpoint; each worker
+                    // bails with a consistent local replica, and the global
+                    // consolidation below still runs on the partial moves.
+                    if ((v - start) as u64).is_multiple_of(VERTEX_CHECK_STRIDE)
+                        && v > start
+                        && ctrl.interrupt_cause().is_some()
+                    {
+                        break;
+                    }
+                    let v = v as Vertex;
+                    let mut rng = SplitMix64::for_item(salt, sweep_idx, u64::from(v));
+                    let from = local.block_of(v);
+                    let to = propose_block(graph, &local, local.assignment(), v, &mut rng);
+                    if to == from {
+                        continue;
+                    }
+                    NeighborCounts::gather_into(
+                        graph,
+                        local.assignment(),
+                        v,
+                        &mut arena.scratch,
+                        &mut arena.counts,
+                    );
+                    let eval = evaluate_move_with(&local, from, to, &arena.counts, &mut arena.eval);
+                    if accept_move(&eval, cfg.beta, &mut rng) {
+                        local.apply_move(v, from, to, &arena.counts);
+                        moves.push((v, to));
+                    }
                 }
-                let v = v as Vertex;
-                let mut rng = SplitMix64::for_item(salt, sweep_idx, u64::from(v));
-                let from = local.block_of(v);
-                let to = propose_block(graph, &local, local.assignment(), v, &mut rng);
-                if to == from {
-                    continue;
-                }
-                NeighborCounts::gather_into(
-                    graph,
-                    local.assignment(),
-                    v,
-                    &mut arena.scratch,
-                    &mut arena.counts,
-                );
-                let eval = evaluate_move_with(&local, from, to, &arena.counts, &mut arena.eval);
-                if accept_move(&eval, cfg.beta, &mut rng) {
-                    local.apply_move(v, from, to, &arena.counts);
-                    moves.push((v, to));
-                }
-            }
-            (w, local, moves)
-        })
-        .collect();
+                (w, local, moves)
+            })
+        },
+    );
 
     let mut counters = SweepCounters {
         proposals: n as u64,
@@ -176,31 +177,32 @@ pub(crate) fn sweep(
             .sim_mcmc
             .add_parallel_uniform(workers as f64 * sync_cost, 0.0);
         let all_moves = &all_moves;
-        shard_results
-            .into_par_iter()
-            .map(|(w, mut local, _)| {
-                let mut lease = pool.lease();
-                let arena: &mut ProposalArena = &mut lease;
-                for &(owner, v, to) in all_moves.iter() {
-                    if owner == w {
-                        continue;
+        exec.map_vec(
+            shard_results,
+            || (),
+            |(), (w, mut local, _)| {
+                with_resident(ProposalArena::default, |arena| {
+                    for &(owner, v, to) in all_moves.iter() {
+                        if owner == w {
+                            continue;
+                        }
+                        let from = local.block_of(v);
+                        if from == to {
+                            continue;
+                        }
+                        NeighborCounts::gather_into(
+                            graph,
+                            local.assignment(),
+                            v,
+                            &mut arena.scratch,
+                            &mut arena.counts,
+                        );
+                        local.apply_move(v, from, to, &arena.counts);
                     }
-                    let from = local.block_of(v);
-                    if from == to {
-                        continue;
-                    }
-                    NeighborCounts::gather_into(
-                        graph,
-                        local.assignment(),
-                        v,
-                        &mut arena.scratch,
-                        &mut arena.counts,
-                    );
-                    local.apply_move(v, from, to, &arena.counts);
-                }
-                (w, local)
-            })
-            .collect()
+                    (w, local)
+                })
+            },
+        )
     };
     let mut synced = synced;
     synced.sort_unstable_by_key(|&(w, _)| w);

@@ -17,11 +17,11 @@ use crate::error::HsbpError;
 use crate::stats::RunStats;
 use hsbp_blockmodel::{
     evaluate_move_with, propose::accept_move, propose_block, Block, BlockNeighborSampler,
-    Blockmodel, NeighborCounts,
+    Blockmodel, NeighborCounts, ProposalArena,
 };
 use hsbp_collections::SplitMix64;
 use hsbp_graph::{Graph, Vertex};
-use rayon::prelude::*;
+use hsbp_parallel::{ChunkPlan, ThreadPool};
 
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn sweep(
@@ -35,6 +35,8 @@ pub(crate) fn sweep(
     stats: &mut RunStats,
     tail_costs: &[f64],
     ctrl: &RunControl,
+    exec: &ThreadPool,
+    tail_plan: &ChunkPlan,
     ws: &mut PhaseWorkspace,
 ) -> Result<SweepCounters, HsbpError> {
     let sweep_no = stats.mcmc_sweeps + 1;
@@ -87,18 +89,13 @@ pub(crate) fn sweep(
         let snapshot = bm.assignment_snapshot();
         let frozen: &Blockmodel = bm;
         let sampler = BlockNeighborSampler::build(frozen);
-        let pool = &ws.pool;
-        let decisions: Vec<Option<Block>> = tail
-            .par_iter()
-            .map_init(
-                || pool.lease(),
-                |lease, &v| {
-                    evaluate_vertex(
-                        graph, frozen, &sampler, &snapshot, v, cfg, salt, sweep_idx, lease,
-                    )
-                },
-            )
-            .collect();
+        debug_assert_eq!(tail_plan.len(), tail.len());
+        let decisions: Vec<Option<Block>> =
+            exec.map_indexed_resident(tail_plan, ProposalArena::default, |arena, i| {
+                evaluate_vertex(
+                    graph, frozen, &sampler, &snapshot, tail[i], cfg, salt, sweep_idx, arena,
+                )
+            });
         counters.proposals += tail.len() as u64;
         let mut new_assignment = snapshot;
         for (&v, decision) in tail.iter().zip(decisions) {

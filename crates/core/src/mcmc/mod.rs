@@ -12,11 +12,10 @@ use crate::budget::RunControl;
 use crate::config::{SbpConfig, Variant};
 use crate::error::HsbpError;
 use crate::stats::{DriftEvent, RunStats};
-use hsbp_blockmodel::{
-    audit_blockmodel, mdl, repair_blockmodel, ArenaPool, Blockmodel, ProposalArena,
-};
+use hsbp_blockmodel::{audit_blockmodel, mdl, repair_blockmodel, Blockmodel, ProposalArena};
 use hsbp_collections::sample::mix_words;
 use hsbp_graph::{stats::vertices_by_degree_desc, Graph, Vertex};
+use hsbp_parallel::ChunkPlan;
 
 /// Counters returned by a single sweep.
 #[derive(Debug, Clone, Copy, Default)]
@@ -26,20 +25,31 @@ pub(crate) struct SweepCounters {
 }
 
 /// Reusable per-phase state shared by all sweep variants: the serial-path
-/// proposal arena, the lease pool backing parallel `map_init` workers, and
-/// EA-SBP's persistent model replicas. One workspace per MCMC phase keeps
-/// the steady-state hot path allocation-free without leaking stale replicas
-/// across the merge phases that reshape the model in between.
+/// proposal arena and EA-SBP's persistent model replicas. Parallel sweep
+/// workers no longer lease arenas per section — each worker thread holds a
+/// pool-resident [`ProposalArena`] for its lifetime
+/// (see [`hsbp_parallel::with_resident`]). One workspace per MCMC phase
+/// keeps the steady-state hot path allocation-free without leaking stale
+/// replicas across the merge phases that reshape the model in between.
 #[derive(Debug, Default)]
 pub(crate) struct PhaseWorkspace {
     /// Arena for the serial sweep paths and the consolidation replay.
     pub arena: ProposalArena,
-    /// Pool of arenas leased by parallel sweep workers.
-    pub pool: ArenaPool,
     /// EA-SBP's per-worker model replicas, kept in sync by move deltas.
     /// Cleared whenever the global model changes behind their back (audit
     /// repair, injected corruption) so the next sweep reseeds them.
     pub replicas: Vec<Blockmodel>,
+}
+
+/// Degree-weighted chunk plan over the contiguous vertex range
+/// `start..end`: boundaries follow the incident-arity prefix sum (read
+/// straight off the CSR offsets), plus 1 per vertex so zero-degree vertices
+/// still carry their fixed per-proposal cost.
+pub(crate) fn degree_plan(graph: &Graph, start: usize, end: usize, target: usize) -> ChunkPlan {
+    let base = (graph.incident_prefix(start) + start) as u64;
+    ChunkPlan::from_prefix(end - start, target, |i| {
+        (graph.incident_prefix(start + i) + start + i) as u64 - base
+    })
 }
 
 /// Result of one full MCMC phase.
@@ -121,6 +131,20 @@ pub fn run_mcmc_phase_controlled(
         Variant::AsyncGibbs | Variant::ExactAsync => proposal_costs(graph, 0..n as Vertex, cfg),
         Variant::Hybrid => proposal_costs(graph, order[vstar_len..].iter().copied(), cfg),
     };
+    let exec = hsbp_parallel::pool_for(cfg.threads);
+    // Static per-phase chunk plan for H-SBP's permuted tail: the tail order
+    // isn't contiguous in vertex ids, so its per-item weights can't be read
+    // off the CSR prefix directly — build them once (the order is fixed for
+    // the whole phase).
+    let tail_plan = if cfg.variant == Variant::Hybrid {
+        let weights: Vec<u64> = order[vstar_len..]
+            .iter()
+            .map(|&v| graph.incident_arity(v) as u64 + 1)
+            .collect();
+        ChunkPlan::from_costs(&weights, exec.chunk_target())
+    } else {
+        ChunkPlan::even(0, 1)
+    };
 
     let mut previous = mdl::mdl(bm, n, graph.total_weight());
     let mut recent_deltas: Vec<f64> = Vec::with_capacity(3);
@@ -167,6 +191,7 @@ pub fn run_mcmc_phase_controlled(
                     sweeps as u64,
                     stats,
                     &parallel_costs,
+                    exec,
                     &mut ws,
                 )?;
                 history.push_back(bm.clone());
@@ -184,6 +209,7 @@ pub fn run_mcmc_phase_controlled(
                 stats,
                 &parallel_costs,
                 ctrl,
+                exec,
                 &mut ws,
             )?,
             Variant::ExactAsync => exact_async::sweep(
@@ -195,6 +221,7 @@ pub fn run_mcmc_phase_controlled(
                 stats,
                 &parallel_costs,
                 ctrl,
+                exec,
                 &mut ws,
             )?,
             Variant::Hybrid => hybrid::sweep(
@@ -208,6 +235,8 @@ pub fn run_mcmc_phase_controlled(
                 stats,
                 &parallel_costs,
                 ctrl,
+                exec,
+                &tail_plan,
                 &mut ws,
             )?,
         };

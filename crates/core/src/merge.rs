@@ -11,13 +11,13 @@ use crate::budget::RunControl;
 use crate::config::SbpConfig;
 use crate::stats::RunStats;
 use hsbp_blockmodel::{
-    delta_mdl_merge_with, propose_merge_target_frozen, ArenaPool, Block, BlockNeighborSampler,
-    Blockmodel,
+    delta_mdl_merge_with, propose_merge_target_frozen, Block, BlockNeighborSampler, Blockmodel,
+    ProposalArena,
 };
 use hsbp_collections::sample::mix_words;
 use hsbp_collections::SplitMix64;
 use hsbp_graph::Graph;
-use rayon::prelude::*;
+use hsbp_parallel::ChunkPlan;
 
 /// Result of one merge phase.
 #[derive(Debug, Clone, Copy)]
@@ -73,7 +73,7 @@ pub fn merge_phase_controlled(
     let mut merges_applied = 0;
     let mut truncated = false;
     let mut round: u64 = 0;
-    let pool = ArenaPool::default();
+    let exec = hsbp_parallel::pool_for(cfg.threads);
     while bm.num_blocks() > target_blocks {
         if ctrl.interrupt_cause().is_some() {
             truncated = true;
@@ -84,32 +84,34 @@ pub fn merge_phase_controlled(
         let frozen: &Blockmodel = bm;
         // The frozen model serves C × merge_proposals_per_block candidate
         // draws this round: one alias-table build makes each draw O(1), and
-        // pooled eval scratch keeps the ΔMDL computations allocation-free.
+        // pool-resident eval scratch keeps the ΔMDL computations
+        // allocation-free. Candidate cost per block scales with its row/col
+        // occupancy, so chunk boundaries follow that weight — high-degree
+        // blocks no longer serialize a whole equal-count chunk behind them.
         let sampler = BlockNeighborSampler::build(frozen);
-        let pool = &pool;
+        let weights: Vec<u64> = (0..c as Block)
+            .map(|r| (frozen.row(r).nnz() + frozen.col(r).nnz()) as u64 + 1)
+            .collect();
+        let plan = ChunkPlan::from_costs(&weights, exec.chunk_target());
 
         // Parallel candidate search: the best (ΔMDL, target) per block.
-        let candidates: Vec<Option<(f64, Block, Block)>> = (0..c as Block)
-            .into_par_iter()
-            .map_init(
-                || pool.lease(),
-                |lease, r| {
-                    let mut rng = SplitMix64::for_item(salt, round, u64::from(r));
-                    let mut best: Option<(f64, Block, Block)> = None;
-                    for _ in 0..cfg.merge_proposals_per_block {
-                        let s = propose_merge_target_frozen(frozen, &sampler, r, &mut rng);
-                        if s == r {
-                            continue;
-                        }
-                        let delta = delta_mdl_merge_with(frozen, r, s, &mut lease.eval);
-                        if best.is_none_or(|(d, _, _)| delta < d) {
-                            best = Some((delta, r, s));
-                        }
+        let candidates: Vec<Option<(f64, Block, Block)>> =
+            exec.map_indexed_resident(&plan, ProposalArena::default, |arena, idx| {
+                let r = idx as Block;
+                let mut rng = SplitMix64::for_item(salt, round, u64::from(r));
+                let mut best: Option<(f64, Block, Block)> = None;
+                for _ in 0..cfg.merge_proposals_per_block {
+                    let s = propose_merge_target_frozen(frozen, &sampler, r, &mut rng);
+                    if s == r {
+                        continue;
                     }
-                    best
-                },
-            )
-            .collect();
+                    let delta = delta_mdl_merge_with(frozen, r, s, &mut arena.eval);
+                    if best.is_none_or(|(d, _, _)| delta < d) {
+                        best = Some((delta, r, s));
+                    }
+                }
+                best
+            });
 
         // Simulated accounting for the candidate search (parallel over
         // blocks; per-block cost ∝ proposals × incident block-matrix size).

@@ -138,6 +138,17 @@ impl Graph {
         self.out_arity(v) + self.in_arity(v)
     }
 
+    /// Prefix sum of incident arity: total incident edge slots of all
+    /// vertices `< i`, with `incident_prefix(num_vertices)` the grand total.
+    /// O(1) — read straight off the CSR offset arrays. This is the monotone
+    /// cost function degree-aware chunk scheduling uses: per-vertex proposal
+    /// cost is proportional to degree, and the offsets give its prefix sum
+    /// for free.
+    #[inline]
+    pub fn incident_prefix(&self, i: usize) -> usize {
+        self.out_offsets[i] + self.in_offsets[i]
+    }
+
     /// Self-loop weight of `v` (0 if none).
     pub fn self_loop(&self, v: Vertex) -> Weight {
         self.out_edges(v)

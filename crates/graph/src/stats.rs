@@ -2,7 +2,7 @@
 //! to sanity-check generated DCSBM graphs against their target parameters.
 
 use crate::{Graph, Vertex};
-use rayon::prelude::*;
+use hsbp_parallel::ChunkPlan;
 
 /// Summary statistics of a directed graph.
 #[derive(Debug, Clone, PartialEq)]
@@ -30,16 +30,19 @@ pub struct GraphStats {
 }
 
 impl GraphStats {
-    /// Compute statistics; degree scans run in parallel.
+    /// Compute statistics; degree scans run on the persistent worker pool
+    /// with degree-weighted chunks (hubs cost more to scan than leaves).
     pub fn compute(graph: &Graph) -> GraphStats {
         let n = graph.num_vertices();
-        let degrees: Vec<u64> = (0..n as Vertex)
-            .into_par_iter()
-            .map(|v| graph.degree(v))
-            .collect();
-        let self_loops = (0..n as Vertex)
-            .into_par_iter()
-            .filter(|&v| graph.self_loop(v) > 0)
+        let pool = hsbp_parallel::global();
+        let plan = ChunkPlan::from_prefix(n, pool.chunk_target(), |i| {
+            (graph.incident_prefix(i) + i) as u64
+        });
+        let degrees: Vec<u64> = pool.map_indexed(&plan, || (), |(), i| graph.degree(i as Vertex));
+        let self_loops = pool
+            .map_indexed(&plan, || (), |(), i| graph.self_loop(i as Vertex) > 0)
+            .into_iter()
+            .filter(|&l| l)
             .count();
         let min_degree = degrees.iter().copied().min().unwrap_or(0);
         let max_degree = degrees.iter().copied().max().unwrap_or(0);

@@ -1,6 +1,6 @@
 //! Parallel per-shard SBP execution with emulated distributed ranks.
 //!
-//! Each shard is an independent [`hsbp_core::run_sbp`] job; rayon runs them
+//! Each shard is an independent [`hsbp_core::run_sbp`] job; the worker pool runs them
 //! in parallel on the host. For the strong-scaling story the host's core
 //! count does not matter: each shard's run carries `hsbp-timing`'s
 //! simulated cost account, and its **serial** simulated time becomes that
@@ -12,7 +12,6 @@ use crate::{partition::ShardPlan, ShardConfig};
 use hsbp_core::{run_sbp, SbpConfig, SbpResult};
 use hsbp_timing::sim::makespan;
 use hsbp_timing::Chunking;
-use rayon::prelude::*;
 
 /// splitmix64-style word mixer for deriving per-shard seeds.
 pub(crate) fn mix(a: u64, b: u64) -> u64 {
@@ -151,17 +150,18 @@ fn overpartition_iterations(num_vertices: usize, reduction_rate: f64) -> usize {
 ///
 /// Each shard gets its own seed (derived from `cfg.sbp.seed` and the shard
 /// index), so results are deterministic in `(plan, cfg)` regardless of how
-/// rayon schedules the shards. Shards stop their block search early (see
+/// the pool schedules the shards. Shards stop their block search early (see
 /// [`overpartition_iterations`]); the stitch phase finishes the search
 /// globally.
 pub fn run_shards(plan: &ShardPlan, cfg: &ShardConfig) -> (Vec<SbpResult>, EmulatedScaling) {
     let jobs: Vec<(usize, SbpConfig)> = (0..plan.num_shards())
         .map(|s| (s, shard_sbp_config(plan, cfg, s, 1)))
         .collect();
-    let results: Vec<SbpResult> = jobs
-        .into_par_iter()
-        .map(|(s, shard_cfg)| run_sbp(&plan.shards[s].graph, &shard_cfg))
-        .collect();
+    let results: Vec<SbpResult> = hsbp_parallel::global().map_vec(
+        jobs,
+        || (),
+        |(), (s, shard_cfg)| run_sbp(&plan.shards[s].graph, &shard_cfg),
+    );
 
     let (per_shard_cost, per_shard_basis): (Vec<f64>, Vec<CostBasis>) =
         results.iter().map(shard_cost).unzip();

@@ -36,7 +36,7 @@ use crate::ShardConfig;
 use hsbp_blockmodel::Blockmodel;
 use hsbp_core::{run_sbp_budgeted, CancelToken, HsbpError, RunBudget, SbpResult};
 use hsbp_graph::Graph;
-use rayon::prelude::*;
+
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Once;
 use std::time::{Duration, Instant};
@@ -393,9 +393,10 @@ pub fn run_shards_supervised(
     }
 
     let pending: Vec<usize> = (0..k).filter(|&s| resumed[s].is_none()).collect();
-    let fresh: Vec<(usize, Result<_, HsbpError>)> = pending
-        .into_par_iter()
-        .map(|shard| {
+    let fresh: Vec<(usize, Result<_, HsbpError>)> = hsbp_parallel::global().map_vec(
+        pending,
+        || (),
+        |(), shard| {
             let (success, outcome) = supervise_shard(plan, cfg, shard);
             if let (Some((result, cost, basis)), Some(ckpt)) = (&success, checkpoint) {
                 if let Err(e) = ckpt.save_shard(shard, result, *cost, *basis, outcome.attempts) {
@@ -403,8 +404,8 @@ pub fn run_shards_supervised(
                 }
             }
             (shard, Ok((success, outcome)))
-        })
-        .collect();
+        },
+    );
 
     let mut results: Vec<Option<SbpResult>> = (0..k).map(|_| None).collect();
     let mut outcomes: Vec<Option<ShardOutcome>> = (0..k).map(|_| None).collect();

@@ -1,0 +1,99 @@
+//! Thread-count invariance of the full SBP pipeline.
+//!
+//! The contract under test: `SbpConfig::threads` is purely a performance
+//! knob. Every parallel section draws per-item randomness from the counter
+//! RNG (`SplitMix64::for_item`) and writes into a fixed per-item output
+//! slot, with a single serial consolidation point per sweep — so labels,
+//! block counts, final MDL bits and the whole MDL trajectory must be
+//! identical whether the pool runs 1, 2 or 7 workers, and regardless of
+//! how chunks are stolen between them. The same must hold mid-flight:
+//! truncating a run with a sweep budget has to cut every thread count at
+//! the same prefix point.
+
+use hsbp::generator::{generate, DcsbmConfig};
+use hsbp::{
+    run_sbp, run_sbp_budgeted, CancelToken, Graph, RunBudget, SbpConfig, SbpResult, Variant,
+};
+use proptest::prelude::*;
+
+/// 1 = serial anchor, 2 = smallest real pool, 7 = odd width that never
+/// divides the chunk counts evenly (exercises ragged chunk boundaries and
+/// the grab-sharing tail).
+const THREAD_COUNTS: [usize; 3] = [1, 2, 7];
+
+const PARALLEL_VARIANTS: [Variant; 3] = [Variant::AsyncGibbs, Variant::Hybrid, Variant::ExactAsync];
+
+fn planted_graph(seed: u64) -> Graph {
+    generate(DcsbmConfig {
+        num_vertices: 220,
+        num_communities: 4,
+        target_num_edges: 1800,
+        within_between_ratio: 3.0,
+        seed,
+        ..Default::default()
+    })
+    .graph
+}
+
+fn cfg_with(variant: Variant, seed: u64, threads: usize) -> SbpConfig {
+    SbpConfig {
+        variant,
+        seed,
+        threads,
+        max_outer_iterations: 3,
+        ..Default::default()
+    }
+}
+
+fn assert_identical(a: &SbpResult, b: &SbpResult, what: &str) {
+    assert_eq!(a.assignment, b.assignment, "{what}: labels differ");
+    assert_eq!(a.num_blocks, b.num_blocks, "{what}: block counts differ");
+    assert_eq!(
+        a.mdl.total.to_bits(),
+        b.mdl.total.to_bits(),
+        "{what}: final MDL differs in the bits"
+    );
+    assert_eq!(a.trajectory, b.trajectory, "{what}: MDL trajectory differs");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Full pipeline: labels, MDL bits and trajectory are invariant in the
+    /// thread count for every parallel variant.
+    #[test]
+    fn run_sbp_is_thread_count_invariant(seed in 0u64..500, variant_idx in 0usize..3) {
+        let variant = PARALLEL_VARIANTS[variant_idx];
+        let graph = planted_graph(seed);
+        let baseline = run_sbp(&graph, &cfg_with(variant, seed ^ 0x51, 1));
+        for &t in &THREAD_COUNTS[1..] {
+            let other = run_sbp(&graph, &cfg_with(variant, seed ^ 0x51, t));
+            assert_identical(
+                &baseline,
+                &other,
+                &format!("{variant:?} threads=1 vs threads={t}"),
+            );
+        }
+    }
+
+    /// Budget truncation cuts every thread count at the same prefix point:
+    /// the truncated results must also be bit-identical across pools.
+    #[test]
+    fn budget_truncation_is_thread_count_invariant(seed in 0u64..500) {
+        let graph = planted_graph(seed ^ 0xb0b);
+        let budget = RunBudget::unlimited().with_max_total_sweeps(5);
+        let run = |t: usize| -> SbpResult {
+            run_sbp_budgeted(
+                &graph,
+                &cfg_with(Variant::AsyncGibbs, seed ^ 0x77, t),
+                &budget,
+                &CancelToken::new(),
+            )
+            .unwrap_or_else(|e| panic!("budgeted run failed at threads={t}: {e}"))
+        };
+        let baseline = run(1);
+        for &t in &THREAD_COUNTS[1..] {
+            assert_identical(&baseline, &run(t), &format!("budgeted threads=1 vs {t}"));
+        }
+    }
+}

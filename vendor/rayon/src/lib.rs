@@ -3,70 +3,50 @@
 //! The build environment has no access to crates.io, so this vendored crate
 //! implements the subset of rayon's API the workspace uses — `into_par_iter`
 //! on ranges and vectors, `par_iter` on slices, and the `map` / `map_init` /
-//! `filter` / `step_by` / `collect` / `count` adaptors — with *real*
-//! fork-join parallelism over [`std::thread::scope`]. Semantics match rayon
+//! `filter` / `step_by` / `collect` / `count` adaptors. Semantics match rayon
 //! where it matters for this workspace:
 //!
 //! * results are collected **in iteration order**, and
-//! * `map_init` creates one scratch value per worker chunk, never shared.
+//! * `map_init` creates one scratch value per worker, never shared.
 //!
-//! Unlike rayon there is no work-stealing pool: each adaptor chain executes
-//! eagerly, splitting the items into one contiguous chunk per available
-//! core. On a single-core host everything runs inline with no thread
-//! overhead.
+//! Since the `hsbp-parallel` crate landed, this shim is a thin compatibility
+//! wrapper: parallel sections execute on the persistent [`hsbp_parallel`]
+//! worker pool (workers parked between sections, dynamic chunk grab-sharing)
+//! instead of spawning fresh threads per call. Worker panics are re-raised on
+//! the caller with their **original payload**, so a supervisor's
+//! `catch_unwind` sees the real fault. New code should prefer
+//! `hsbp_parallel::ThreadPool` directly (cost-weighted chunk plans, resident
+//! scratch); this wrapper exists so vendored-API callers still compile.
 
 use std::ops::Range;
 
 /// Number of worker threads a parallel section will use (rayon's
-/// `current_num_threads`).
+/// `current_num_threads`). Honours `HSBP_THREADS`.
+#[inline]
 pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism().map_or(1, |n| n.get())
+    hsbp_parallel::configured_threads()
 }
 
-/// Run `f` over `items` in parallel (one contiguous chunk per thread),
-/// preserving order. `init` produces one per-chunk scratch value.
+/// Run `f` over `items` on the persistent pool, preserving order. `init`
+/// produces one per-worker scratch value. Panics from any worker are
+/// re-raised on the caller with the worker's original payload.
+#[inline]
 fn parallel_map<T, U, I, F>(items: Vec<T>, init: impl Fn() -> I + Sync, f: F) -> Vec<U>
 where
     T: Send,
     U: Send,
     F: Fn(&mut I, T) -> U + Sync,
 {
-    let threads = current_num_threads();
-    if threads <= 1 || items.len() < 2 {
+    // Short-circuit before any chunk bookkeeping: the single-thread and
+    // tiny-input paths are hot (per-sweep sections on small shards).
+    if current_num_threads() <= 1 || items.len() < 2 {
         let mut scratch = init();
         return items
             .into_iter()
             .map(|item| f(&mut scratch, item))
             .collect();
     }
-    let chunk_len = items.len().div_ceil(threads);
-    let mut chunks: Vec<Vec<T>> = Vec::new();
-    let mut items = items;
-    while !items.is_empty() {
-        let tail = items.split_off(items.len().min(chunk_len));
-        chunks.push(std::mem::replace(&mut items, tail));
-    }
-    let f = &f;
-    let init = &init;
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|chunk| {
-                scope.spawn(move || {
-                    let mut scratch = init();
-                    chunk
-                        .into_iter()
-                        .map(|item| f(&mut scratch, item))
-                        .collect::<Vec<U>>()
-                })
-            })
-            .collect();
-        let mut out = Vec::new();
-        for handle in handles {
-            out.extend(handle.join().expect("parallel worker panicked"));
-        }
-        out
-    })
+    hsbp_parallel::global().map_vec(items, init, f)
 }
 
 /// An eagerly-evaluated parallel iterator over an owned item buffer.
@@ -76,6 +56,7 @@ pub struct ParIter<T> {
 
 impl<T: Send> ParIter<T> {
     /// Apply `f` to every item in parallel, preserving order.
+    #[inline]
     pub fn map<U: Send, F: Fn(T) -> U + Sync>(self, f: F) -> ParIter<U> {
         ParIter {
             items: parallel_map(self.items, || (), |(), item| f(item)),
@@ -84,6 +65,7 @@ impl<T: Send> ParIter<T> {
 
     /// Like [`ParIter::map`] with a per-worker scratch value created by
     /// `init` (rayon's `map_init`).
+    #[inline]
     pub fn map_init<I, U, N, F>(self, init: N, f: F) -> ParIter<U>
     where
         U: Send,
@@ -96,7 +78,15 @@ impl<T: Send> ParIter<T> {
     }
 
     /// Keep the items matching `predicate` (evaluated in parallel).
+    #[inline]
     pub fn filter<P: Fn(&T) -> bool + Sync>(self, predicate: P) -> ParIter<T> {
+        // Single-thread / tiny inputs: filter in place, no (flag, item)
+        // round-trip through a second buffer.
+        if current_num_threads() <= 1 || self.items.len() < 2 {
+            return ParIter {
+                items: self.items.into_iter().filter(|t| predicate(t)).collect(),
+            };
+        }
         let kept = parallel_map(
             self.items,
             || (),
@@ -115,6 +105,7 @@ impl<T: Send> ParIter<T> {
     }
 
     /// Keep every `step`-th item starting from the first.
+    #[inline]
     pub fn step_by(self, step: usize) -> ParIter<T> {
         assert!(step > 0, "step_by requires a positive step");
         ParIter {
@@ -123,12 +114,14 @@ impl<T: Send> ParIter<T> {
     }
 
     /// Number of items.
+    #[inline]
     pub fn count(self) -> usize {
         self.items.len()
     }
 
     /// Collect into any container buildable from a `Vec` (in practice:
     /// `Vec` itself).
+    #[inline]
     pub fn collect<C: From<Vec<T>>>(self) -> C {
         C::from(self.items)
     }
@@ -144,6 +137,7 @@ pub trait IntoParallelIterator {
 
 impl<T: Send> IntoParallelIterator for Vec<T> {
     type Item = T;
+    #[inline]
     fn into_par_iter(self) -> ParIter<T> {
         ParIter { items: self }
     }
@@ -153,6 +147,7 @@ macro_rules! impl_range_par_iter {
     ($($t:ty),+ $(,)?) => {$(
         impl IntoParallelIterator for Range<$t> {
             type Item = $t;
+            #[inline]
             fn into_par_iter(self) -> ParIter<$t> {
                 ParIter { items: self.collect() }
             }
@@ -173,6 +168,7 @@ pub trait IntoParallelRefIterator<'a> {
 
 impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
     type Item = &'a T;
+    #[inline]
     fn par_iter(&'a self) -> ParIter<&'a T> {
         ParIter {
             items: self.iter().collect(),
@@ -182,6 +178,7 @@ impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
 
 impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
     type Item = &'a T;
+    #[inline]
     fn par_iter(&'a self) -> ParIter<&'a T> {
         ParIter {
             items: self.iter().collect(),
@@ -240,5 +237,32 @@ mod tests {
     #[test]
     fn current_num_threads_positive() {
         assert!(super::current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn panic_payload_surfaces_original_message() {
+        // A worker panic must reach the caller's catch_unwind with its
+        // original payload, not a generic "worker panicked" message — the
+        // shard supervisor's fault classification depends on it.
+        let result = std::panic::catch_unwind(|| {
+            let _: Vec<u32> = (0u32..128)
+                .into_par_iter()
+                .map(|v| {
+                    if v == 77 {
+                        panic!("injected fault in vertex 77");
+                    }
+                    v
+                })
+                .collect();
+        });
+        let payload = match result {
+            Err(p) => p,
+            Ok(()) => panic!("expected the parallel map to panic"),
+        };
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()));
+        assert_eq!(msg.as_deref(), Some("injected fault in vertex 77"));
     }
 }
