@@ -1,0 +1,169 @@
+//! Deterministic, replayable load test for the `hsbp-serve` daemon.
+//!
+//! ```text
+//! bench_serve [--mode smoke|full] [--seed N] [--out PATH]
+//!             [--connect HOST:PORT] [--quit true]
+//! ```
+//!
+//! Without `--connect`, an in-process daemon is spawned on an ephemeral
+//! port, the seeded workload is replayed against it, and it is shut down —
+//! fully self-contained. With `--connect`, the same workload drives an
+//! externally started daemon (what the CI smoke job does against
+//! `hsbp serve`); `--quit true` additionally sends `{"op":"quit"}` at the
+//! end so the daemon exits cleanly.
+//!
+//! The workload is a pure function of `(mode, seed)`: the report's
+//! `workload_fingerprint` hashes every request line, so equal fingerprints
+//! prove byte-identical replays. Results are written to `--out` (default
+//! `BENCH_serve.json`).
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use hsbp_bench::serve::{
+    fingerprint, generate_workload, run_workload, ServeClient, ServeSpec, FULL, SMOKE,
+};
+use hsbp_core::{RunBudget, SbpConfig, Variant};
+use hsbp_graph::Graph;
+use hsbp_serve::{ServeConfig, Server};
+use std::process::ExitCode;
+
+struct Args {
+    mode: String,
+    seed: u64,
+    out: String,
+    connect: Option<String>,
+    quit: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        mode: "smoke".into(),
+        seed: 42,
+        out: "BENCH_serve.json".into(),
+        connect: None,
+        quit: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--mode" => args.mode = value("--mode")?,
+            "--seed" => {
+                let raw = value("--seed")?;
+                args.seed = raw.parse().map_err(|_| format!("invalid --seed '{raw}'"))?;
+            }
+            "--out" => args.out = value("--out")?,
+            "--connect" => args.connect = Some(value("--connect")?),
+            "--quit" => match value("--quit")?.as_str() {
+                "true" => args.quit = true,
+                "false" => args.quit = false,
+                other => return Err(format!("--quit needs true or false, got '{other}'")),
+            },
+            "--help" | "-h" => {
+                return Err(
+                    "usage: bench_serve [--mode smoke|full] [--seed N] [--out PATH] \
+                            [--connect HOST:PORT] [--quit true]"
+                        .into(),
+                )
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(args)
+}
+
+fn spec_for(mode: &str) -> Option<&'static ServeSpec> {
+    match mode {
+        "smoke" => Some(&SMOKE),
+        "full" => Some(&FULL),
+        _ => None,
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let Some(spec) = spec_for(&args.mode) else {
+        eprintln!("unknown --mode '{}': expected smoke|full", args.mode);
+        return ExitCode::from(2);
+    };
+    let workload = generate_workload(spec, args.seed);
+    eprintln!(
+        "workload {}: {} rounds, fingerprint {:016x}",
+        spec.name,
+        workload.rounds.len(),
+        fingerprint(&workload)
+    );
+
+    // In-process daemon unless --connect points at an external one.
+    let (addr, local) = match &args.connect {
+        Some(addr) => (addr.clone(), None),
+        None => {
+            let config = ServeConfig {
+                addr: "127.0.0.1:0".into(),
+                sbp: SbpConfig::new(Variant::Metropolis, args.seed),
+                budget: RunBudget::unlimited(),
+                refine_pause_ms: 0,
+            };
+            let handle = match Server::spawn(config, Graph::from_edges(0, &[])) {
+                Ok(h) => h,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::from(9);
+                }
+            };
+            (handle.local_addr().to_string(), Some(handle))
+        }
+    };
+
+    let report = match run_workload(&addr, spec, args.seed, &workload) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            if let Some(handle) = local {
+                handle.shutdown();
+                handle.join();
+            }
+            return ExitCode::from(9);
+        }
+    };
+
+    if args.quit {
+        match ServeClient::connect(&addr).and_then(|mut c| c.quit()) {
+            Ok(()) => eprintln!("sent quit; daemon shutting down"),
+            Err(e) => {
+                eprintln!("error: quit failed: {e}");
+                return ExitCode::from(9);
+            }
+        }
+    }
+    if let Some(handle) = local {
+        handle.shutdown();
+        handle.join();
+    }
+
+    eprintln!(
+        "reads {} (p50 {:.1} µs, p99 {:.1} µs)  mutations {} ({:.0}/s)  \
+         mid-refinement reads {}  cancellations {}  drift repairs {}  epoch {}",
+        report.reads,
+        report.read_p50_us,
+        report.read_p99_us,
+        report.mutations,
+        report.mutations_per_s,
+        report.mid_refinement_reads,
+        report.cancellations,
+        report.drift_repairs,
+        report.final_epoch
+    );
+    if let Err(e) = std::fs::write(&args.out, report.to_json()) {
+        eprintln!("cannot write {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+    eprintln!("report written to {}", args.out);
+    ExitCode::SUCCESS
+}

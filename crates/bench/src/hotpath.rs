@@ -23,6 +23,11 @@ use hsbp_core::{run_mcmc_phase, RunStats, SbpConfig, Variant};
 use hsbp_generator::{generate, DcsbmConfig};
 use std::time::Instant;
 
+/// Schema version of `BENCH_mcmc.json`. Bumped on any incompatible change
+/// to the report shape; reported by `hsbp version` so replay tooling can
+/// detect mismatched baselines.
+pub const BENCH_MCMC_SCHEMA_VERSION: u32 = 2;
+
 /// One benchmark graph + sweep protocol.
 #[derive(Debug, Clone, Copy)]
 pub struct HotpathSpec {
@@ -354,7 +359,9 @@ impl HotpathReport {
     pub fn to_json(&self) -> String {
         let mut s = String::new();
         s.push_str("{\n");
-        s.push_str("  \"schema_version\": 2,\n");
+        s.push_str(&format!(
+            "  \"schema_version\": {BENCH_MCMC_SCHEMA_VERSION},\n"
+        ));
         s.push_str(&format!("  \"mode\": \"{}\",\n", json_escape(&self.mode)));
         s.push_str(&format!(
             "  \"calibration_ops_per_s\": {},\n",

@@ -21,5 +21,6 @@ pub mod hotpath;
 pub mod plot;
 pub mod report;
 pub mod runner;
+pub mod serve;
 
 pub use runner::{ExperimentContext, RealRun, SyntheticRun};

@@ -60,6 +60,15 @@ pub enum HsbpError {
         /// Which invariant failed.
         message: String,
     },
+    /// A network endpoint failed: the serve listener could not bind, a
+    /// connection died mid-request, or a harness client could not reach the
+    /// daemon.
+    Network {
+        /// Address involved (bind address or peer), when known.
+        addr: String,
+        /// What went wrong, including the OS error text.
+        message: String,
+    },
     /// A strict-mode drift audit found the incrementally-maintained
     /// blockmodel diverging from the state implied by the membership
     /// vector. In repair mode the same divergence is fixed in place and
@@ -104,6 +113,9 @@ impl std::fmt::Display for HsbpError {
             }
             HsbpError::InvariantViolation { shard, message } => {
                 write!(f, "shard {shard} produced an invalid result: {message}")
+            }
+            HsbpError::Network { addr, message } => {
+                write!(f, "network error on {addr}: {message}")
             }
             HsbpError::StateDrift { sweep, detail } => {
                 write!(f, "state drift detected at sweep {sweep}: {detail}")
@@ -180,6 +192,10 @@ mod tests {
             HsbpError::InvariantViolation {
                 shard: 1,
                 message: "block id 9 out of range".into(),
+            },
+            HsbpError::Network {
+                addr: "127.0.0.1:7474".into(),
+                message: "address already in use".into(),
             },
             HsbpError::StateDrift {
                 sweep: 128,

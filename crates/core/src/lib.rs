@@ -46,6 +46,7 @@ pub mod error;
 pub mod influence;
 pub mod mcmc;
 pub mod merge;
+pub mod refine;
 pub mod stats;
 
 pub use budget::{CancelToken, RunBudget, RunControl, StopCause};
@@ -55,4 +56,5 @@ pub use error::HsbpError;
 pub use influence::{asbp_convergence_risk, degree_concentration, degree_gini, AsbpRisk};
 pub use mcmc::{run_mcmc_phase, run_mcmc_phase_controlled, McmcOutcome};
 pub use merge::{merge_phase, merge_phase_controlled, MergeOutcome};
+pub use refine::{expand_dirty_region, extend_assignment, refine_partition, RefineOutcome};
 pub use stats::{DriftEvent, RunStats};

@@ -1,0 +1,171 @@
+//! Property tests for warm-started dirty-region refinement: after an
+//! arbitrary mutation batch, the incremental resweep must land within
+//! tolerance of a cold full re-run on the same mutated graph — and a
+//! budget-truncated resweep must still leave a valid, consistent partition.
+
+use hsbp_blockmodel::{mdl, Blockmodel};
+use hsbp_core::{refine_partition, run_sbp, CancelToken, RunBudget, SbpConfig, StopCause, Variant};
+use hsbp_graph::{Graph, GraphBuilder, Vertex};
+use proptest::prelude::*;
+
+/// A planted 3-community DCSBM-ish graph plus the planted labels.
+fn arb_planted() -> impl Strategy<Value = (Graph, Vec<u32>)> {
+    (12usize..30, any::<u64>()).prop_map(|(per, seed)| {
+        let n = per * 3;
+        let mut state = seed | 1;
+        let mut rnd = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        let mut edges = Vec::new();
+        for u in 0..n {
+            let gu = u / per;
+            for _ in 0..5 {
+                let v = if rnd() % 10 < 8 {
+                    gu * per + rnd() % per
+                } else {
+                    rnd() % n
+                };
+                if v != u {
+                    edges.push((u as u32, v as u32));
+                }
+            }
+        }
+        let truth: Vec<u32> = (0..n as u32).map(|v| v / per as u32).collect();
+        (Graph::from_edges(n, &edges), truth)
+    })
+}
+
+/// Apply a deterministic mutation batch (edge additions, removals, and a
+/// vertex growth) to `g`, returning the mutated graph and the touched
+/// vertices.
+fn mutate(g: &Graph, salt: u64, grow: usize) -> (Graph, Vec<Vertex>) {
+    let n = g.num_vertices();
+    let mut state = salt | 1;
+    let mut rnd = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as usize
+    };
+    let mut dirty = Vec::new();
+    let mut b = GraphBuilder::new(n + grow);
+    // Drop ~10% of existing edges, keep the rest.
+    for (u, v, w) in g.edges() {
+        if rnd() % 10 == 0 {
+            dirty.push(u);
+            dirty.push(v);
+        } else {
+            b.add_edge_weighted(u, v, w);
+        }
+    }
+    // Add fresh edges, including wiring for the grown vertices.
+    for _ in 0..(n / 4).max(2) {
+        let u = rnd() % (n + grow);
+        let v = rnd() % (n + grow);
+        if u != v {
+            b.add_edge(u as Vertex, v as Vertex);
+            dirty.push(u as Vertex);
+            dirty.push(v as Vertex);
+        }
+    }
+    for x in 0..grow {
+        let t = rnd() % n;
+        b.add_edge((n + x) as Vertex, t as Vertex);
+        dirty.push(t as Vertex);
+    }
+    (b.build(), dirty)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Incremental dirty-region resweep after a mutation batch reaches an
+    /// MDL within tolerance of a cold full re-run on the mutated graph.
+    #[test]
+    fn warm_resweep_tracks_cold_rerun(
+        (g, truth) in arb_planted(),
+        salt in any::<u64>(),
+        seed in any::<u64>(),
+        grow in 0usize..4,
+    ) {
+        let (mutated, dirty) = mutate(&g, salt, grow);
+        let cfg = SbpConfig {
+            variant: Variant::Metropolis,
+            seed,
+            ..Default::default()
+        };
+        let warm = refine_partition(
+            &mutated, &truth, 3, &dirty, &cfg,
+            &RunBudget::unlimited(), &CancelToken::new(),
+        ).unwrap();
+        let cold = run_sbp(&mutated, &cfg);
+        // The cold run re-searches the block count from scratch; the warm
+        // resweep only polishes the dirty region. Tolerance: within 25% of
+        // the cold MDL (and never a catastrophic blow-up).
+        prop_assert!(
+            warm.mdl.total <= cold.mdl.total.abs() * 0.25 + cold.mdl.total,
+            "warm MDL {} vs cold {} (dirty {} of {})",
+            warm.mdl.total, cold.mdl.total, warm.dirty_vertices,
+            mutated.num_vertices(),
+        );
+        // And the result is a genuine partition of the mutated graph.
+        prop_assert_eq!(warm.assignment.len(), mutated.num_vertices());
+        let bm = Blockmodel::from_assignment(&mutated, warm.assignment.clone(), warm.num_blocks);
+        prop_assert!(bm.check_consistency(&mutated).is_ok());
+        let recomputed = mdl::mdl(&bm, mutated.num_vertices(), mutated.total_weight()).total;
+        prop_assert!((recomputed - warm.mdl.total).abs() < 1e-6);
+    }
+
+    /// Budget truncation mid-resweep still returns a consistent partition
+    /// with every label in range, and flags the truncation.
+    #[test]
+    fn truncated_resweep_stays_consistent(
+        (g, truth) in arb_planted(),
+        salt in any::<u64>(),
+        seed in any::<u64>(),
+        cap in 1usize..3,
+    ) {
+        let (mutated, dirty) = mutate(&g, salt, 2);
+        let cfg = SbpConfig {
+            variant: Variant::Metropolis,
+            seed,
+            mcmc_threshold: 0.0, // never converge naturally
+            ..Default::default()
+        };
+        let budget = RunBudget::unlimited().with_max_total_sweeps(cap);
+        let out = refine_partition(
+            &mutated, &truth, 3, &dirty, &cfg, &budget, &CancelToken::new(),
+        ).unwrap();
+        prop_assert!(out.truncated);
+        prop_assert_eq!(out.stats.stop_cause, StopCause::SweepBudgetExhausted);
+        prop_assert!(out.sweeps <= cap);
+        prop_assert_eq!(out.assignment.len(), mutated.num_vertices());
+        prop_assert!(out.assignment.iter().all(|&b| (b as usize) < out.num_blocks));
+        let bm = Blockmodel::from_assignment(&mutated, out.assignment.clone(), out.num_blocks);
+        prop_assert!(bm.check_consistency(&mutated).is_ok());
+    }
+
+    /// Determinism: the same (graph, warm, dirty, cfg) always produces the
+    /// same refined partition, regardless of how often it runs.
+    #[test]
+    fn resweep_is_deterministic(
+        (g, truth) in arb_planted(),
+        salt in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        let (mutated, dirty) = mutate(&g, salt, 1);
+        let cfg = SbpConfig { variant: Variant::Metropolis, seed, ..Default::default() };
+        let run = || refine_partition(
+            &mutated, &truth, 3, &dirty, &cfg,
+            &RunBudget::unlimited(), &CancelToken::new(),
+        ).unwrap();
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.assignment, b.assignment);
+        prop_assert_eq!(a.num_blocks, b.num_blocks);
+        prop_assert!((a.mdl.total - b.mdl.total).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,41 @@
+//! # hsbp-serve — resident community detection over an evolving graph
+//!
+//! The paper's algorithms are batch runs; this crate turns them into a
+//! long-lived daemon. A std-only TCP server speaks line-delimited JSON
+//! (one request object in, one response object out) and owns a graph plus
+//! its blockmodel behind an epoch-swapped state handle:
+//!
+//! * **mutations** (`add_edges`, `remove_edges`, `add_vertices`,
+//!   `remove_vertex`) are batched through a [`MutationLog`];
+//! * **reads** (`membership`, `block_stats`, `mdl`, `status`) are answered
+//!   from the latest immutable [`Snapshot`] — concurrently with, and
+//!   unblocked by, refinement;
+//! * a **background refinement driver** warm-starts from the current
+//!   partition and re-sweeps only the dirty region a batch touched
+//!   ([`hsbp_core::refine_partition`]), under a [`hsbp_core::RunBudget`],
+//!   cooperatively cancelled the moment a newer batch lands.
+//!
+//! ```no_run
+//! use hsbp_serve::{Server, ServeConfig};
+//! use hsbp_graph::Graph;
+//!
+//! let handle = Server::spawn(ServeConfig::default(), Graph::from_edges(0, &[]))?;
+//! println!("listening on {}", handle.local_addr());
+//! handle.join();
+//! # Ok::<(), hsbp_core::HsbpError>(())
+//! ```
+
+// Serving path: no stray unwraps — every socket and lock failure must map
+// to a typed error or a degraded-but-alive behaviour.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+pub mod json;
+pub mod mutlog;
+pub mod protocol;
+pub mod server;
+pub mod state;
+
+pub use mutlog::MutationLog;
+pub use protocol::{Request, BENCH_SERVE_SCHEMA_VERSION, PROTOCOL_VERSION};
+pub use server::{ServeConfig, Server, ServerHandle};
+pub use state::{BlockStats, EvolvingGraph, Mutation, Snapshot, StateHandle};

@@ -1,0 +1,205 @@
+//! The mutation log: the rendezvous between connection threads (producers)
+//! and the refinement driver (the single consumer).
+//!
+//! Appending a batch bumps the sequence counter, **cancels the in-flight
+//! refinement token** (so the driver abandons the now-stale round within
+//! one `VERTEX_CHECK_STRIDE` of proposals), and wakes the driver. `flush`
+//! support: any thread can block until a given sequence number has been
+//! folded into a published snapshot.
+
+use hsbp_core::CancelToken;
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+use crate::state::Mutation;
+
+#[derive(Debug, Default)]
+struct LogInner {
+    queue: Vec<Mutation>,
+    /// Highest sequence number handed out to an enqueued batch.
+    seq_enqueued: u64,
+    /// Highest sequence number folded into a published snapshot.
+    seq_applied: u64,
+    /// Token guarding the refinement round currently in flight, if any.
+    active_token: Option<CancelToken>,
+    /// Rounds interrupted by a newer batch (served as `status.cancellations`).
+    cancellations: u64,
+    /// True once the server is shutting down; wakes every waiter.
+    closed: bool,
+}
+
+/// Shared mutation log (wrap in `Arc`).
+#[derive(Debug, Default)]
+pub struct MutationLog {
+    inner: Mutex<LogInner>,
+    cond: Condvar,
+}
+
+impl MutationLog {
+    /// Fresh, empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, LogInner> {
+        match self.inner.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Enqueue a batch; returns its sequence number. Cancels any refinement
+    /// round in flight so the driver restarts against the newest topology.
+    pub fn append(&self, batch: Vec<Mutation>) -> u64 {
+        let mut inner = self.lock();
+        inner.queue.extend(batch);
+        inner.seq_enqueued += 1;
+        if let Some(token) = inner.active_token.take() {
+            if !token.is_cancelled() {
+                token.cancel();
+                inner.cancellations += 1;
+            }
+        }
+        let seq = inner.seq_enqueued;
+        self.cond.notify_all();
+        seq
+    }
+
+    /// Driver: block until mutations are pending (or the log closes).
+    /// Returns the drained batch and the sequence number the resulting
+    /// snapshot will satisfy, or `None` on shutdown with an empty queue.
+    pub fn wait_drain(&self) -> Option<(Vec<Mutation>, u64)> {
+        let mut inner = self.lock();
+        loop {
+            if !inner.queue.is_empty() {
+                let batch = std::mem::take(&mut inner.queue);
+                return Some((batch, inner.seq_enqueued));
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = match self.cond.wait_timeout(inner, Duration::from_millis(200)) {
+                Ok((guard, _)) => guard,
+                Err(poisoned) => poisoned.into_inner().0,
+            };
+        }
+    }
+
+    /// Driver: register the token guarding the round about to run, so a
+    /// later `append` can cancel it. Returns false when a batch raced in
+    /// after the drain — the round is stale before it starts, skip it.
+    pub fn arm(&self, token: &CancelToken) -> bool {
+        let mut inner = self.lock();
+        if !inner.queue.is_empty() {
+            return false;
+        }
+        inner.active_token = Some(token.clone());
+        true
+    }
+
+    /// Driver: the round finished (published or abandoned); disarm.
+    pub fn disarm(&self) {
+        self.lock().active_token = None;
+    }
+
+    /// Driver: a snapshot covering everything up to `seq` was published.
+    pub fn mark_applied(&self, seq: u64) {
+        let mut inner = self.lock();
+        if seq > inner.seq_applied {
+            inner.seq_applied = seq;
+        }
+        self.cond.notify_all();
+    }
+
+    /// Block until `seq` is folded into a published snapshot (true) or the
+    /// log closes first (false).
+    pub fn wait_applied(&self, seq: u64) -> bool {
+        let mut inner = self.lock();
+        loop {
+            if inner.seq_applied >= seq {
+                return true;
+            }
+            if inner.closed {
+                return false;
+            }
+            inner = match self.cond.wait_timeout(inner, Duration::from_millis(200)) {
+                Ok((guard, _)) => guard,
+                Err(poisoned) => poisoned.into_inner().0,
+            };
+        }
+    }
+
+    /// Wake every waiter and stop accepting refinement rounds.
+    pub fn close(&self) {
+        let mut inner = self.lock();
+        inner.closed = true;
+        if let Some(token) = inner.active_token.take() {
+            token.cancel();
+        }
+        self.cond.notify_all();
+    }
+
+    /// (pending batch count, enqueued seq, applied seq, cancellations).
+    pub fn stats(&self) -> (usize, u64, u64, u64) {
+        let inner = self.lock();
+        (
+            inner.queue.len(),
+            inner.seq_enqueued,
+            inner.seq_applied,
+            inner.cancellations,
+        )
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn append_assigns_increasing_seq_and_cancels_active() {
+        let log = MutationLog::new();
+        let token = CancelToken::new();
+        assert!(log.arm(&token));
+        let s1 = log.append(vec![Mutation::AddVertices { count: 1 }]);
+        assert_eq!(s1, 1);
+        assert!(token.is_cancelled(), "append cancels the armed round");
+        let (_, _, _, cancels) = log.stats();
+        assert_eq!(cancels, 1);
+        // Arming while a batch is pending is refused.
+        let token2 = CancelToken::new();
+        assert!(!log.arm(&token2));
+    }
+
+    #[test]
+    fn wait_applied_blocks_until_marked() {
+        let log = Arc::new(MutationLog::new());
+        let seq = log.append(vec![Mutation::AddVertices { count: 2 }]);
+        let waiter = {
+            let log = Arc::clone(&log);
+            std::thread::spawn(move || log.wait_applied(seq))
+        };
+        let (batch, drained_seq) = log.wait_drain().unwrap();
+        assert_eq!(batch.len(), 1);
+        assert_eq!(drained_seq, seq);
+        log.mark_applied(drained_seq);
+        assert!(waiter.join().unwrap());
+    }
+
+    #[test]
+    fn close_releases_waiters() {
+        let log = Arc::new(MutationLog::new());
+        let waiter = {
+            let log = Arc::clone(&log);
+            std::thread::spawn(move || log.wait_applied(5))
+        };
+        let drainer = {
+            let log = Arc::clone(&log);
+            std::thread::spawn(move || log.wait_drain())
+        };
+        log.close();
+        assert!(!waiter.join().unwrap());
+        assert!(drainer.join().unwrap().is_none());
+    }
+}

@@ -1,0 +1,245 @@
+//! Wire protocol: line-delimited JSON over TCP, one request object per
+//! line, one response object per line.
+//!
+//! Every request carries an `"op"` field; every response carries `"ok"`.
+//! Failures come back as `{"ok":false,"error":"..."}` on the same line —
+//! the connection stays open. See DESIGN.md §12 for the full message
+//! catalogue and README for worked examples.
+
+use crate::json::Json;
+use crate::state::Mutation;
+use hsbp_blockmodel::Block;
+use hsbp_graph::Vertex;
+
+/// Version of the wire protocol itself. Bumped on any incompatible change
+/// to request or response shapes; reported by the `version` handshake so
+/// replay tooling can refuse mismatched daemons.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Schema version of `BENCH_serve.json` (the load-test harness artifact).
+pub const BENCH_SERVE_SCHEMA_VERSION: u32 = 1;
+
+/// One parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// `{"op":"version"}` — handshake: crate + protocol + schema versions.
+    Version,
+    /// `add_edges` / `remove_edges` / `add_vertices` / `remove_vertex`:
+    /// a batch of topology mutations, enqueued atomically under one
+    /// sequence number.
+    Mutate(Vec<Mutation>),
+    /// `{"op":"membership","vertices":[...]}` — block of each vertex.
+    Membership(Vec<Vertex>),
+    /// `{"op":"block_stats"}` (all blocks) or `{"op":"block_stats","block":b}`.
+    BlockStats(Option<Block>),
+    /// `{"op":"mdl"}` — current description length.
+    Mdl,
+    /// `{"op":"status"}` — epochs, queue depth, counters.
+    Status,
+    /// `{"op":"flush"}` — block until every enqueued mutation is reflected
+    /// in a published snapshot.
+    Flush,
+    /// `{"op":"quit"}` — orderly daemon shutdown.
+    Quit,
+}
+
+impl Request {
+    /// Parse one request line (already JSON-decoded).
+    pub fn parse(req: &Json) -> Result<Request, String> {
+        let op = req
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or("missing \"op\" field")?;
+        match op {
+            "version" => Ok(Request::Version),
+            "add_edges" => Ok(Request::Mutate(parse_add_edges(req)?)),
+            "remove_edges" => Ok(Request::Mutate(parse_remove_edges(req)?)),
+            "add_vertices" => {
+                let count = req
+                    .get("count")
+                    .and_then(Json::as_u64)
+                    .ok_or("add_vertices needs a numeric \"count\"")?;
+                if count == 0 || count > u32::MAX as u64 {
+                    return Err("\"count\" must be in 1..=u32::MAX".into());
+                }
+                Ok(Request::Mutate(vec![Mutation::AddVertices {
+                    count: count as usize,
+                }]))
+            }
+            "remove_vertex" => {
+                let vertex = parse_vertex(req.get("vertex"), "remove_vertex needs \"vertex\"")?;
+                Ok(Request::Mutate(vec![Mutation::RemoveVertex { vertex }]))
+            }
+            "membership" => {
+                let items = req
+                    .get("vertices")
+                    .and_then(Json::as_arr)
+                    .ok_or("membership needs a \"vertices\" array")?;
+                let vertices = items
+                    .iter()
+                    .map(|v| parse_vertex(Some(v), "vertex ids must be u32"))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Request::Membership(vertices))
+            }
+            "block_stats" => match req.get("block") {
+                None => Ok(Request::BlockStats(None)),
+                Some(b) => {
+                    let id = b.as_u64().ok_or("\"block\" must be a block id")?;
+                    if id > u32::MAX as u64 {
+                        return Err("\"block\" out of range".into());
+                    }
+                    Ok(Request::BlockStats(Some(id as Block)))
+                }
+            },
+            "mdl" => Ok(Request::Mdl),
+            "status" => Ok(Request::Status),
+            "flush" => Ok(Request::Flush),
+            "quit" => Ok(Request::Quit),
+            other => Err(format!("unknown op {other:?}")),
+        }
+    }
+}
+
+fn parse_vertex(value: Option<&Json>, context: &str) -> Result<Vertex, String> {
+    let id = value
+        .and_then(Json::as_u64)
+        .ok_or_else(|| context.to_string())?;
+    if id > u32::MAX as u64 {
+        return Err(format!("vertex id {id} exceeds u32"));
+    }
+    Ok(id as Vertex)
+}
+
+fn parse_add_edges(req: &Json) -> Result<Vec<Mutation>, String> {
+    let items = req
+        .get("edges")
+        .and_then(Json::as_arr)
+        .ok_or("add_edges needs an \"edges\" array of [from,to] or [from,to,weight]")?;
+    items
+        .iter()
+        .map(|e| {
+            let parts = e.as_arr().ok_or("each edge must be an array")?;
+            if parts.len() != 2 && parts.len() != 3 {
+                return Err("each edge must be [from,to] or [from,to,weight]".into());
+            }
+            let from = parse_vertex(parts.first(), "bad edge source")?;
+            let to = parse_vertex(parts.get(1), "bad edge target")?;
+            let weight = match parts.get(2) {
+                None => 1,
+                Some(w) => {
+                    let w = w.as_u64().ok_or("edge weight must be a positive integer")?;
+                    if w == 0 {
+                        return Err("edge weight must be >= 1".into());
+                    }
+                    w
+                }
+            };
+            Ok(Mutation::AddEdge { from, to, weight })
+        })
+        .collect()
+}
+
+fn parse_remove_edges(req: &Json) -> Result<Vec<Mutation>, String> {
+    let items = req
+        .get("edges")
+        .and_then(Json::as_arr)
+        .ok_or("remove_edges needs an \"edges\" array of [from,to]")?;
+    items
+        .iter()
+        .map(|e| {
+            let parts = e.as_arr().ok_or("each edge must be an array")?;
+            if parts.len() != 2 {
+                return Err("each edge must be [from,to]".into());
+            }
+            let from = parse_vertex(parts.first(), "bad edge source")?;
+            let to = parse_vertex(parts.get(1), "bad edge target")?;
+            Ok(Mutation::RemoveEdge { from, to })
+        })
+        .collect()
+}
+
+/// `{"ok":false,"error":msg}` — the uniform failure response.
+pub fn error_response(msg: &str) -> Json {
+    Json::Obj(vec![
+        ("ok".into(), Json::Bool(false)),
+        ("error".into(), Json::Str(msg.into())),
+    ])
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    #[test]
+    fn parses_every_op() {
+        let cases = [
+            (r#"{"op":"version"}"#, Request::Version),
+            (r#"{"op":"mdl"}"#, Request::Mdl),
+            (r#"{"op":"status"}"#, Request::Status),
+            (r#"{"op":"flush"}"#, Request::Flush),
+            (r#"{"op":"quit"}"#, Request::Quit),
+            (r#"{"op":"block_stats"}"#, Request::BlockStats(None)),
+            (
+                r#"{"op":"block_stats","block":3}"#,
+                Request::BlockStats(Some(3)),
+            ),
+            (
+                r#"{"op":"membership","vertices":[0,5,2]}"#,
+                Request::Membership(vec![0, 5, 2]),
+            ),
+            (
+                r#"{"op":"add_edges","edges":[[0,1],[2,3,4]]}"#,
+                Request::Mutate(vec![
+                    Mutation::AddEdge {
+                        from: 0,
+                        to: 1,
+                        weight: 1,
+                    },
+                    Mutation::AddEdge {
+                        from: 2,
+                        to: 3,
+                        weight: 4,
+                    },
+                ]),
+            ),
+            (
+                r#"{"op":"remove_edges","edges":[[7,8]]}"#,
+                Request::Mutate(vec![Mutation::RemoveEdge { from: 7, to: 8 }]),
+            ),
+            (
+                r#"{"op":"add_vertices","count":5}"#,
+                Request::Mutate(vec![Mutation::AddVertices { count: 5 }]),
+            ),
+            (
+                r#"{"op":"remove_vertex","vertex":9}"#,
+                Request::Mutate(vec![Mutation::RemoveVertex { vertex: 9 }]),
+            ),
+        ];
+        for (line, want) in cases {
+            let got = Request::parse(&parse(line).unwrap()).unwrap();
+            assert_eq!(got, want, "{line}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        for line in [
+            r#"{"no_op":1}"#,
+            r#"{"op":"frobnicate"}"#,
+            r#"{"op":"add_edges"}"#,
+            r#"{"op":"add_edges","edges":[[0]]}"#,
+            r#"{"op":"add_edges","edges":[[0,1,0]]}"#,
+            r#"{"op":"add_vertices","count":0}"#,
+            r#"{"op":"membership"}"#,
+            r#"{"op":"membership","vertices":[4294967296]}"#,
+            r#"{"op":"remove_vertex"}"#,
+        ] {
+            assert!(
+                Request::parse(&parse(line).unwrap()).is_err(),
+                "{line} should fail"
+            );
+        }
+    }
+}

@@ -1,0 +1,482 @@
+//! The daemon: a TCP accept loop, per-connection protocol threads, and the
+//! background refinement driver.
+//!
+//! Threading model (see DESIGN.md §12):
+//!
+//! * **accept loop** — non-blocking `TcpListener`, polls the shutdown flag
+//!   between accepts, spawns one thread per connection.
+//! * **connection threads** — read one JSON request per line, answer from
+//!   the latest [`Snapshot`] (reads never touch the refinement loop) or
+//!   enqueue mutation batches into the [`MutationLog`].
+//! * **refinement driver** — single consumer: drains the log, applies the
+//!   batch to the [`EvolvingGraph`], rebuilds the CSR, and runs the
+//!   warm-started dirty-region resweep under a fresh [`CancelToken`] armed
+//!   in the log, so the *next* batch cancels it mid-sweep. Publishing a
+//!   snapshot and marking the sequence applied are the only state writes.
+
+use crate::json::{num_u, obj, Json};
+use crate::mutlog::MutationLog;
+use crate::protocol::{error_response, Request, BENCH_SERVE_SCHEMA_VERSION, PROTOCOL_VERSION};
+use crate::state::{EvolvingGraph, Snapshot, StateHandle};
+use hsbp_core::{refine_partition, CancelToken, HsbpError, RunBudget, SbpConfig, StopCause};
+use hsbp_graph::{Graph, Vertex};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Everything the daemon's knobs: where to listen and how each refinement
+/// round runs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Refinement kernel configuration (seed, beta, audit cadence, strict
+    /// mode, convergence threshold, per-round sweep cap).
+    pub sbp: SbpConfig,
+    /// Budget applied to every refinement round (and the initial full run).
+    pub budget: RunBudget,
+    /// Artificial delay between arming a refinement round and its first
+    /// sweep, in milliseconds. Load-shaping hook: widens the window in
+    /// which a new batch cancels the round; keep 0 in production.
+    pub refine_pause_ms: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            sbp: SbpConfig::default(),
+            budget: RunBudget::unlimited(),
+            refine_pause_ms: 0,
+        }
+    }
+}
+
+/// Shared daemon state, one `Arc` across every thread.
+#[derive(Debug)]
+pub(crate) struct ServeCtx {
+    pub(crate) state: StateHandle,
+    pub(crate) log: MutationLog,
+    pub(crate) shutdown: AtomicBool,
+    /// Refinement rounds that published a snapshot.
+    pub(crate) refines: AtomicU64,
+    /// Drift events repaired across all rounds (non-strict mode).
+    pub(crate) drift_repairs: AtomicU64,
+    /// Refinement rounds that failed (strict drift, invalid state).
+    pub(crate) refine_errors: AtomicU64,
+}
+
+/// A running daemon. Dropping the handle does **not** stop the server —
+/// call [`ServerHandle::shutdown`] then [`ServerHandle::join`].
+pub struct Server {
+    _private: (),
+}
+
+/// Join/control handle for a spawned server.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    ctx: Arc<ServeCtx>,
+    accept_thread: JoinHandle<()>,
+    driver_thread: JoinHandle<()>,
+}
+
+impl ServerHandle {
+    /// The address the listener actually bound (resolves `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// True once a `quit` request or [`ServerHandle::shutdown`] landed.
+    pub fn is_shutting_down(&self) -> bool {
+        self.ctx.shutdown.load(Ordering::Relaxed)
+    }
+
+    /// Request an orderly stop (idempotent): wakes the accept loop, cancels
+    /// any in-flight refinement, releases every flush waiter.
+    pub fn shutdown(&self) {
+        self.ctx.shutdown.store(true, Ordering::Relaxed);
+        self.ctx.log.close();
+    }
+
+    /// Wait for the accept loop and the refinement driver to exit.
+    pub fn join(self) {
+        let _ = self.accept_thread.join();
+        let _ = self.driver_thread.join();
+    }
+}
+
+impl Server {
+    /// Bind, run the initial full detection on `initial` (empty graphs get
+    /// a trivial epoch-0 snapshot), start the refinement driver and the
+    /// accept loop, and return immediately.
+    pub fn spawn(config: ServeConfig, initial: Graph) -> Result<ServerHandle, HsbpError> {
+        let listener = TcpListener::bind(&config.addr).map_err(|e| HsbpError::Network {
+            addr: config.addr.clone(),
+            message: format!("bind failed: {e}"),
+        })?;
+        let addr = listener.local_addr().map_err(|e| HsbpError::Network {
+            addr: config.addr.clone(),
+            message: format!("local_addr failed: {e}"),
+        })?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| HsbpError::Network {
+                addr: addr.to_string(),
+                message: format!("set_nonblocking failed: {e}"),
+            })?;
+
+        let egraph = EvolvingGraph::from_graph(&initial);
+        let graph = Arc::new(initial);
+        let snapshot = if graph.num_vertices() == 0 {
+            Snapshot::evaluate(0, 0, Arc::clone(&graph), Vec::new(), 0, false)
+        } else {
+            let result = hsbp_core::run_sbp_budgeted(
+                &graph,
+                &config.sbp,
+                &config.budget,
+                &CancelToken::new(),
+            )?;
+            Snapshot::evaluate(
+                0,
+                0,
+                Arc::clone(&graph),
+                result.assignment,
+                result.num_blocks,
+                result.stats.stop_cause.is_truncated(),
+            )
+        };
+
+        let ctx = Arc::new(ServeCtx {
+            state: StateHandle::new(snapshot),
+            log: MutationLog::new(),
+            shutdown: AtomicBool::new(false),
+            refines: AtomicU64::new(0),
+            drift_repairs: AtomicU64::new(0),
+            refine_errors: AtomicU64::new(0),
+        });
+
+        let driver_thread = {
+            let ctx = Arc::clone(&ctx);
+            let cfg = config.clone();
+            std::thread::spawn(move || driver_loop(&ctx, egraph, &cfg))
+        };
+        let accept_thread = {
+            let ctx = Arc::clone(&ctx);
+            std::thread::spawn(move || accept_loop(&listener, &ctx))
+        };
+        Ok(ServerHandle {
+            addr,
+            ctx,
+            accept_thread,
+            driver_thread,
+        })
+    }
+}
+
+/// The single-consumer refinement loop.
+fn driver_loop(ctx: &ServeCtx, mut egraph: EvolvingGraph, cfg: &ServeConfig) {
+    // Dirty vertices whose resweep a cancellation interrupted; folded into
+    // the next round so truncated work is finished, not lost.
+    let mut carry_dirty: Vec<Vertex> = Vec::new();
+    while let Some((batch, seq)) = ctx.log.wait_drain() {
+        let mut dirty = std::mem::take(&mut carry_dirty);
+        for m in &batch {
+            egraph.apply(m, &mut dirty);
+        }
+        dirty.sort_unstable();
+        dirty.dedup();
+        let graph = Arc::new(egraph.build_csr());
+        let token = CancelToken::new();
+        if !ctx.log.arm(&token) {
+            // A newer batch raced in while we were rebuilding: restart the
+            // round against the merged topology instead of refining twice.
+            carry_dirty = dirty;
+            continue;
+        }
+        if cfg.refine_pause_ms > 0 {
+            // Armed but not yet sweeping: a batch landing in this window
+            // cancels the round exactly like one landing mid-sweep.
+            std::thread::sleep(Duration::from_millis(cfg.refine_pause_ms));
+        }
+        let warm = ctx.state.load();
+        let outcome = refine_partition(
+            &graph,
+            &warm.assignment,
+            warm.num_blocks.max(1),
+            &dirty,
+            &cfg.sbp,
+            &cfg.budget,
+            &token,
+        );
+        ctx.log.disarm();
+        match outcome {
+            Ok(out) => {
+                ctx.refines.fetch_add(1, Ordering::Relaxed);
+                ctx.drift_repairs
+                    .fetch_add(out.stats.drift_events.len() as u64, Ordering::Relaxed);
+                if out.truncated && out.stats.stop_cause == StopCause::Cancelled {
+                    // The interrupted region re-sweeps with the next batch.
+                    carry_dirty.clone_from(&dirty);
+                }
+                ctx.state.publish(Snapshot::evaluate(
+                    warm.epoch + 1,
+                    seq,
+                    graph,
+                    out.assignment,
+                    out.num_blocks,
+                    out.truncated,
+                ));
+                ctx.log.mark_applied(seq);
+            }
+            Err(_) => {
+                // Strict-mode drift or an invalid warm state: keep serving
+                // the last good snapshot, count the failure, and unblock
+                // flush waiters (the mutations are in the topology; only
+                // the partition refresh failed).
+                ctx.refine_errors.fetch_add(1, Ordering::Relaxed);
+                carry_dirty = dirty;
+                ctx.log.mark_applied(seq);
+            }
+        }
+    }
+}
+
+/// Non-blocking accept loop; exits when the shutdown flag is set.
+fn accept_loop(listener: &TcpListener, ctx: &Arc<ServeCtx>) {
+    let mut connections: Vec<JoinHandle<()>> = Vec::new();
+    while !ctx.shutdown.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let ctx = Arc::clone(ctx);
+                connections.push(std::thread::spawn(move || {
+                    let _ = serve_connection(stream, &ctx);
+                }));
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+        connections.retain(|h| !h.is_finished());
+    }
+    // Orderly drain: connection threads poll the flag via read timeouts.
+    ctx.log.close();
+    for h in connections {
+        let _ = h.join();
+    }
+}
+
+/// One connection: read request lines, write response lines.
+fn serve_connection(stream: TcpStream, ctx: &ServeCtx) -> Result<(), HsbpError> {
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| "<unknown>".into());
+    let net_err = |message: String| HsbpError::Network {
+        addr: peer.clone(),
+        message,
+    };
+    stream
+        .set_read_timeout(Some(Duration::from_millis(100)))
+        .map_err(|e| net_err(format!("set_read_timeout failed: {e}")))?;
+    let mut stream = stream;
+    let mut acc: Vec<u8> = Vec::new();
+    let mut buf = [0u8; 4096];
+    loop {
+        if ctx.shutdown.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        let n = match stream.read(&mut buf) {
+            Ok(0) => return Ok(()), // client closed
+            Ok(n) => n,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => continue,
+            Err(e) => return Err(net_err(format!("read failed: {e}"))),
+        };
+        acc.extend_from_slice(&buf[..n]);
+        while let Some(eol) = acc.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = acc.drain(..=eol).collect();
+            let text = String::from_utf8_lossy(&line[..line.len() - 1]);
+            let text = text.trim();
+            if text.is_empty() {
+                continue;
+            }
+            let (response, quit) = handle_line(text, ctx);
+            let mut out = response.to_line();
+            out.push('\n');
+            stream
+                .write_all(out.as_bytes())
+                .map_err(|e| net_err(format!("write failed: {e}")))?;
+            if quit {
+                ctx.shutdown.store(true, Ordering::Relaxed);
+                ctx.log.close();
+                return Ok(());
+            }
+        }
+    }
+}
+
+/// Decode, dispatch, encode. Returns the response and whether this request
+/// shuts the daemon down.
+pub(crate) fn handle_line(line: &str, ctx: &ServeCtx) -> (Json, bool) {
+    let parsed = match crate::json::parse(line) {
+        Ok(v) => v,
+        Err(e) => return (error_response(&format!("bad JSON: {e}")), false),
+    };
+    let request = match Request::parse(&parsed) {
+        Ok(r) => r,
+        Err(e) => return (error_response(&e), false),
+    };
+    match request {
+        Request::Version => (
+            obj(vec![
+                ("ok", Json::Bool(true)),
+                ("crate", Json::Str(env!("CARGO_PKG_VERSION").into())),
+                ("protocol", num_u(u64::from(PROTOCOL_VERSION))),
+                (
+                    "bench_schema",
+                    obj(vec![(
+                        "serve",
+                        num_u(u64::from(BENCH_SERVE_SCHEMA_VERSION)),
+                    )]),
+                ),
+            ]),
+            false,
+        ),
+        Request::Mutate(batch) => {
+            let queued = batch.len();
+            let seq = ctx.log.append(batch);
+            (
+                obj(vec![
+                    ("ok", Json::Bool(true)),
+                    ("seq", num_u(seq)),
+                    ("queued", num_u(queued as u64)),
+                ]),
+                false,
+            )
+        }
+        Request::Membership(vertices) => {
+            let snap = ctx.state.load();
+            let mut blocks = Vec::with_capacity(vertices.len());
+            for v in &vertices {
+                match snap.assignment.get(*v as usize) {
+                    Some(b) => blocks.push(num_u(u64::from(*b))),
+                    None => {
+                        return (
+                            error_response(&format!(
+                                "vertex {v} out of range (snapshot has {})",
+                                snap.assignment.len()
+                            )),
+                            false,
+                        )
+                    }
+                }
+            }
+            (
+                obj(vec![
+                    ("ok", Json::Bool(true)),
+                    ("epoch", num_u(snap.epoch)),
+                    ("blocks", Json::Arr(blocks)),
+                ]),
+                false,
+            )
+        }
+        Request::BlockStats(which) => {
+            let snap = ctx.state.load();
+            let stat_obj = |id: usize, s: &crate::state::BlockStats| {
+                obj(vec![
+                    ("block", num_u(id as u64)),
+                    ("size", num_u(s.size as u64)),
+                    ("d_out", num_u(s.d_out)),
+                    ("d_in", num_u(s.d_in)),
+                ])
+            };
+            let blocks = match which {
+                Some(b) => match snap.blocks.get(b as usize) {
+                    Some(s) => vec![stat_obj(b as usize, s)],
+                    None => {
+                        return (
+                            error_response(&format!(
+                                "block {b} out of range (snapshot has {})",
+                                snap.blocks.len()
+                            )),
+                            false,
+                        )
+                    }
+                },
+                None => snap
+                    .blocks
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| stat_obj(i, s))
+                    .collect(),
+            };
+            (
+                obj(vec![
+                    ("ok", Json::Bool(true)),
+                    ("epoch", num_u(snap.epoch)),
+                    ("num_blocks", num_u(snap.num_blocks as u64)),
+                    ("blocks", Json::Arr(blocks)),
+                ]),
+                false,
+            )
+        }
+        Request::Mdl => {
+            let snap = ctx.state.load();
+            (
+                obj(vec![
+                    ("ok", Json::Bool(true)),
+                    ("epoch", num_u(snap.epoch)),
+                    ("mdl", Json::Num(snap.mdl)),
+                    ("normalized_mdl", Json::Num(snap.normalized_mdl)),
+                    ("num_blocks", num_u(snap.num_blocks as u64)),
+                    ("truncated", Json::Bool(snap.truncated)),
+                ]),
+                false,
+            )
+        }
+        Request::Status => {
+            let snap = ctx.state.load();
+            let (pending, enq, applied, cancels) = ctx.log.stats();
+            (
+                obj(vec![
+                    ("ok", Json::Bool(true)),
+                    ("epoch", num_u(snap.epoch)),
+                    ("num_vertices", num_u(snap.graph.num_vertices() as u64)),
+                    ("num_edges", num_u(snap.graph.num_edges() as u64)),
+                    ("num_blocks", num_u(snap.num_blocks as u64)),
+                    ("pending_batches", num_u(pending as u64)),
+                    ("seq_enqueued", num_u(enq)),
+                    ("seq_applied", num_u(applied)),
+                    ("cancellations", num_u(cancels)),
+                    ("refines", num_u(ctx.refines.load(Ordering::Relaxed))),
+                    (
+                        "drift_repairs",
+                        num_u(ctx.drift_repairs.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "refine_errors",
+                        num_u(ctx.refine_errors.load(Ordering::Relaxed)),
+                    ),
+                ]),
+                false,
+            )
+        }
+        Request::Flush => {
+            let (_, enq, _, _) = ctx.log.stats();
+            let reached = ctx.log.wait_applied(enq);
+            let snap = ctx.state.load();
+            (
+                obj(vec![
+                    ("ok", Json::Bool(reached)),
+                    ("epoch", num_u(snap.epoch)),
+                    ("seq_applied", num_u(snap.applied_seq)),
+                ]),
+                false,
+            )
+        }
+        Request::Quit => (obj(vec![("ok", Json::Bool(true))]), true),
+    }
+}

@@ -1,0 +1,375 @@
+//! Service state: the mutable evolving graph, immutable published
+//! snapshots, and the epoch-swapped handle readers go through.
+//!
+//! The CSR [`Graph`] the algorithms run on is deliberately immutable, so
+//! the daemon keeps a mutable adjacency-map twin ([`EvolvingGraph`]) as the
+//! source of truth for topology and rebuilds a fresh CSR per refinement
+//! round. Readers never see the twin: every query is answered from the
+//! latest [`Snapshot`], an immutable `(epoch, graph, partition, stats)`
+//! bundle swapped in atomically after each refinement — so reads stay
+//! wait-free with respect to the refinement loop and always observe a
+//! partition that was internally consistent when published.
+
+use hsbp_blockmodel::{mdl, Block, Blockmodel};
+use hsbp_graph::{Graph, GraphBuilder, Vertex, Weight};
+use std::collections::BTreeMap;
+use std::sync::{Arc, RwLock};
+
+/// One batched topology mutation, as accepted by the wire protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Mutation {
+    /// Add `weight` to the directed edge `from → to` (creating it at that
+    /// weight if absent). Vertex ids beyond the current size grow the graph.
+    AddEdge {
+        /// Source vertex.
+        from: Vertex,
+        /// Target vertex.
+        to: Vertex,
+        /// Weight to add (≥ 1).
+        weight: Weight,
+    },
+    /// Delete the directed edge `from → to` entirely (no-op when absent).
+    RemoveEdge {
+        /// Source vertex.
+        from: Vertex,
+        /// Target vertex.
+        to: Vertex,
+    },
+    /// Grow the vertex set by `count` isolated vertices.
+    AddVertices {
+        /// How many vertices to append.
+        count: usize,
+    },
+    /// Drop every edge incident to `vertex` (the id remains valid but
+    /// isolated — ids are stable, never recycled).
+    RemoveVertex {
+        /// Vertex to isolate.
+        vertex: Vertex,
+    },
+}
+
+/// Mutable adjacency-map graph the daemon owns. `BTreeMap` rows keep
+/// iteration deterministic, so the CSR rebuilt from a given mutation
+/// history is bit-identical across runs.
+#[derive(Debug, Default, Clone)]
+pub struct EvolvingGraph {
+    out_adj: Vec<BTreeMap<Vertex, Weight>>,
+    in_adj: Vec<BTreeMap<Vertex, Weight>>,
+}
+
+impl EvolvingGraph {
+    /// Import an existing CSR graph (duplicate edges already collapsed).
+    pub fn from_graph(graph: &Graph) -> Self {
+        let n = graph.num_vertices();
+        let mut g = Self {
+            out_adj: vec![BTreeMap::new(); n],
+            in_adj: vec![BTreeMap::new(); n],
+        };
+        for (u, v, w) in graph.edges() {
+            *g.out_adj[u as usize].entry(v).or_insert(0) += w;
+            *g.in_adj[v as usize].entry(u).or_insert(0) += w;
+        }
+        g
+    }
+
+    /// Current vertex count.
+    pub fn num_vertices(&self) -> usize {
+        self.out_adj.len()
+    }
+
+    /// Current distinct directed edge count.
+    pub fn num_edges(&self) -> usize {
+        self.out_adj.iter().map(BTreeMap::len).sum()
+    }
+
+    fn grow_to(&mut self, n: usize) {
+        if n > self.out_adj.len() {
+            self.out_adj.resize(n, BTreeMap::new());
+            self.in_adj.resize(n, BTreeMap::new());
+        }
+    }
+
+    /// Apply one mutation, appending every vertex whose incident structure
+    /// changed to `dirty`.
+    pub fn apply(&mut self, m: &Mutation, dirty: &mut Vec<Vertex>) {
+        match *m {
+            Mutation::AddEdge { from, to, weight } => {
+                self.grow_to(from.max(to) as usize + 1);
+                *self.out_adj[from as usize].entry(to).or_insert(0) += weight.max(1);
+                *self.in_adj[to as usize].entry(from).or_insert(0) += weight.max(1);
+                dirty.push(from);
+                dirty.push(to);
+            }
+            Mutation::RemoveEdge { from, to } => {
+                if let Some(row) = self.out_adj.get_mut(from as usize) {
+                    if row.remove(&to).is_some() {
+                        self.in_adj[to as usize].remove(&from);
+                        dirty.push(from);
+                        dirty.push(to);
+                    }
+                }
+            }
+            Mutation::AddVertices { count } => {
+                let start = self.out_adj.len();
+                self.grow_to(start + count);
+                dirty.extend((start..start + count).map(|v| v as Vertex));
+            }
+            Mutation::RemoveVertex { vertex } => {
+                let v = vertex as usize;
+                if v >= self.out_adj.len() {
+                    return;
+                }
+                let outs: Vec<Vertex> = self.out_adj[v].keys().copied().collect();
+                let ins: Vec<Vertex> = self.in_adj[v].keys().copied().collect();
+                for t in outs {
+                    self.in_adj[t as usize].remove(&vertex);
+                    dirty.push(t);
+                }
+                for s in ins {
+                    self.out_adj[s as usize].remove(&vertex);
+                    dirty.push(s);
+                }
+                self.out_adj[v].clear();
+                self.in_adj[v].clear();
+                dirty.push(vertex);
+            }
+        }
+    }
+
+    /// Rebuild the immutable CSR the refinement loop runs on.
+    pub fn build_csr(&self) -> Graph {
+        let mut b = GraphBuilder::with_capacity(self.num_vertices(), self.num_edges());
+        for (u, row) in self.out_adj.iter().enumerate() {
+            for (&v, &w) in row {
+                b.add_edge_weighted(u as Vertex, v, w);
+            }
+        }
+        b.build()
+    }
+}
+
+/// Per-block aggregates published with each snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockStats {
+    /// Vertices in the block.
+    pub size: usize,
+    /// Total out-degree (edge weight leaving the block's vertices).
+    pub d_out: u64,
+    /// Total in-degree.
+    pub d_in: u64,
+}
+
+/// One immutable published state: everything a read query can be answered
+/// from. Swapped whole — a reader either sees all of epoch `e` or all of
+/// epoch `e+1`, never a mix.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Monotonic publication counter (0 = the initial full run).
+    pub epoch: u64,
+    /// Mutation sequence number this snapshot reflects (every batch with
+    /// `seq <= applied_seq` is folded in).
+    pub applied_seq: u64,
+    /// The graph this partition was refined on.
+    pub graph: Arc<Graph>,
+    /// Community of each vertex, labels compacted to `0..num_blocks`.
+    pub assignment: Arc<Vec<Block>>,
+    /// Occupied community count.
+    pub num_blocks: usize,
+    /// Description length of the partition.
+    pub mdl: f64,
+    /// MDL normalized by the null model (NaN for an edgeless graph).
+    pub normalized_mdl: f64,
+    /// Per-block aggregates, indexed by block id.
+    pub blocks: Arc<Vec<BlockStats>>,
+    /// True when the refinement producing this snapshot was truncated by a
+    /// budget or a cancellation (the partition is consistent but not
+    /// converged; a later round will resume it).
+    pub truncated: bool,
+}
+
+impl Snapshot {
+    /// Build a snapshot by evaluating `assignment` on `graph`.
+    pub fn evaluate(
+        epoch: u64,
+        applied_seq: u64,
+        graph: Arc<Graph>,
+        assignment: Vec<Block>,
+        num_blocks: usize,
+        truncated: bool,
+    ) -> Self {
+        let n = graph.num_vertices();
+        if n == 0 {
+            return Snapshot {
+                epoch,
+                applied_seq,
+                graph,
+                assignment: Arc::new(Vec::new()),
+                num_blocks: 0,
+                mdl: 0.0,
+                normalized_mdl: f64::NAN,
+                blocks: Arc::new(Vec::new()),
+                truncated,
+            };
+        }
+        let bm = Blockmodel::from_assignment(&graph, assignment, num_blocks.max(1));
+        let m = mdl::mdl(&bm, n, graph.total_weight());
+        let null = mdl::mdl(
+            &Blockmodel::from_assignment(&graph, vec![0; n], 1),
+            n,
+            graph.total_weight(),
+        );
+        let blocks: Vec<BlockStats> = (0..bm.num_blocks())
+            .map(|b| BlockStats {
+                size: bm.block_size(b as Block) as usize,
+                d_out: bm.d_out(b as Block),
+                d_in: bm.d_in(b as Block),
+            })
+            .collect();
+        Snapshot {
+            epoch,
+            applied_seq,
+            graph,
+            assignment: Arc::new(bm.assignment().to_vec()),
+            num_blocks: num_blocks.max(1),
+            mdl: m.total,
+            normalized_mdl: m.total / null.total,
+            blocks: Arc::new(blocks),
+            truncated,
+        }
+    }
+}
+
+/// The epoch-swapped handle: readers `load()` an `Arc<Snapshot>` and work
+/// off it for as long as they like; the refinement driver `publish()`es a
+/// replacement. The lock is held only for the pointer swap.
+#[derive(Debug)]
+pub struct StateHandle {
+    current: RwLock<Arc<Snapshot>>,
+}
+
+impl StateHandle {
+    /// Create a handle publishing `initial`.
+    pub fn new(initial: Snapshot) -> Self {
+        Self {
+            current: RwLock::new(Arc::new(initial)),
+        }
+    }
+
+    /// The latest published snapshot.
+    pub fn load(&self) -> Arc<Snapshot> {
+        match self.current.read() {
+            Ok(guard) => Arc::clone(&guard),
+            // A poisoned lock means a publisher panicked mid-swap; the Arc
+            // inside is still whole (swaps are atomic assignments), so keep
+            // serving the last good snapshot.
+            Err(poisoned) => Arc::clone(&poisoned.into_inner()),
+        }
+    }
+
+    /// Swap in a new snapshot (refinement driver only).
+    pub fn publish(&self, snapshot: Snapshot) {
+        let next = Arc::new(snapshot);
+        match self.current.write() {
+            Ok(mut guard) => *guard = next,
+            Err(poisoned) => *poisoned.into_inner() = next,
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutations_roundtrip_through_csr() {
+        let mut g = EvolvingGraph::default();
+        let mut dirty = Vec::new();
+        g.apply(
+            &Mutation::AddEdge {
+                from: 0,
+                to: 2,
+                weight: 3,
+            },
+            &mut dirty,
+        );
+        g.apply(
+            &Mutation::AddEdge {
+                from: 2,
+                to: 1,
+                weight: 1,
+            },
+            &mut dirty,
+        );
+        assert_eq!(g.num_vertices(), 3);
+        let csr = g.build_csr();
+        assert_eq!(csr.num_vertices(), 3);
+        assert_eq!(csr.total_weight(), 4);
+        g.apply(&Mutation::RemoveEdge { from: 0, to: 2 }, &mut dirty);
+        assert_eq!(g.build_csr().total_weight(), 1);
+        g.apply(&Mutation::RemoveVertex { vertex: 2 }, &mut dirty);
+        assert_eq!(g.build_csr().total_weight(), 0);
+        assert_eq!(g.num_vertices(), 3, "ids are stable after removal");
+        assert!(dirty.contains(&1), "edge endpoints marked dirty");
+    }
+
+    #[test]
+    fn duplicate_add_edge_accumulates_weight() {
+        let mut g = EvolvingGraph::default();
+        let mut dirty = Vec::new();
+        for _ in 0..3 {
+            g.apply(
+                &Mutation::AddEdge {
+                    from: 0,
+                    to: 1,
+                    weight: 2,
+                },
+                &mut dirty,
+            );
+        }
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.build_csr().total_weight(), 6);
+    }
+
+    #[test]
+    fn rebuild_is_deterministic() {
+        let mut g = EvolvingGraph::default();
+        let mut dirty = Vec::new();
+        for i in 0..50u32 {
+            g.apply(
+                &Mutation::AddEdge {
+                    from: i % 7,
+                    to: (i * 3) % 11,
+                    weight: 1 + u64::from(i % 3),
+                },
+                &mut dirty,
+            );
+        }
+        let a: Vec<_> = g.build_csr().edges().collect();
+        let b: Vec<_> = g.clone().build_csr().edges().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn snapshot_swap_is_atomic_per_reader() {
+        let g = Arc::new(Graph::from_edges(3, &[(0, 1), (1, 2)]));
+        let handle = StateHandle::new(Snapshot::evaluate(
+            0,
+            0,
+            Arc::clone(&g),
+            vec![0, 0, 1],
+            2,
+            false,
+        ));
+        let before = handle.load();
+        handle.publish(Snapshot::evaluate(1, 3, g, vec![0, 1, 1], 2, false));
+        // The old Arc is still fully intact for the reader that loaded it.
+        assert_eq!(before.epoch, 0);
+        assert_eq!(*before.assignment, vec![0, 0, 1]);
+        let after = handle.load();
+        assert_eq!(after.epoch, 1);
+        assert_eq!(after.applied_seq, 3);
+        assert_eq!(after.blocks.len(), 2);
+        assert_eq!(after.blocks[0].size, 1);
+    }
+}

@@ -13,6 +13,11 @@
 //! hsbp stats   --input graph.mtx
 //! hsbp generate --vertices N --edges M [--communities C] [--ratio R]
 //!              [--seed K] --output graph.mtx [--truth truth.tsv]
+//! hsbp serve   [--addr HOST:PORT] [--input graph.mtx] [--seed N]
+//!              [--variant sbp|asbp|hsbp] [--max-sweeps N] [--deadline SECS]
+//!              [--audit-cadence N] [--strict-audit true]
+//!              [--refine-pause-ms N]
+//! hsbp version
 //! ```
 //!
 //! `detect` reads a Matrix Market (`.mtx`) or whitespace edge-list file,
@@ -39,17 +44,25 @@
 //! `hsbp::shard::faults`), `--checkpoint DIR` persists each completed shard
 //! so `--resume DIR` can pick an interrupted run back up.
 //!
+//! `serve` starts the resident community-detection daemon (`hsbp-serve`):
+//! a TCP server speaking line-delimited JSON that owns the graph, answers
+//! reads from an epoch-swapped snapshot, and re-detects incrementally after
+//! every mutation batch. `--max-sweeps` / `--deadline` budget each
+//! refinement round; `--input` seeds the initial graph (default: empty).
+//! The daemon stops cleanly on SIGTERM/SIGINT or a `{"op":"quit"}` message.
+//!
 //! Failures exit with a one-line diagnostic and a distinct code:
 //! 2 = usage / invalid flags, 3 = unreadable graph, 4 = bad partition file,
 //! 5 = checkpoint error, 6 = run failed (e.g. every shard lost),
 //! 7 = state drift under `--strict-audit`, 8 = run truncated by its budget
-//! (labels were still written).
+//! (labels were still written), 9 = network failure (bind/accept/socket).
 
 use hsbp::generator::{generate, DcsbmConfig};
 use hsbp::graph::io::{load_path, write_matrix_market};
 use hsbp::graph::partition::read_partition_file;
 use hsbp::graph::GraphStats;
 use hsbp::metrics::{directed_modularity, nmi, normalized_mdl};
+use hsbp::serve::{ServeConfig, Server};
 use hsbp::shard::{run_sharded_sbp_detailed, run_sharded_sbp_resumable, ShardStatus};
 use hsbp::{
     run_sbp, run_sbp_budgeted, CancelToken, FaultPlan, HsbpError, PartitionStrategy, RunBudget,
@@ -73,6 +86,8 @@ const EXIT_STATE_DRIFT: u8 = 7;
 /// Exit code for runs truncated by `--deadline` / `--max-sweeps`; the
 /// best-so-far labels were still written.
 const EXIT_BUDGET_TRUNCATED: u8 = 8;
+/// Exit code for network failures (bind, accept, mid-request socket death).
+const EXIT_NETWORK: u8 = 9;
 
 fn usage(msg: &str) -> ExitCode {
     if !msg.is_empty() {
@@ -90,7 +105,11 @@ fn usage(msg: &str) -> ExitCode {
          \x20             [--checkpoint DIR | --resume DIR] [--output FILE]\n\
          \x20 hsbp stats --input FILE\n\
          \x20 hsbp generate --vertices N --edges M [--communities C] [--ratio R] \\\n\
-         \x20             [--seed N] --output FILE [--truth FILE]"
+         \x20             [--seed N] --output FILE [--truth FILE]\n\
+         \x20 hsbp serve [--addr HOST:PORT] [--input FILE] [--seed N] \\\n\
+         \x20             [--variant sbp|asbp|hsbp] [--max-sweeps N] [--deadline SECS] \\\n\
+         \x20             [--audit-cadence N] [--strict-audit true] [--refine-pause-ms N]\n\
+         \x20 hsbp version"
     );
     ExitCode::from(2)
 }
@@ -115,6 +134,7 @@ fn report_error(e: &HsbpError) -> ExitCode {
         HsbpError::PartitionMismatch { .. } => EXIT_BAD_PARTITION,
         HsbpError::Checkpoint { .. } => EXIT_BAD_CHECKPOINT,
         HsbpError::StateDrift { .. } => EXIT_STATE_DRIFT,
+        HsbpError::Network { .. } => EXIT_NETWORK,
         HsbpError::ShardFailed { .. }
         | HsbpError::AllShardsFailed { .. }
         | HsbpError::InvariantViolation { .. } => EXIT_RUN_FAILED,
@@ -172,6 +192,8 @@ fn main() -> ExitCode {
         "shard" => shard_cmd(&flags),
         "stats" => stats(&flags),
         "generate" => generate_cmd(&flags),
+        "serve" => serve_cmd(&flags),
+        "version" => version_cmd(&flags),
         other => usage(&format!("unknown command `{other}`")),
     }
 }
@@ -633,6 +655,147 @@ fn generate_cmd(flags: &HashMap<String, String>) -> ExitCode {
         data.graph.num_vertices(),
         data.graph.num_edges(),
         communities
+    );
+    ExitCode::SUCCESS
+}
+
+/// Set by the SIGTERM/SIGINT handler; polled by the `serve` wait loop.
+static SIGNALLED: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+/// Install SIGTERM/SIGINT handlers that request an orderly daemon stop.
+/// Raw `signal(2)` FFI: the build is dependency-free by policy (no libc
+/// crate), and storing to an `AtomicBool` is async-signal-safe.
+#[cfg(unix)]
+fn install_signal_handlers() {
+    extern "C" fn on_signal(_sig: i32) {
+        SIGNALLED.store(true, std::sync::atomic::Ordering::Relaxed);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_signal as extern "C" fn(i32) as usize);
+        signal(SIGTERM, on_signal as extern "C" fn(i32) as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
+
+fn serve_cmd(flags: &HashMap<String, String>) -> ExitCode {
+    if let Err(e) = check_flags(
+        flags,
+        &[
+            "addr",
+            "input",
+            "seed",
+            "variant",
+            "max-sweeps",
+            "deadline",
+            "audit-cadence",
+            "strict-audit",
+            "inject-drift",
+            "refine-pause-ms",
+        ],
+    ) {
+        return usage(&e);
+    }
+    let addr = flags
+        .get("addr")
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:7474".to_string());
+    let seed: u64 = flags.get("seed").and_then(|s| s.parse().ok()).unwrap_or(0);
+    let variant = match flags.get("variant").map(String::as_str) {
+        None | Some("hsbp") => Variant::Hybrid,
+        Some("sbp") => Variant::Metropolis,
+        Some("asbp") => Variant::AsyncGibbs,
+        Some(other) => return usage(&format!("unknown variant `{other}`")),
+    };
+    let mut budget = RunBudget::unlimited();
+    match flags.get("max-sweeps").map(|s| s.parse::<usize>()) {
+        None => {}
+        Some(Ok(n)) if n > 0 => budget = budget.with_max_total_sweeps(n),
+        Some(_) => return usage("--max-sweeps needs a positive integer"),
+    }
+    match flags.get("deadline").map(|s| s.parse::<f64>()) {
+        None => {}
+        Some(Ok(t)) if t.is_finite() && t > 0.0 => {
+            budget = budget.with_deadline(Duration::from_secs_f64(t))
+        }
+        Some(_) => return usage("--deadline needs a positive number of seconds"),
+    }
+    let refine_pause_ms: u64 = match flags.get("refine-pause-ms").map(|s| s.parse()) {
+        None => 0,
+        Some(Ok(n)) => n,
+        Some(Err(_)) => return usage("--refine-pause-ms needs a non-negative integer"),
+    };
+    let mut sbp = SbpConfig::new(variant, seed);
+    if let Err(e) = apply_audit_flags(flags, &mut sbp) {
+        return usage(&e);
+    }
+    let initial = match flags.get("input") {
+        None => hsbp::Graph::from_edges(0, &[]),
+        Some(path) => match load_path(path) {
+            Ok(g) => g,
+            Err(e) => {
+                eprintln!("error: cannot load {path}: {e}");
+                return ExitCode::from(EXIT_BAD_GRAPH);
+            }
+        },
+    };
+    if initial.num_vertices() > 0 {
+        eprintln!(
+            "initial graph: {} vertices, {} edges; running full {} detection before serving",
+            initial.num_vertices(),
+            initial.num_edges(),
+            variant.name()
+        );
+    }
+
+    install_signal_handlers();
+    let config = ServeConfig {
+        addr,
+        sbp,
+        budget,
+        refine_pause_ms,
+    };
+    let handle = match Server::spawn(config, initial) {
+        Ok(h) => h,
+        Err(e) => return report_error(&e),
+    };
+    // The harness parses this line to find the bound (possibly ephemeral)
+    // port, so it goes to stdout and is flushed immediately.
+    println!("listening on {}", handle.local_addr());
+    let _ = std::io::stdout().flush();
+
+    loop {
+        if SIGNALLED.load(std::sync::atomic::Ordering::Relaxed) {
+            eprintln!("signal received; shutting down");
+            handle.shutdown();
+            break;
+        }
+        if handle.is_shutting_down() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    handle.join();
+    eprintln!("server stopped");
+    ExitCode::SUCCESS
+}
+
+fn version_cmd(flags: &HashMap<String, String>) -> ExitCode {
+    if let Err(e) = check_flags(flags, &[]) {
+        return usage(&e);
+    }
+    println!("hsbp {}", env!("CARGO_PKG_VERSION"));
+    println!("serve protocol {}", hsbp::serve::PROTOCOL_VERSION);
+    println!(
+        "bench schemas: mcmc {} (BENCH_mcmc.json), serve {} (BENCH_serve.json)",
+        hsbp::bench::hotpath::BENCH_MCMC_SCHEMA_VERSION,
+        hsbp::serve::BENCH_SERVE_SCHEMA_VERSION
     );
     ExitCode::SUCCESS
 }

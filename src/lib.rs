@@ -58,9 +58,16 @@ pub use hsbp_core as sbp;
 /// Sharded divide-and-conquer SBP.
 pub use hsbp_shard as shard;
 
+/// The resident community-detection service (TCP line-delimited JSON).
+pub use hsbp_serve as serve;
+
+/// Benchmark harnesses and machine-readable report schemas.
+pub use hsbp_bench as bench;
+
 pub use hsbp_core::{
-    run_sbp, run_sbp_budgeted, run_sbp_checked, CancelToken, Consolidation, DriftEvent, HsbpError,
-    McmcOutcome, RunBudget, RunStats, SbpConfig, SbpResult, StopCause, Variant,
+    refine_partition, run_sbp, run_sbp_budgeted, run_sbp_checked, CancelToken, Consolidation,
+    DriftEvent, HsbpError, McmcOutcome, RefineOutcome, RunBudget, RunStats, SbpConfig, SbpResult,
+    StopCause, Variant,
 };
 pub use hsbp_graph::{Graph, GraphBuilder};
 pub use hsbp_shard::{
