@@ -7,10 +7,15 @@
 //!
 //! Without `--connect`, an in-process daemon is spawned on an ephemeral
 //! port, the seeded workload is replayed against it, and it is shut down —
-//! fully self-contained. With `--connect`, the same workload drives an
+//! fully self-contained. The in-process run then adds the crash-recovery
+//! leg: a second, durable daemon is fed the workload's mutations, killed
+//! without a shutdown snapshot, and restarted from its state directory;
+//! the report's `recovery` object records the warm-restart wall time and
+//! replayed WAL records. With `--connect`, the same workload drives an
 //! externally started daemon (what the CI smoke job does against
-//! `hsbp serve`); `--quit true` additionally sends `{"op":"quit"}` at the
-//! end so the daemon exits cleanly.
+//! `hsbp serve`) and the recovery leg is skipped (`"recovery": null`, the
+//! schema-v1-compatible shape); `--quit true` additionally sends
+//! `{"op":"quit"}` at the end so the daemon exits cleanly.
 //!
 //! The workload is a pure function of `(mode, seed)`: the report's
 //! `workload_fingerprint` hashes every request line, so equal fingerprints
@@ -20,7 +25,8 @@
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use hsbp_bench::serve::{
-    fingerprint, generate_workload, run_workload, ServeClient, ServeSpec, FULL, SMOKE,
+    fingerprint, generate_workload, run_recovery_leg, run_workload, ServeClient, ServeSpec, FULL,
+    SMOKE,
 };
 use hsbp_core::{RunBudget, SbpConfig, Variant};
 use hsbp_graph::Graph;
@@ -108,7 +114,7 @@ fn main() -> ExitCode {
                 addr: "127.0.0.1:0".into(),
                 sbp: SbpConfig::new(Variant::Metropolis, args.seed),
                 budget: RunBudget::unlimited(),
-                refine_pause_ms: 0,
+                ..ServeConfig::default()
             };
             let handle = match Server::spawn(config, Graph::from_edges(0, &[])) {
                 Ok(h) => h,
@@ -121,7 +127,7 @@ fn main() -> ExitCode {
         }
     };
 
-    let report = match run_workload(&addr, spec, args.seed, &workload) {
+    let mut report = match run_workload(&addr, spec, args.seed, &workload) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("error: {e}");
@@ -132,6 +138,33 @@ fn main() -> ExitCode {
             return ExitCode::from(9);
         }
     };
+
+    // Crash-recovery leg: only meaningful when this process owns the
+    // daemon's lifetime (killing an external daemon is not our call).
+    if args.connect.is_none() {
+        let state_dir = std::env::temp_dir().join(format!(
+            "bench-serve-recovery-{}-{}",
+            std::process::id(),
+            args.seed
+        ));
+        let _ = std::fs::remove_dir_all(&state_dir);
+        match run_recovery_leg(spec, args.seed, &workload, &state_dir) {
+            Ok(rec) => {
+                eprintln!(
+                    "recovery leg: warm restart {:.1} ms, {} WAL batch(es) replayed \
+                     from epoch {}",
+                    rec.recovery_ms, rec.replayed_batches, rec.recovered_epoch
+                );
+                report.recovery = Some(rec);
+            }
+            Err(e) => {
+                eprintln!("error: recovery leg failed: {e}");
+                let _ = std::fs::remove_dir_all(&state_dir);
+                return ExitCode::from(9);
+            }
+        }
+        let _ = std::fs::remove_dir_all(&state_dir);
+    }
 
     if args.quit {
         match ServeClient::connect(&addr).and_then(|mut c| c.quit()) {

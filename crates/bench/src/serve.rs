@@ -14,17 +14,24 @@
 //! * **refinement lag** — wall time of the `flush` barrier per round;
 //! * **mid-refinement reads** — reads whose response epoch predates the
 //!   post-flush epoch of their round: proof the daemon answered them from
-//!   the previous snapshot while the new one was still being refined.
+//!   the previous snapshot while the new one was still being refined;
+//! * **recovery leg** (in-process mode, schema v2) — a durable daemon is
+//!   fed the workload's mutations, killed without a shutdown snapshot, and
+//!   restarted from its state directory; `recovery_ms` is the warm-restart
+//!   wall time (snapshot load + WAL tail replay) and `replayed_batches`
+//!   how many WAL records it re-refined.
 //!
 //! Results land in `BENCH_serve.json`
 //! (`schema_version` = [`hsbp_serve::BENCH_SERVE_SCHEMA_VERSION`]).
 
 use hsbp_collections::SplitMix64;
-use hsbp_core::HsbpError;
+use hsbp_core::{HsbpError, RunBudget, SbpConfig, Variant};
+use hsbp_graph::Graph;
 use hsbp_serve::json::{parse, Json};
-use hsbp_serve::{BENCH_SERVE_SCHEMA_VERSION, PROTOCOL_VERSION};
+use hsbp_serve::{ServeConfig, Server, BENCH_SERVE_SCHEMA_VERSION, PROTOCOL_VERSION};
 use std::io::{Read, Write};
 use std::net::TcpStream;
+use std::path::Path;
 use std::time::{Duration, Instant};
 
 /// Shape of one generated workload.
@@ -207,6 +214,21 @@ pub struct ServeReport {
     pub final_epoch: u64,
     /// Final block count.
     pub final_num_blocks: u64,
+    /// Crash-recovery leg (in-process mode only; `None` with `--connect`,
+    /// where killing the external daemon is not the harness's call).
+    pub recovery: Option<RecoveryReport>,
+}
+
+/// What the kill → warm-restart leg measured.
+#[derive(Debug, Clone)]
+pub struct RecoveryReport {
+    /// Wall time of the warm restart: snapshot load plus WAL tail replay,
+    /// until the daemon is serving again.
+    pub recovery_ms: f64,
+    /// WAL records re-refined during the restart.
+    pub replayed_batches: u64,
+    /// Epoch carried by the persisted snapshot the restart loaded.
+    pub recovered_epoch: u64,
 }
 
 fn percentile(sorted: &[f64], p: f64) -> f64 {
@@ -265,9 +287,25 @@ impl ServeReport {
         s.push_str(&format!("  \"refine_errors\": {},\n", self.refine_errors));
         s.push_str(&format!("  \"final_epoch\": {},\n", self.final_epoch));
         s.push_str(&format!(
-            "  \"final_num_blocks\": {}\n",
+            "  \"final_num_blocks\": {},\n",
             self.final_num_blocks
         ));
+        match &self.recovery {
+            None => s.push_str("  \"recovery\": null\n"),
+            Some(r) => {
+                s.push_str("  \"recovery\": {\n");
+                s.push_str(&format!(
+                    "    \"recovery_ms\": {},\n",
+                    json_num(r.recovery_ms)
+                ));
+                s.push_str(&format!(
+                    "    \"replayed_batches\": {},\n",
+                    r.replayed_batches
+                ));
+                s.push_str(&format!("    \"recovered_epoch\": {}\n", r.recovered_epoch));
+                s.push_str("  }\n");
+            }
+        }
         s.push_str("}\n");
         s
     }
@@ -334,10 +372,20 @@ impl ServeClient {
                 let parsed = parse(&text)
                     .map_err(|e| self.net_err(format!("bad response JSON: {e} in {text:?}")))?;
                 if parsed.get("ok").and_then(Json::as_bool) != Some(true) {
-                    let msg = parsed
-                        .get("error")
-                        .and_then(Json::as_str)
-                        .unwrap_or("request refused");
+                    // Protocol v2 errors are objects ({kind, message});
+                    // tolerate the v1 plain-string shape too.
+                    let msg = match parsed.get("error") {
+                        Some(Json::Str(s)) => s.clone(),
+                        Some(err) => {
+                            let kind = err.get("kind").and_then(Json::as_str).unwrap_or("error");
+                            let message = err
+                                .get("message")
+                                .and_then(Json::as_str)
+                                .unwrap_or("request refused");
+                            format!("{kind}: {message}")
+                        }
+                        None => "request refused".to_string(),
+                    };
                     return Err(self.net_err(format!("daemon error: {msg}")));
                 }
                 return Ok(parsed);
@@ -432,7 +480,68 @@ pub fn run_workload(
         refine_errors: field("refine_errors"),
         final_epoch: field("epoch"),
         final_num_blocks: field("num_blocks"),
+        recovery: None,
     })
+}
+
+/// The crash-recovery leg: spawn a durable daemon on `state_dir`, feed it
+/// every mutation batch of `workload` (flushed, so all are applied), kill
+/// it without the clean-shutdown snapshot — a `SIGKILL` stand-in — and
+/// time the warm restart from the same directory.
+pub fn run_recovery_leg(
+    spec: &ServeSpec,
+    seed: u64,
+    workload: &Workload,
+    state_dir: &Path,
+) -> Result<RecoveryReport, HsbpError> {
+    let config = || ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        sbp: SbpConfig::new(Variant::Metropolis, seed),
+        budget: RunBudget::unlimited(),
+        state_dir: Some(state_dir.to_path_buf()),
+        // Snapshot only at clean shutdown: the kill leaves the whole WAL
+        // as the recovery source, so replayed_batches is deterministic.
+        snapshot_every: 0,
+        ..ServeConfig::default()
+    };
+    let handle = Server::spawn(config(), Graph::from_edges(0, &[]))?;
+    {
+        let addr = handle.local_addr().to_string();
+        let mut client = ServeClient::connect(&addr)?;
+        client.request(&format!(
+            "{{\"op\":\"add_vertices\",\"count\":{}}}",
+            spec.vertices
+        ))?;
+        for round in &workload.rounds {
+            for line in &round.mutation_lines {
+                client.request(line)?;
+            }
+            client.request("{\"op\":\"flush\"}")?;
+        }
+    }
+    handle.kill();
+
+    let started = Instant::now();
+    let handle = Server::spawn(config(), Graph::from_edges(0, &[]))?;
+    let recovery_ms = started.elapsed().as_secs_f64() * 1e3;
+    let addr = handle.local_addr().to_string();
+    let mut client = ServeClient::connect(&addr)?;
+    let status = client.request("{\"op\":\"status\"}")?;
+    let report = RecoveryReport {
+        recovery_ms,
+        replayed_batches: status
+            .get("replayed_batches")
+            .and_then(Json::as_u64)
+            .unwrap_or(0),
+        recovered_epoch: status
+            .get("recovered_epoch")
+            .and_then(Json::as_u64)
+            .unwrap_or(0),
+    };
+    drop(client);
+    handle.shutdown();
+    handle.join();
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -482,6 +591,7 @@ mod tests {
             refine_errors: 0,
             final_epoch: 6,
             final_num_blocks: 4,
+            recovery: None,
         };
         let parsed = parse(&report.to_json()).unwrap();
         assert_eq!(
@@ -493,6 +603,41 @@ mod tests {
             parsed.get("workload_fingerprint").and_then(Json::as_str),
             Some("00000000deadbeef")
         );
+        // --connect mode (no recovery leg): explicit null, so consumers can
+        // tell "not measured" from "missing field".
+        assert!(matches!(parsed.get("recovery"), Some(Json::Null)));
+    }
+
+    #[test]
+    fn recovery_leg_serialises_under_schema_v2() {
+        let mut report = ServeReport {
+            mode: "smoke".into(),
+            seed: 1,
+            workload_fingerprint: 1,
+            reads: 1,
+            read_p50_us: 1.0,
+            read_p99_us: 2.0,
+            mutations: 1,
+            mutations_per_s: 1.0,
+            flush_ms: vec![],
+            mid_refinement_reads: 0,
+            cancellations: 0,
+            drift_repairs: 0,
+            refine_errors: 0,
+            final_epoch: 1,
+            final_num_blocks: 1,
+            recovery: None,
+        };
+        report.recovery = Some(RecoveryReport {
+            recovery_ms: 17.25,
+            replayed_batches: 9,
+            recovered_epoch: 0,
+        });
+        let parsed = parse(&report.to_json()).unwrap();
+        let rec = parsed.get("recovery").expect("recovery object");
+        assert_eq!(rec.get("recovery_ms").and_then(Json::as_f64), Some(17.25));
+        assert_eq!(rec.get("replayed_batches").and_then(Json::as_u64), Some(9));
+        assert_eq!(rec.get("recovered_epoch").and_then(Json::as_u64), Some(0));
     }
 
     #[test]

@@ -60,6 +60,15 @@ pub enum HsbpError {
         /// Which invariant failed.
         message: String,
     },
+    /// The serve daemon's write-ahead log could not be written, synced, or
+    /// replayed (a non-WAL file at the path, an append that could not be
+    /// made durable before acknowledgement).
+    Wal {
+        /// WAL file path.
+        path: String,
+        /// What went wrong.
+        message: String,
+    },
     /// A network endpoint failed: the serve listener could not bind, a
     /// connection died mid-request, or a harness client could not reach the
     /// daemon.
@@ -113,6 +122,9 @@ impl std::fmt::Display for HsbpError {
             }
             HsbpError::InvariantViolation { shard, message } => {
                 write!(f, "shard {shard} produced an invalid result: {message}")
+            }
+            HsbpError::Wal { path, message } => {
+                write!(f, "wal {path}: {message}")
             }
             HsbpError::Network { addr, message } => {
                 write!(f, "network error on {addr}: {message}")
@@ -192,6 +204,10 @@ mod tests {
             HsbpError::InvariantViolation {
                 shard: 1,
                 message: "block id 9 out of range".into(),
+            },
+            HsbpError::Wal {
+                path: "/tmp/run/wal.log".into(),
+                message: "bad magic: not an hsbp-serve WAL".into(),
             },
             HsbpError::Network {
                 addr: "127.0.0.1:7474".into(),

@@ -13,6 +13,21 @@ use std::time::Duration;
 
 use crate::state::Mutation;
 
+/// Why a bounded append was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppendError {
+    /// The enqueued-but-unapplied backlog would exceed the bound — the
+    /// client should back off and retry; the connection stays usable.
+    Busy {
+        /// Mutations currently enqueued but not yet folded into a snapshot.
+        pending: usize,
+        /// The configured `--max-pending` bound.
+        max: usize,
+    },
+    /// The daemon is shutting down; no further mutations are accepted.
+    ShuttingDown,
+}
+
 #[derive(Debug, Default)]
 struct LogInner {
     queue: Vec<Mutation>,
@@ -20,12 +35,24 @@ struct LogInner {
     seq_enqueued: u64,
     /// Highest sequence number folded into a published snapshot.
     seq_applied: u64,
+    /// `(seq, mutation_count)` of every enqueued-but-unapplied batch, in
+    /// sequence order — the back-pressure backlog. Entries are popped when
+    /// `mark_applied` covers their sequence (the driver drains the queue
+    /// instantly, so `queue.len()` alone under-counts the real backlog).
+    pending_sizes: Vec<(u64, usize)>,
     /// Token guarding the refinement round currently in flight, if any.
     active_token: Option<CancelToken>,
     /// Rounds interrupted by a newer batch (served as `status.cancellations`).
     cancellations: u64,
     /// True once the server is shutting down; wakes every waiter.
     closed: bool,
+}
+
+impl LogInner {
+    /// Mutations enqueued but not yet reflected in a published snapshot.
+    fn depth(&self) -> usize {
+        self.pending_sizes.iter().map(|&(_, n)| n).sum()
+    }
 }
 
 /// Shared mutation log (wrap in `Arc`).
@@ -52,17 +79,66 @@ impl MutationLog {
     /// round in flight so the driver restarts against the newest topology.
     pub fn append(&self, batch: Vec<Mutation>) -> u64 {
         let mut inner = self.lock();
-        inner.queue.extend(batch);
+        Self::enqueue_locked(&mut inner, &self.cond, batch)
+    }
+
+    /// Bounded enqueue: refuse with [`AppendError::Busy`] when the
+    /// enqueued-but-unapplied backlog would exceed `max_pending` mutations
+    /// (`0` = unbounded), and with [`AppendError::ShuttingDown`] once the
+    /// log is closed. On success, behaves exactly like [`Self::append`].
+    pub fn try_append(&self, batch: Vec<Mutation>, max_pending: usize) -> Result<u64, AppendError> {
+        let mut inner = self.lock();
+        if inner.closed {
+            return Err(AppendError::ShuttingDown);
+        }
+        let pending = inner.depth();
+        if max_pending > 0 && pending + batch.len() > max_pending {
+            return Err(AppendError::Busy {
+                pending,
+                max: max_pending,
+            });
+        }
+        Ok(Self::enqueue_locked(&mut inner, &self.cond, batch))
+    }
+
+    fn enqueue_locked(inner: &mut LogInner, cond: &Condvar, batch: Vec<Mutation>) -> u64 {
         inner.seq_enqueued += 1;
+        let seq = inner.seq_enqueued;
+        inner.pending_sizes.push((seq, batch.len()));
+        inner.queue.extend(batch);
         if let Some(token) = inner.active_token.take() {
             if !token.is_cancelled() {
                 token.cancel();
                 inner.cancellations += 1;
             }
         }
-        let seq = inner.seq_enqueued;
-        self.cond.notify_all();
+        cond.notify_all();
         seq
+    }
+
+    /// The sequence number the *next* append will receive. Meaningful to
+    /// the durable append path only, which serialises every producer
+    /// through one WAL lock — the WAL record for a batch is written under
+    /// this predicted sequence *before* the batch is enqueued.
+    pub fn next_seq(&self) -> u64 {
+        self.lock().seq_enqueued + 1
+    }
+
+    /// Warm restart: adopt `seq` as both the enqueued and applied sequence,
+    /// so post-recovery appends continue the WAL's numbering instead of
+    /// restarting from 1. Only valid on an idle log (nothing queued).
+    pub fn reset_seq(&self, seq: u64) {
+        let mut inner = self.lock();
+        debug_assert!(inner.queue.is_empty(), "reset_seq on a non-idle log");
+        inner.seq_enqueued = seq;
+        inner.seq_applied = seq;
+        inner.pending_sizes.clear();
+    }
+
+    /// Mutations enqueued but not yet folded into a published snapshot
+    /// (served as `status.queue_depth`).
+    pub fn queue_depth(&self) -> usize {
+        self.lock().depth()
     }
 
     /// Driver: block until mutations are pending (or the log closes).
@@ -108,6 +184,7 @@ impl MutationLog {
         if seq > inner.seq_applied {
             inner.seq_applied = seq;
         }
+        inner.pending_sizes.retain(|&(s, _)| s > seq);
         self.cond.notify_all();
     }
 
@@ -185,6 +262,119 @@ mod tests {
         assert_eq!(drained_seq, seq);
         log.mark_applied(drained_seq);
         assert!(waiter.join().unwrap());
+    }
+
+    #[test]
+    fn arm_after_append_is_refused_until_drained() {
+        // The stale-round race: a batch lands *between* the driver's drain
+        // and its arm. Arming must fail so the driver restarts against the
+        // merged topology instead of refining a stale graph.
+        let log = MutationLog::new();
+        log.append(vec![Mutation::AddVertices { count: 1 }]);
+        let (_, seq) = log.wait_drain().unwrap();
+        log.append(vec![Mutation::AddVertices { count: 1 }]); // races in
+        assert!(
+            !log.arm(&CancelToken::new()),
+            "arm after a racing append must report the round stale"
+        );
+        // After draining the racer, arming succeeds again.
+        let (_, seq2) = log.wait_drain().unwrap();
+        assert_eq!(seq2, seq + 1);
+        assert!(log.arm(&CancelToken::new()));
+    }
+
+    #[test]
+    fn double_cancel_counts_once() {
+        // Two appends landing on one armed round: the first cancels the
+        // token, the second sees it already cancelled (or already taken)
+        // and must not double-count the cancellation.
+        let log = MutationLog::new();
+        let token = CancelToken::new();
+        assert!(log.arm(&token));
+        token.cancel(); // external cancel (e.g. shutdown) beat the append
+        log.append(vec![Mutation::AddVertices { count: 1 }]);
+        log.append(vec![Mutation::AddVertices { count: 1 }]);
+        let (_, _, _, cancels) = log.stats();
+        assert_eq!(cancels, 0, "an already-cancelled token is not re-counted");
+
+        let token2 = CancelToken::new();
+        log.disarm();
+        // Queue is non-empty so arm is refused; cancellations stay put.
+        assert!(!log.arm(&token2));
+        log.append(vec![Mutation::AddVertices { count: 1 }]);
+        let (_, _, _, cancels) = log.stats();
+        assert_eq!(cancels, 0, "appends with no armed token cancel nothing");
+    }
+
+    #[test]
+    fn flush_while_cancelled_round_still_completes() {
+        // A flush waiter must be released by the *final* mark_applied even
+        // when the round it first waited on was cancelled and re-run.
+        let log = Arc::new(MutationLog::new());
+        let s1 = log.append(vec![Mutation::AddVertices { count: 1 }]);
+        let waiter = {
+            let log = Arc::clone(&log);
+            std::thread::spawn(move || log.wait_applied(s1))
+        };
+        let (_, _) = log.wait_drain().unwrap();
+        let token = CancelToken::new();
+        assert!(log.arm(&token));
+        // A newer batch cancels the armed round before it publishes.
+        let s2 = log.append(vec![Mutation::AddVertices { count: 1 }]);
+        assert!(token.is_cancelled());
+        log.disarm();
+        // The driver re-drains and publishes a snapshot covering both.
+        let (_, seq) = log.wait_drain().unwrap();
+        assert_eq!(seq, s2);
+        log.mark_applied(seq);
+        assert!(
+            waiter.join().unwrap(),
+            "flush released despite cancellation"
+        );
+    }
+
+    #[test]
+    fn try_append_enforces_the_pending_bound() {
+        let log = MutationLog::new();
+        let s1 = log
+            .try_append(vec![Mutation::AddVertices { count: 1 }; 3], 4)
+            .unwrap();
+        assert_eq!(s1, 1);
+        assert_eq!(log.queue_depth(), 3);
+        // 3 pending + 2 incoming > 4: refused, backlog unchanged.
+        match log.try_append(vec![Mutation::AddVertices { count: 1 }; 2], 4) {
+            Err(AppendError::Busy { pending, max }) => {
+                assert_eq!((pending, max), (3, 4));
+            }
+            other => panic!("expected Busy, got {other:?}"),
+        }
+        assert_eq!(log.queue_depth(), 3);
+        // The backlog counts until mark_applied, not until drain.
+        let (_, seq) = log.wait_drain().unwrap();
+        assert_eq!(log.queue_depth(), 3, "drained but unapplied still pends");
+        log.mark_applied(seq);
+        assert_eq!(log.queue_depth(), 0);
+        log.try_append(vec![Mutation::AddVertices { count: 1 }; 2], 4)
+            .unwrap();
+        // Zero bound = unbounded.
+        log.try_append(vec![Mutation::AddVertices { count: 1 }; 100], 0)
+            .unwrap();
+        log.close();
+        assert_eq!(
+            log.try_append(vec![Mutation::AddVertices { count: 1 }], 0),
+            Err(AppendError::ShuttingDown)
+        );
+    }
+
+    #[test]
+    fn reset_seq_continues_wal_numbering() {
+        let log = MutationLog::new();
+        log.reset_seq(17);
+        assert_eq!(log.next_seq(), 18);
+        let seq = log.append(vec![Mutation::AddVertices { count: 1 }]);
+        assert_eq!(seq, 18);
+        let (_, _, applied, _) = log.stats();
+        assert_eq!(applied, 17, "recovered sequence counts as applied");
     }
 
     #[test]

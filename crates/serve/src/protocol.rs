@@ -2,11 +2,13 @@
 //! line, one response object per line.
 //!
 //! Every request carries an `"op"` field; every response carries `"ok"`.
-//! Failures come back as `{"ok":false,"error":"..."}` on the same line —
-//! the connection stays open. See DESIGN.md §12 for the full message
-//! catalogue and README for worked examples.
+//! Failures come back as
+//! `{"ok":false,"error":{"kind":"...","message":"..."}}` on the same line —
+//! the connection stays open, and `kind` is machine-dispatchable (see
+//! [`ErrorKind`]). See DESIGN.md §12 for the full message catalogue and
+//! README for worked examples.
 
-use crate::json::Json;
+use crate::json::{obj, Json};
 use crate::state::Mutation;
 use hsbp_blockmodel::Block;
 use hsbp_graph::Vertex;
@@ -14,10 +16,45 @@ use hsbp_graph::Vertex;
 /// Version of the wire protocol itself. Bumped on any incompatible change
 /// to request or response shapes; reported by the `version` handshake so
 /// replay tooling can refuse mismatched daemons.
-pub const PROTOCOL_VERSION: u32 = 1;
+///
+/// v2: errors became typed objects (`{"kind","message"}` instead of a bare
+/// string) and `status` gained the durability/back-pressure fields.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Schema version of `BENCH_serve.json` (the load-test harness artifact).
-pub const BENCH_SERVE_SCHEMA_VERSION: u32 = 1;
+///
+/// v2: adds the crash-recovery leg (`recovery_ms`, `replayed_batches`,
+/// `recovered_epoch`). Check tooling still accepts v1 reports.
+pub const BENCH_SERVE_SCHEMA_VERSION: u32 = 2;
+
+/// Machine-dispatchable failure category, the `error.kind` wire value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The request line was not valid JSON.
+    Parse,
+    /// Valid JSON, but the `op` is not one the daemon knows.
+    UnknownCommand,
+    /// A known op with malformed or out-of-range arguments.
+    BadRequest,
+    /// The mutation backlog is at `--max-pending` (or the connection limit
+    /// is reached): back off and retry. The connection stays usable.
+    Busy,
+    /// The daemon is shutting down; no further mutations are accepted.
+    ShuttingDown,
+}
+
+impl ErrorKind {
+    /// The stable wire string for this kind.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorKind::Parse => "parse",
+            ErrorKind::UnknownCommand => "unknown_command",
+            ErrorKind::BadRequest => "bad_request",
+            ErrorKind::Busy => "busy",
+            ErrorKind::ShuttingDown => "shutting_down",
+        }
+    }
+}
 
 /// One parsed client request.
 #[derive(Debug, Clone, PartialEq)]
@@ -44,8 +81,18 @@ pub enum Request {
 }
 
 impl Request {
-    /// Parse one request line (already JSON-decoded).
-    pub fn parse(req: &Json) -> Result<Request, String> {
+    /// Parse one request line (already JSON-decoded). Errors carry the
+    /// [`ErrorKind`] the response should be typed with: an unrecognised
+    /// `op` is `unknown_command`, everything else malformed is
+    /// `bad_request`.
+    pub fn parse(req: &Json) -> Result<Request, (ErrorKind, String)> {
+        Self::parse_fields(req).map_err(|e| match e {
+            ParseFailure::UnknownOp(msg) => (ErrorKind::UnknownCommand, msg),
+            ParseFailure::Bad(msg) => (ErrorKind::BadRequest, msg),
+        })
+    }
+
+    fn parse_fields(req: &Json) -> Result<Request, ParseFailure> {
         let op = req
             .get("op")
             .and_then(Json::as_str)
@@ -95,8 +142,27 @@ impl Request {
             "status" => Ok(Request::Status),
             "flush" => Ok(Request::Flush),
             "quit" => Ok(Request::Quit),
-            other => Err(format!("unknown op {other:?}")),
+            other => Err(ParseFailure::UnknownOp(format!("unknown op {other:?}"))),
         }
+    }
+}
+
+/// Internal parse failure, split so [`Request::parse`] can type the
+/// response: an unknown op is a different wire error than a malformed one.
+enum ParseFailure {
+    UnknownOp(String),
+    Bad(String),
+}
+
+impl From<String> for ParseFailure {
+    fn from(msg: String) -> Self {
+        ParseFailure::Bad(msg)
+    }
+}
+
+impl From<&str> for ParseFailure {
+    fn from(msg: &str) -> Self {
+        ParseFailure::Bad(msg.to_string())
     }
 }
 
@@ -158,12 +224,24 @@ fn parse_remove_edges(req: &Json) -> Result<Vec<Mutation>, String> {
         .collect()
 }
 
-/// `{"ok":false,"error":msg}` — the uniform failure response.
-pub fn error_response(msg: &str) -> Json {
-    Json::Obj(vec![
-        ("ok".into(), Json::Bool(false)),
-        ("error".into(), Json::Str(msg.into())),
+/// `{"ok":false,"error":{"kind":...,"message":...}}` — the uniform typed
+/// failure response.
+pub fn error_response(kind: ErrorKind, msg: &str) -> Json {
+    obj(vec![
+        ("ok", Json::Bool(false)),
+        (
+            "error",
+            obj(vec![
+                ("kind", Json::Str(kind.as_str().into())),
+                ("message", Json::Str(msg.into())),
+            ]),
+        ),
     ])
+}
+
+/// The `error.kind` of a response, if it is a typed failure.
+pub fn error_kind_of(resp: &Json) -> Option<&str> {
+    resp.get("error")?.get("kind")?.as_str()
 }
 
 #[cfg(test)]
@@ -227,7 +305,6 @@ mod tests {
     fn rejects_malformed_requests() {
         for line in [
             r#"{"no_op":1}"#,
-            r#"{"op":"frobnicate"}"#,
             r#"{"op":"add_edges"}"#,
             r#"{"op":"add_edges","edges":[[0]]}"#,
             r#"{"op":"add_edges","edges":[[0,1,0]]}"#,
@@ -236,10 +313,44 @@ mod tests {
             r#"{"op":"membership","vertices":[4294967296]}"#,
             r#"{"op":"remove_vertex"}"#,
         ] {
-            assert!(
-                Request::parse(&parse(line).unwrap()).is_err(),
-                "{line} should fail"
+            match Request::parse(&parse(line).unwrap()) {
+                Err((ErrorKind::BadRequest, _)) => {}
+                other => panic!("{line} should be bad_request, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_op_is_its_own_kind() {
+        match Request::parse(&parse(r#"{"op":"frobnicate"}"#).unwrap()) {
+            Err((ErrorKind::UnknownCommand, msg)) => {
+                assert!(msg.contains("frobnicate"), "{msg}");
+            }
+            other => panic!("expected unknown_command, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_responses_carry_kind_and_message() {
+        for (kind, wire) in [
+            (ErrorKind::Parse, "parse"),
+            (ErrorKind::UnknownCommand, "unknown_command"),
+            (ErrorKind::BadRequest, "bad_request"),
+            (ErrorKind::Busy, "busy"),
+            (ErrorKind::ShuttingDown, "shutting_down"),
+        ] {
+            let resp = error_response(kind, "details");
+            assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(false));
+            assert_eq!(error_kind_of(&resp), Some(wire));
+            assert_eq!(
+                resp.get("error")
+                    .and_then(|e| e.get("message"))
+                    .and_then(Json::as_str),
+                Some("details")
             );
+            assert_eq!(kind.as_str(), wire);
+            // The line is valid JSON end to end.
+            assert_eq!(parse(&resp.to_line()).unwrap(), resp);
         }
     }
 }

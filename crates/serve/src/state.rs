@@ -72,6 +72,16 @@ impl EvolvingGraph {
         g
     }
 
+    /// An edgeless graph with `n` (isolated) vertices — the warm-restart
+    /// path rebuilds the twin from a persisted snapshot's vertex count plus
+    /// its edge list, preserving trailing isolated ids.
+    pub fn with_vertices(n: usize) -> Self {
+        Self {
+            out_adj: vec![BTreeMap::new(); n],
+            in_adj: vec![BTreeMap::new(); n],
+        }
+    }
+
     /// Current vertex count.
     pub fn num_vertices(&self) -> usize {
         self.out_adj.len()

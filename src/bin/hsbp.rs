@@ -17,6 +17,9 @@
 //!              [--variant sbp|asbp|hsbp] [--max-sweeps N] [--deadline SECS]
 //!              [--audit-cadence N] [--strict-audit true]
 //!              [--refine-pause-ms N]
+//!              [--state-dir DIR] [--fsync always|batch|never]
+//!              [--snapshot-every N] [--max-pending N] [--max-connections N]
+//!              [--idle-timeout-ms N] [--fault-plan SPEC]
 //! hsbp version
 //! ```
 //!
@@ -50,6 +53,17 @@
 //! every mutation batch. `--max-sweeps` / `--deadline` budget each
 //! refinement round; `--input` seeds the initial graph (default: empty).
 //! The daemon stops cleanly on SIGTERM/SIGINT or a `{"op":"quit"}` message.
+//! With `--state-dir DIR` every accepted batch is appended to a write-ahead
+//! log before its acknowledgement (`--fsync` picks the durability/latency
+//! trade-off), snapshots are persisted every `--snapshot-every` applied
+//! batches and at clean shutdown, and a restart from the same directory
+//! warm-starts (snapshot + WAL tail replay; `status` reports
+//! `recovered_epoch` and `replayed_batches`). `--max-pending` bounds the
+//! mutation backlog (over-limit batches get a typed `busy` error),
+//! `--max-connections` / `--idle-timeout-ms` bound connections, and
+//! `--fault-plan` injects deterministic durability faults
+//! (`crash-after-wal:SEQ`, `torn-write:SEQ`, `crash-before-rename:NTH`,
+//! `slow-apply:SEQ=MS`) for crash-recovery testing.
 //!
 //! Failures exit with a one-line diagnostic and a distinct code:
 //! 2 = usage / invalid flags, 3 = unreadable graph, 4 = bad partition file,
@@ -108,7 +122,10 @@ fn usage(msg: &str) -> ExitCode {
          \x20             [--seed N] --output FILE [--truth FILE]\n\
          \x20 hsbp serve [--addr HOST:PORT] [--input FILE] [--seed N] \\\n\
          \x20             [--variant sbp|asbp|hsbp] [--max-sweeps N] [--deadline SECS] \\\n\
-         \x20             [--audit-cadence N] [--strict-audit true] [--refine-pause-ms N]\n\
+         \x20             [--audit-cadence N] [--strict-audit true] [--refine-pause-ms N] \\\n\
+         \x20             [--state-dir DIR] [--fsync always|batch|never] \\\n\
+         \x20             [--snapshot-every N] [--max-pending N] [--max-connections N] \\\n\
+         \x20             [--idle-timeout-ms N] [--fault-plan SPEC]\n\
          \x20 hsbp version"
     );
     ExitCode::from(2)
@@ -132,7 +149,7 @@ fn report_error(e: &HsbpError) -> ExitCode {
         HsbpError::InvalidConfig(_) => 2,
         HsbpError::Io { .. } => EXIT_BAD_GRAPH,
         HsbpError::PartitionMismatch { .. } => EXIT_BAD_PARTITION,
-        HsbpError::Checkpoint { .. } => EXIT_BAD_CHECKPOINT,
+        HsbpError::Checkpoint { .. } | HsbpError::Wal { .. } => EXIT_BAD_CHECKPOINT,
         HsbpError::StateDrift { .. } => EXIT_STATE_DRIFT,
         HsbpError::Network { .. } => EXIT_NETWORK,
         HsbpError::ShardFailed { .. }
@@ -698,6 +715,13 @@ fn serve_cmd(flags: &HashMap<String, String>) -> ExitCode {
             "strict-audit",
             "inject-drift",
             "refine-pause-ms",
+            "state-dir",
+            "fsync",
+            "snapshot-every",
+            "max-pending",
+            "max-connections",
+            "idle-timeout-ms",
+            "fault-plan",
         ],
     ) {
         return usage(&e);
@@ -731,6 +755,48 @@ fn serve_cmd(flags: &HashMap<String, String>) -> ExitCode {
         Some(Ok(n)) => n,
         Some(Err(_)) => return usage("--refine-pause-ms needs a non-negative integer"),
     };
+    let defaults = ServeConfig::default();
+    let state_dir = flags.get("state-dir").map(std::path::PathBuf::from);
+    let fsync = match flags.get("fsync") {
+        None => defaults.fsync,
+        Some(spec) => match hsbp::serve::FsyncPolicy::parse(spec) {
+            Ok(p) => p,
+            Err(e) => return usage(&format!("bad --fsync: {e}")),
+        },
+    };
+    let parse_count = |name: &str, default: u64| -> Result<u64, String> {
+        match flags.get(name).map(|s| s.parse()) {
+            None => Ok(default),
+            Some(Ok(n)) => Ok(n),
+            Some(Err(_)) => Err(format!("--{name} needs a non-negative integer")),
+        }
+    };
+    let snapshot_every = match parse_count("snapshot-every", defaults.snapshot_every) {
+        Ok(n) => n,
+        Err(e) => return usage(&e),
+    };
+    let max_pending = match parse_count("max-pending", defaults.max_pending as u64) {
+        Ok(n) => n as usize,
+        Err(e) => return usage(&e),
+    };
+    let max_connections = match parse_count("max-connections", defaults.max_connections as u64) {
+        Ok(n) => n as usize,
+        Err(e) => return usage(&e),
+    };
+    let idle_timeout_ms = match parse_count("idle-timeout-ms", defaults.idle_timeout_ms) {
+        Ok(n) => n,
+        Err(e) => return usage(&e),
+    };
+    let fault_plan = match flags.get("fault-plan") {
+        None => hsbp::serve::ServeFaultPlan::none(),
+        Some(spec) => match hsbp::serve::ServeFaultPlan::parse(spec) {
+            Ok(p) => p,
+            Err(e) => return usage(&format!("bad --fault-plan: {e}")),
+        },
+    };
+    if !fault_plan.is_empty() && state_dir.is_none() {
+        return usage("--fault-plan targets the durability path; it needs --state-dir");
+    }
     let mut sbp = SbpConfig::new(variant, seed);
     if let Err(e) = apply_audit_flags(flags, &mut sbp) {
         return usage(&e);
@@ -755,11 +821,29 @@ fn serve_cmd(flags: &HashMap<String, String>) -> ExitCode {
     }
 
     install_signal_handlers();
+    if let Some(dir) = &state_dir {
+        eprintln!(
+            "state dir: {} (fsync {}, snapshot every {} batches)",
+            dir.display(),
+            fsync.name(),
+            snapshot_every
+        );
+    }
     let config = ServeConfig {
         addr,
         sbp,
         budget,
         refine_pause_ms,
+        state_dir,
+        fsync,
+        snapshot_every,
+        max_pending,
+        max_connections,
+        idle_timeout_ms,
+        fault_plan,
+        // The CLI daemon dies for real on injected crashes, so the CI
+        // crash-recovery job observes an actual process death.
+        hard_faults: true,
     };
     let handle = match Server::spawn(config, initial) {
         Ok(h) => h,

@@ -88,7 +88,7 @@ fn spawn_default(initial: Graph) -> ServerHandle {
             addr: "127.0.0.1:0".into(),
             sbp: SbpConfig::new(Variant::Metropolis, 7),
             budget: RunBudget::unlimited(),
-            refine_pause_ms: 0,
+            ..ServeConfig::default()
         },
         initial,
     )
@@ -190,6 +190,7 @@ fn reads_served_mid_refinement_and_cancellation_is_clean() {
             // Hold each armed round open 300 ms before its first sweep so
             // the test can deterministically read and cancel mid-round.
             refine_pause_ms: 300,
+            ..ServeConfig::default()
         },
         planted(20),
     )
@@ -234,6 +235,127 @@ fn reads_served_mid_refinement_and_cancellation_is_clean() {
         members.get("blocks").and_then(Json::as_arr).unwrap().len(),
         8
     );
+
+    handle.shutdown();
+    handle.join();
+}
+
+/// Pull `error.kind` out of a (v2, object-shaped) error response.
+fn error_kind(resp: &Json) -> Option<String> {
+    resp.get("error")
+        .and_then(|e| e.get("kind"))
+        .and_then(Json::as_str)
+        .map(str::to_string)
+}
+
+/// Every protocol error carries a distinct machine-readable kind, and none
+/// of them drop the connection.
+#[test]
+fn protocol_errors_are_typed_and_connection_survives() {
+    let handle = spawn_default(planted(10));
+    let mut client = Client::connect(&handle);
+
+    let bad_json = client.request("{this is not json");
+    assert_eq!(bad_json.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(error_kind(&bad_json).as_deref(), Some("parse"));
+    assert!(
+        bad_json
+            .get("error")
+            .and_then(|e| e.get("message"))
+            .and_then(Json::as_str)
+            .is_some(),
+        "error object carries a human message too"
+    );
+
+    let unknown = client.request("{\"op\":\"frobnicate\"}");
+    assert_eq!(error_kind(&unknown).as_deref(), Some("unknown_command"));
+
+    let bad_req = client.request("{\"op\":\"membership\",\"vertices\":[9999]}");
+    assert_eq!(error_kind(&bad_req).as_deref(), Some("bad_request"));
+
+    // The same connection still answers reads after three errors.
+    let status = client.ok("{\"op\":\"status\"}");
+    assert_eq!(u(&status, "connections"), 1);
+
+    handle.shutdown();
+    handle.join();
+}
+
+/// Over-limit mutation batches get a typed `busy` error; the connection
+/// stays usable and the backlog drains normally.
+#[test]
+fn back_pressure_returns_busy_and_recovers() {
+    let handle = Server::spawn(
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            sbp: SbpConfig::new(Variant::Metropolis, 3),
+            // Hold each round open long enough that the first batch is
+            // still unapplied when the second arrives.
+            refine_pause_ms: 400,
+            max_pending: 4,
+            ..ServeConfig::default()
+        },
+        Graph::from_edges(0, &[]),
+    )
+    .unwrap();
+    let mut client = Client::connect(&handle);
+
+    // 3 pending mutations fit the bound of 4...
+    let first = client.ok("{\"op\":\"add_edges\",\"edges\":[[0,1],[1,2],[2,0]]}");
+    assert_eq!(u(&first, "seq"), 1);
+    // ...but 3 more would exceed it while the driver still holds batch 1.
+    let busy = client.request("{\"op\":\"add_edges\",\"edges\":[[3,4],[4,5],[5,3]]}");
+    assert_eq!(busy.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(error_kind(&busy).as_deref(), Some("busy"));
+
+    // Reads still answered on the same connection, and the refused batch
+    // was never enqueued.
+    let status = client.ok("{\"op\":\"status\"}");
+    assert_eq!(u(&status, "seq_enqueued"), 1);
+
+    // After the backlog drains, the same batch is accepted.
+    client.ok("{\"op\":\"flush\"}");
+    let retry = client.ok("{\"op\":\"add_edges\",\"edges\":[[3,4],[4,5],[5,3]]}");
+    assert_eq!(u(&retry, "seq"), 2);
+    client.ok("{\"op\":\"flush\"}");
+    let status = client.ok("{\"op\":\"status\"}");
+    assert_eq!(u(&status, "num_edges"), 6);
+
+    handle.shutdown();
+    handle.join();
+}
+
+/// Connections past the cap get one `busy` line and are closed; existing
+/// connections are unaffected.
+#[test]
+fn connection_cap_rejects_excess_clients() {
+    let handle = Server::spawn(
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            sbp: SbpConfig::new(Variant::Metropolis, 5),
+            max_connections: 1,
+            ..ServeConfig::default()
+        },
+        Graph::from_edges(3, &[(0, 1), (1, 2)]),
+    )
+    .unwrap();
+    let mut first = Client::connect(&handle);
+    // Ensure the first connection is registered before the second dials.
+    let status = first.ok("{\"op\":\"status\"}");
+    assert_eq!(u(&status, "connections"), 1);
+
+    let mut second = Client::connect(&handle);
+    let mut line = String::new();
+    second.reader.read_line(&mut line).unwrap();
+    let resp = parse(line.trim()).unwrap();
+    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(error_kind(&resp).as_deref(), Some("busy"));
+    // The rejected socket is closed: the next read returns EOF.
+    line.clear();
+    assert_eq!(second.reader.read_line(&mut line).unwrap(), 0);
+
+    // The first connection never noticed.
+    first.ok("{\"op\":\"mdl\"}");
 
     handle.shutdown();
     handle.join();
