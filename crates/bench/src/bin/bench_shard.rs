@@ -1,0 +1,81 @@
+//! Communication-vs-computation curves for the exact distributed mode.
+//!
+//! ```text
+//! bench_shard [--mode smoke|full] [--out PATH]
+//! ```
+//!
+//! Runs the scaling family (shards × sync-every under the null plan) and
+//! the fault family (drop / reorder / corrupt / straggler at 4 shards) on
+//! the seeded DCSBM graph of the chosen spec, and writes the per-row
+//! bytes-per-round / retransmit / resync / cost-split measurements to
+//! `--out` (default `BENCH_shard.json`). Every run is deterministic: the
+//! same invocation reproduces the same report bytes.
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use hsbp_bench::shard::{run_shard_bench, ShardBenchSpec, FULL, SMOKE};
+use std::process::ExitCode;
+
+struct Args {
+    mode: String,
+    out: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        mode: "smoke".into(),
+        out: "BENCH_shard.json".into(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--mode" => args.mode = value("--mode")?,
+            "--out" => args.out = value("--out")?,
+            "--help" | "-h" => {
+                return Err("usage: bench_shard [--mode smoke|full] [--out PATH]".into())
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(args)
+}
+
+fn spec_for(mode: &str) -> Option<&'static ShardBenchSpec> {
+    match mode {
+        "smoke" => Some(&SMOKE),
+        "full" => Some(&FULL),
+        _ => None,
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let Some(spec) = spec_for(&args.mode) else {
+        eprintln!("unknown --mode '{}': expected smoke|full", args.mode);
+        return ExitCode::from(2);
+    };
+    let report = match run_shard_bench(spec) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(6);
+        }
+    };
+    if let Err(e) = std::fs::write(&args.out, report.to_json()) {
+        eprintln!("cannot write {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "report written to {} ({} rows)",
+        args.out,
+        report.rows.len()
+    );
+    ExitCode::SUCCESS
+}

@@ -22,5 +22,6 @@ pub mod plot;
 pub mod report;
 pub mod runner;
 pub mod serve;
+pub mod shard;
 
 pub use runner::{ExperimentContext, RealRun, SyntheticRun};

@@ -55,6 +55,17 @@ pub struct RunStats {
     pub consolidations_rebuild: usize,
     /// Accepted moves folded in through the incremental path.
     pub consolidated_moves: u64,
+    /// Delta-sync rounds completed by the exact distributed mode (0 for
+    /// in-process runs).
+    pub sync_rounds: usize,
+    /// Delta messages retransmitted after a NACK (exact distributed mode).
+    pub sync_retransmits: u64,
+    /// Full-state replica resyncs from the coordinator (exact distributed
+    /// mode: retry exhaustion against a live sender, digest divergence, or
+    /// audit repair / degradation broadcasts).
+    pub sync_resyncs: u64,
+    /// Total bytes put on the emulated wire (exact distributed mode).
+    pub sync_bytes: u64,
 }
 
 impl RunStats {
@@ -80,6 +91,10 @@ impl RunStats {
             consolidations_incremental: 0,
             consolidations_rebuild: 0,
             consolidated_moves: 0,
+            sync_rounds: 0,
+            sync_retransmits: 0,
+            sync_resyncs: 0,
+            sync_bytes: 0,
         }
     }
 
@@ -121,6 +136,10 @@ mod tests {
         assert_eq!(stats.consolidations_incremental, 0);
         assert_eq!(stats.consolidations_rebuild, 0);
         assert_eq!(stats.consolidated_moves, 0);
+        assert_eq!(stats.sync_rounds, 0);
+        assert_eq!(stats.sync_retransmits, 0);
+        assert_eq!(stats.sync_resyncs, 0);
+        assert_eq!(stats.sync_bytes, 0);
     }
 
     #[test]

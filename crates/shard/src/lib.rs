@@ -58,7 +58,9 @@
 
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
+pub mod channel;
 pub mod checkpoint;
+pub mod exact;
 pub mod faults;
 pub mod partition;
 pub mod runner;
@@ -69,7 +71,9 @@ use hsbp_core::{SbpConfig, SbpResult, Variant};
 use hsbp_graph::Graph;
 use std::path::Path;
 
+pub use channel::{NetFaultPlan, NetTotals, SYNC_PROTOCOL_VERSION};
 pub use checkpoint::{Checkpoint, LoadedShard};
+pub use exact::{run_exact_sbp, DeadShard, ExactConfig, ExactRun, RoundNet};
 pub use faults::{AttemptSelector, FaultKind, FaultPlan, FaultSpec};
 pub use hsbp_core::HsbpError;
 pub use partition::{partition_graph, PartitionStrategy, Shard, ShardPlan};

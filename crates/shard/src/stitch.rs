@@ -120,7 +120,11 @@ fn union_surviving(
 /// per-pass snapshot, ties break toward the lowest block id.
 ///
 /// Returns the number of vertices reassigned.
-fn reassign_dropped(graph: &Graph, assigned: &mut [Option<Block>], num_blocks: usize) -> usize {
+pub(crate) fn reassign_dropped(
+    graph: &Graph,
+    assigned: &mut [Option<Block>],
+    num_blocks: usize,
+) -> usize {
     let n = assigned.len();
     let orphaned: Vec<usize> = (0..n).filter(|&v| assigned[v].is_none()).collect();
     if orphaned.is_empty() {
@@ -197,6 +201,10 @@ fn fold_stats<'a>(stats: &mut RunStats, results: impl Iterator<Item = &'a SbpRes
         stats.consolidations_incremental += result.stats.consolidations_incremental;
         stats.consolidations_rebuild += result.stats.consolidations_rebuild;
         stats.consolidated_moves += result.stats.consolidated_moves;
+        stats.sync_rounds += result.stats.sync_rounds;
+        stats.sync_retransmits += result.stats.sync_retransmits;
+        stats.sync_resyncs += result.stats.sync_resyncs;
+        stats.sync_bytes += result.stats.sync_bytes;
     }
 }
 

@@ -31,6 +31,11 @@ pub struct CostModel {
     pub rebuild_serial_fraction: f64,
     /// Synchronisation cost charged once per parallel section.
     pub barrier: f64,
+    /// Fixed cost of putting one message on the (emulated) network —
+    /// serialisation, framing, and per-packet latency.
+    pub net_per_message: f64,
+    /// Cost per payload byte on the wire (inverse bandwidth).
+    pub net_per_byte: f64,
 }
 
 impl Default for CostModel {
@@ -48,6 +53,10 @@ impl Default for CostModel {
             rebuild_per_edge: 1.0,
             rebuild_serial_fraction: 0.15,
             barrier: 500.0,
+            // A message costs about one barrier (kernel round-trip +
+            // serialisation); bytes stream much cheaper than work units.
+            net_per_message: 500.0,
+            net_per_byte: 0.05,
         }
     }
 }
@@ -97,6 +106,13 @@ impl CostModel {
     ) -> bool {
         incremental_cost < self.rebuild_cost(num_edges)
     }
+
+    /// Cost of putting one framed message of `bytes` total size on the
+    /// emulated network (fixed per-message overhead plus streaming).
+    #[inline]
+    pub fn message_cost(&self, bytes: usize) -> f64 {
+        self.net_per_message + self.net_per_byte * bytes as f64
+    }
 }
 
 #[cfg(test)]
@@ -142,5 +158,15 @@ mod tests {
         assert!(m.rebuild_per_edge > 0.0);
         assert!((0.0..1.0).contains(&m.rebuild_serial_fraction));
         assert!(m.barrier >= 0.0);
+        assert!(m.net_per_message > 0.0);
+        assert!(m.net_per_byte > 0.0);
+    }
+
+    #[test]
+    fn message_cost_linear_in_bytes_plus_fixed() {
+        let m = CostModel::default();
+        assert_eq!(m.message_cost(0), m.net_per_message);
+        let d = m.message_cost(1000) - m.message_cost(0);
+        assert!((d - 1000.0 * m.net_per_byte).abs() < 1e-9);
     }
 }

@@ -10,6 +10,9 @@
 //!              [--max-retries N] [--shard-timeout SECS] [--fault-plan SPEC]
 //!              [--audit-cadence N] [--strict-audit true]
 //!              [--checkpoint DIR | --resume DIR] [--output labels.tsv]
+//! hsbp shard   --exact true --input graph.mtx [--shards K] [--seed N]
+//!              [--sync-every N] [--digest-every N] [--sync-retries N]
+//!              [--net-fault-plan SPEC] [--compare true] [--output labels.tsv]
 //! hsbp stats   --input graph.mtx
 //! hsbp generate --vertices N --edges M [--communities C] [--ratio R]
 //!              [--seed K] --output graph.mtx [--truth truth.tsv]
@@ -47,6 +50,19 @@
 //! `hsbp::shard::faults`), `--checkpoint DIR` persists each completed shard
 //! so `--resume DIR` can pick an interrupted run back up.
 //!
+//! `shard --exact true` switches to the exact distributed mode: every
+//! shard samples its vertex range against a replicated global blockmodel
+//! and broadcasts accepted-move deltas as checksummed, sequence-numbered
+//! messages each sync round, so the sampled chain is bit-identical to the
+//! single-model EA-SBP run. `--net-fault-plan` injects deterministic wire
+//! faults (`seed:N, drop:P, dup:P, reorder:P, corrupt:P, delay:P=R,
+//! silent:SHARD@ROUND, desync:SHARD@ROUND`); recovery (NACK-driven
+//! retransmit, digest-verified resync, majority-vote reassignment of dead
+//! shards' vertices) happens inside the round barrier. `--sync-every N`
+//! batches N sweeps per sync round, `--digest-every N` sets the replica
+//! digest-exchange cadence, `--sync-retries N` bounds retransmit attempts
+//! before a shard is declared dead.
+//!
 //! `serve` starts the resident community-detection daemon (`hsbp-serve`):
 //! a TCP server speaking line-delimited JSON that owns the graph, answers
 //! reads from an epoch-swapped snapshot, and re-detects incrementally after
@@ -79,8 +95,9 @@ use hsbp::metrics::{directed_modularity, nmi, normalized_mdl};
 use hsbp::serve::{ServeConfig, Server};
 use hsbp::shard::{run_sharded_sbp_detailed, run_sharded_sbp_resumable, ShardStatus};
 use hsbp::{
-    run_sbp, run_sbp_budgeted, CancelToken, FaultPlan, HsbpError, PartitionStrategy, RunBudget,
-    SbpConfig, ShardConfig, Variant,
+    run_exact_sbp, run_sbp, run_sbp_budgeted, CancelToken, ExactConfig, FaultPlan, HsbpError,
+    NetFaultPlan, PartitionStrategy, RunBudget, SbpConfig, ShardConfig, Variant,
+    SYNC_PROTOCOL_VERSION,
 };
 use std::collections::HashMap;
 use std::io::Write;
@@ -117,6 +134,10 @@ fn usage(msg: &str) -> ExitCode {
          \x20             [--max-retries N] [--shard-timeout SECS] [--fault-plan SPEC] \\\n\
          \x20             [--audit-cadence N] [--strict-audit true] \\\n\
          \x20             [--checkpoint DIR | --resume DIR] [--output FILE]\n\
+         \x20 hsbp shard --exact true --input FILE [--shards K] [--seed N] \\\n\
+         \x20             [--sync-every N] [--digest-every N] [--sync-retries N] \\\n\
+         \x20             [--net-fault-plan SPEC] [--compare true] \\\n\
+         \x20             [--audit-cadence N] [--strict-audit true] [--output FILE]\n\
          \x20 hsbp stats --input FILE\n\
          \x20 hsbp generate --vertices N --edges M [--communities C] [--ratio R] \\\n\
          \x20             [--seed N] --output FILE [--truth FILE]\n\
@@ -394,9 +415,29 @@ fn shard_cmd(flags: &HashMap<String, String>) -> ExitCode {
             "strict-audit",
             "checkpoint",
             "resume",
+            "exact",
+            "sync-every",
+            "digest-every",
+            "net-fault-plan",
+            "sync-retries",
         ],
     ) {
         return usage(&e);
+    }
+    match flags.get("exact").map(String::as_str) {
+        None | Some("false") => {}
+        Some("true") => return exact_shard_cmd(flags),
+        Some(other) => return usage(&format!("--exact needs true or false, got `{other}`")),
+    }
+    for exact_only in [
+        "sync-every",
+        "digest-every",
+        "net-fault-plan",
+        "sync-retries",
+    ] {
+        if flags.contains_key(exact_only) {
+            return usage(&format!("--{exact_only} requires --exact true"));
+        }
     }
     let Some(input) = flags.get("input") else {
         return usage("shard requires --input");
@@ -566,6 +607,181 @@ fn shard_cmd(flags: &HashMap<String, String>) -> ExitCode {
         );
     }
 
+    let write_result = || -> std::io::Result<()> {
+        if let Some(path) = flags.get("output") {
+            let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+            for (v, b) in result.assignment.iter().enumerate() {
+                writeln!(f, "{v}\t{b}")?;
+            }
+            f.flush()?;
+            eprintln!("labels written to {path}");
+        }
+        Ok(())
+    };
+    if let Err(e) = write_result() {
+        eprintln!("cannot write labels: {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// `hsbp shard --exact true`: the exact distributed mode — vertex-range
+/// shards over a replicated global blockmodel with fault-tolerant delta
+/// sync, instead of the divide-and-conquer pipeline.
+fn exact_shard_cmd(flags: &HashMap<String, String>) -> ExitCode {
+    for incompatible in [
+        "strategy",
+        "parts",
+        "max-retries",
+        "shard-timeout",
+        "fault-plan",
+        "checkpoint",
+        "resume",
+    ] {
+        if flags.contains_key(incompatible) {
+            return usage(&format!(
+                "--{incompatible} applies to the divide-and-conquer pipeline, not --exact true \
+                 (the exact mode takes --net-fault-plan / --sync-retries / --sync-every)"
+            ));
+        }
+    }
+    let Some(input) = flags.get("input") else {
+        return usage("shard requires --input");
+    };
+    let shards: usize = flags
+        .get("shards")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+    let seed: u64 = flags.get("seed").and_then(|s| s.parse().ok()).unwrap_or(0);
+    let compare = flags.get("compare").map(String::as_str) == Some("true");
+    let sync_every: usize = match flags.get("sync-every").map(|s| s.parse()) {
+        None => 1,
+        Some(Ok(n)) if n >= 1 => n,
+        Some(_) => return usage("--sync-every needs a positive integer"),
+    };
+    let digest_every: usize = match flags.get("digest-every").map(|s| s.parse()) {
+        None => 8,
+        Some(Ok(n)) => n,
+        Some(Err(_)) => return usage("--digest-every needs a non-negative integer (0 disables)"),
+    };
+    let sync_retries: usize = match flags.get("sync-retries").map(|s| s.parse()) {
+        None => 5,
+        Some(Ok(n)) => n,
+        Some(Err(_)) => return usage("--sync-retries needs a non-negative integer"),
+    };
+    let net_faults = match flags.get("net-fault-plan") {
+        None => NetFaultPlan::none(),
+        Some(spec) => match NetFaultPlan::parse(spec) {
+            Ok(plan) => plan,
+            Err(e) => return usage(&format!("bad --net-fault-plan: {e}")),
+        },
+    };
+    let graph = match load_path(input) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("error: cannot load {input}: {e}");
+            return ExitCode::from(EXIT_BAD_GRAPH);
+        }
+    };
+    let mut sbp = SbpConfig {
+        seed,
+        ..Default::default()
+    };
+    if let Err(e) = apply_audit_flags(flags, &mut sbp) {
+        return usage(&e);
+    }
+    let cfg = ExactConfig {
+        num_shards: shards,
+        sbp,
+        sync_every,
+        digest_every,
+        max_retries: sync_retries,
+        net_faults,
+    };
+    eprintln!(
+        "loaded {}: {} vertices, {} edges; exact distributed SBP over {} shard(s), \
+         delta sync every {} sweep(s)",
+        input,
+        graph.num_vertices(),
+        graph.num_edges(),
+        shards,
+        sync_every
+    );
+    let run = match run_exact_sbp(&graph, &cfg) {
+        Ok(run) => run,
+        Err(e) => return report_error(&e),
+    };
+    for dead in &run.dead_shards {
+        eprintln!(
+            "WARNING: shard {} declared dead at round {} (retry budget exhausted); \
+             {} vertices reassigned by majority vote",
+            dead.shard, dead.round, dead.reassigned_vertices
+        );
+    }
+    if run.degraded() {
+        eprintln!(
+            "WARNING: degraded run — {} of {} shard(s) survived; quality figures below \
+             describe the degraded run",
+            run.num_shards - run.dead_shards.len(),
+            run.num_shards
+        );
+    }
+    let net = &run.net;
+    let rounds = run.rounds.len().max(1) as u64;
+    eprintln!(
+        "sync protocol: {} round(s), {} message(s), {} bytes ({} bytes/round), \
+         {} retransmit(s), {} NACK(s), {} resync(s)",
+        run.rounds.len(),
+        net.messages,
+        net.bytes,
+        net.bytes / rounds,
+        net.retransmits,
+        net.nacks,
+        net.resyncs
+    );
+    if net.dropped + net.duplicated + net.corrupted + net.delayed + net.reordered > 0 {
+        eprintln!(
+            "  faults survived: {} dropped, {} duplicated, {} corrupted ({} detected), \
+             {} delayed, {} reordered, {} replays ignored",
+            net.dropped,
+            net.duplicated,
+            net.corrupted,
+            net.corrupt_detected,
+            net.delayed,
+            net.reordered,
+            net.replays_ignored
+        );
+    }
+    let result = &run.result;
+    eprintln!(
+        "found {} communities  MDL {:.1}  MDL_norm {:.4}  modularity {:.4}  ({} MCMC sweeps)",
+        result.num_blocks,
+        result.mdl.total,
+        result.normalized_mdl,
+        directed_modularity(&graph, &result.assignment),
+        result.stats.mcmc_sweeps
+    );
+    if compare {
+        let single = run_sbp(
+            &graph,
+            &SbpConfig {
+                variant: Variant::ExactAsync,
+                exact_async_workers: shards,
+                seed,
+                ..Default::default()
+            },
+        );
+        let identical = single.assignment == result.assignment;
+        eprintln!(
+            "single-model EA-SBP ({} workers): {} communities  MDL {:.1}  \
+             NMI(exact, single) {:.4}  bit-identical: {}",
+            shards,
+            single.num_blocks,
+            single.mdl.total,
+            nmi(&single.assignment, &result.assignment),
+            identical
+        );
+    }
     let write_result = || -> std::io::Result<()> {
         if let Some(path) = flags.get("output") {
             let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
@@ -876,10 +1092,13 @@ fn version_cmd(flags: &HashMap<String, String>) -> ExitCode {
     }
     println!("hsbp {}", env!("CARGO_PKG_VERSION"));
     println!("serve protocol {}", hsbp::serve::PROTOCOL_VERSION);
+    println!("shard sync protocol {SYNC_PROTOCOL_VERSION}");
     println!(
-        "bench schemas: mcmc {} (BENCH_mcmc.json), serve {} (BENCH_serve.json)",
+        "bench schemas: mcmc {} (BENCH_mcmc.json), serve {} (BENCH_serve.json), \
+         shard {} (BENCH_shard.json)",
         hsbp::bench::hotpath::BENCH_MCMC_SCHEMA_VERSION,
-        hsbp::serve::BENCH_SERVE_SCHEMA_VERSION
+        hsbp::serve::BENCH_SERVE_SCHEMA_VERSION,
+        hsbp::bench::shard::BENCH_SHARD_SCHEMA_VERSION
     );
     ExitCode::SUCCESS
 }

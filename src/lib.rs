@@ -17,7 +17,7 @@
 //! | [`metrics`] | NMI, directed modularity, normalized MDL, correlation |
 //! | [`timing`] | wall-clock phase timers + simulated-thread cost model |
 //! | [`collections`] | fast hashing, weighted sampling, sparse rows |
-//! | [`shard`] | sharded divide-and-conquer SBP (partition → supervised per-shard SBP → stitch → finetune), fault injection, checkpoint/resume |
+//! | [`shard`] | sharded divide-and-conquer SBP (partition → supervised per-shard SBP → stitch → finetune), exact distributed SBP (replicated blockmodel + fault-tolerant delta sync), fault injection, checkpoint/resume |
 //!
 //! with the most-used items (the SBP runner and its configuration) lifted to
 //! the crate root.
@@ -71,6 +71,7 @@ pub use hsbp_core::{
 };
 pub use hsbp_graph::{Graph, GraphBuilder};
 pub use hsbp_shard::{
-    run_sharded_sbp, run_sharded_sbp_detailed, run_sharded_sbp_resumable, FaultPlan,
-    PartitionStrategy, ShardConfig, ShardOutcome, ShardStatus, SupervisorConfig,
+    run_exact_sbp, run_sharded_sbp, run_sharded_sbp_detailed, run_sharded_sbp_resumable,
+    ExactConfig, ExactRun, FaultPlan, NetFaultPlan, PartitionStrategy, ShardConfig, ShardOutcome,
+    ShardStatus, SupervisorConfig, SYNC_PROTOCOL_VERSION,
 };

@@ -237,6 +237,69 @@ fn lenient_audit_repairs_drift_and_succeeds() {
 }
 
 #[test]
+fn version_reports_shard_sync_protocol() {
+    let out = hsbp().args(["version"]).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains(&format!(
+            "shard sync protocol {}",
+            hsbp::SYNC_PROTOCOL_VERSION
+        )),
+        "version output:\n{stdout}"
+    );
+    assert!(stdout.contains("BENCH_shard.json"), "{stdout}");
+}
+
+#[test]
+fn shard_exact_cli_end_to_end() {
+    let mtx = generated_graph("exact.mtx");
+    let labels = tmp("exact-labels.tsv");
+    let out = hsbp()
+        .args(["shard", "--exact", "true", "--input", mtx.to_str().unwrap()])
+        .args(["--shards", "3", "--seed", "5", "--compare", "true"])
+        .args(["--net-fault-plan", "seed:4, drop:0.05, dup:0.05"])
+        .args(["--output", labels.to_str().unwrap()])
+        .output()
+        .unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "stderr:\n{stderr}");
+    assert!(stderr.contains("sync protocol:"), "stderr:\n{stderr}");
+    assert!(stderr.contains("retransmit(s)"), "stderr:\n{stderr}");
+    // The hostile wire must not change the chain: still bit-identical to
+    // the in-process single-model run.
+    assert!(stderr.contains("bit-identical: true"), "stderr:\n{stderr}");
+    assert_eq!(
+        std::fs::read_to_string(&labels).unwrap().lines().count(),
+        150
+    );
+}
+
+#[test]
+fn exact_mode_rejects_divide_and_conquer_flags() {
+    let mtx = generated_graph("exact-flags.mtx");
+    for args in [
+        ["--strategy", "rr"],
+        ["--fault-plan", "panic:0@1"],
+        ["--checkpoint", "/tmp/nope"],
+    ] {
+        let out = hsbp()
+            .args(["shard", "--exact", "true", "--input", mtx.to_str().unwrap()])
+            .args(args)
+            .output()
+            .unwrap();
+        assert_eq!(out.status.code(), Some(2), "args {args:?}");
+    }
+    // And the exact-only flags require --exact true.
+    let out = hsbp()
+        .args(["shard", "--input", mtx.to_str().unwrap()])
+        .args(["--sync-every", "2"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
 fn bad_budget_flags_are_usage_errors() {
     let mtx = generated_graph("badflags.mtx");
     for args in [
