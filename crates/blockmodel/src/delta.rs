@@ -15,9 +15,9 @@
 //! logical state — a prerequisite for bit-identical incremental sweep
 //! consolidation.
 
-use crate::mdl::log_likelihood_term;
+use crate::fastmath::{ExactKernel, MathMode, MdlKernel, TableKernel};
 use crate::model::{Block, Blockmodel};
-use hsbp_collections::ScratchCounter;
+use hsbp_collections::{ScratchCounter, SplitMix64};
 use hsbp_graph::{Graph, Vertex, Weight};
 use std::sync::Mutex;
 
@@ -136,6 +136,34 @@ pub struct EvalScratch {
     census: ScratchCounter,
 }
 
+/// Staged proposals for one chunk of a frozen-model sweep.
+///
+/// Batched sweeps draw *all* counter-RNG streams and alias-table proposals
+/// for a chunk first (stage A), then gather/evaluate/accept (stage B). The
+/// per-vertex RNG state is parked here between the stages, so each vertex
+/// consumes its stream in exactly the per-vertex order — results stay
+/// bit-identical to the unbatched loop while the proposal dispatch
+/// (sampler lookups, branchy alias walks) amortizes across the batch.
+#[derive(Debug, Default)]
+pub struct ProposalBatch {
+    /// Per-vertex RNG state after the proposal draw, resumed by the
+    /// acceptance test.
+    pub rngs: Vec<SplitMix64>,
+    /// Current block of each vertex in the chunk.
+    pub from: Vec<Block>,
+    /// Proposed target block of each vertex in the chunk.
+    pub to: Vec<Block>,
+}
+
+impl ProposalBatch {
+    /// Drop staged proposals (buffers keep their capacity).
+    pub fn clear(&mut self) {
+        self.rngs.clear();
+        self.from.clear();
+        self.to.clear();
+    }
+}
+
 /// Everything one worker needs to evaluate proposals without allocating:
 /// gather counters, the reusable neighbour-count buffers and the move
 /// evaluation image. One arena per worker, reused across sweeps.
@@ -147,6 +175,8 @@ pub struct ProposalArena {
     pub counts: NeighborCounts,
     /// Move-evaluation image for [`evaluate_move_with`].
     pub eval: EvalScratch,
+    /// Staged per-chunk proposals for batched frozen-model sweeps.
+    pub batch: ProposalBatch,
 }
 
 /// A shared pool of [`ProposalArena`]s for parallel sweeps whose worker
@@ -251,8 +281,9 @@ fn snapshot(scratch: &mut EvalScratch, bm: &Blockmodel, from: Block, to: Block) 
 
 /// Sum of Eq.-1 terms over the affected entries with the image's current
 /// values and degrees. Iterates each counter in key order, so the float sum
-/// is deterministic.
-fn likelihood_part(
+/// is deterministic. Monomorphized per [`MdlKernel`] so the exact path keeps
+/// its original instruction stream.
+fn likelihood_part<K: MdlKernel>(
     scratch: &mut EvalScratch,
     bm: &Blockmodel,
     from: Block,
@@ -271,19 +302,19 @@ fn likelihood_part(
     let mut total = 0.0;
     let d_out_from = deg.d_out_from as f64;
     scratch.row_from.for_each_sorted(|t, b| {
-        total += log_likelihood_term(b as f64, d_out_from, d_in_of(t));
+        total += K::ll_term(b as f64, d_out_from, d_in_of(t));
     });
     let d_out_to = deg.d_out_to as f64;
     scratch.row_to.for_each_sorted(|t, b| {
-        total += log_likelihood_term(b as f64, d_out_to, d_in_of(t));
+        total += K::ll_term(b as f64, d_out_to, d_in_of(t));
     });
     let d_in_from = deg.d_in_from as f64;
     scratch.col_from.for_each_sorted(|a, b| {
-        total += log_likelihood_term(b as f64, bm.d_out(a) as f64, d_in_from);
+        total += K::ll_term(b as f64, bm.d_out(a) as f64, d_in_from);
     });
     let d_in_to = deg.d_in_to as f64;
     scratch.col_to.for_each_sorted(|a, b| {
-        total += log_likelihood_term(b as f64, bm.d_out(a) as f64, d_in_to);
+        total += K::ll_term(b as f64, bm.d_out(a) as f64, d_in_to);
     });
     total
 }
@@ -370,6 +401,34 @@ pub fn evaluate_move_with(
     counts: &NeighborCounts,
     scratch: &mut EvalScratch,
 ) -> MoveEval {
+    evaluate_move_kernel::<ExactKernel>(bm, from, to, counts, scratch)
+}
+
+/// [`evaluate_move_with`] under an explicit [`MathMode`]. The mode is
+/// dispatched once per call into a monomorphized kernel; `Exact` is the
+/// original libm path, `Table` serves the `ln` terms from the precomputed
+/// table (bit-identical for the integer counts the hot path produces).
+pub fn evaluate_move_with_mode(
+    bm: &Blockmodel,
+    from: Block,
+    to: Block,
+    counts: &NeighborCounts,
+    scratch: &mut EvalScratch,
+    mode: MathMode,
+) -> MoveEval {
+    match mode {
+        MathMode::Exact => evaluate_move_kernel::<ExactKernel>(bm, from, to, counts, scratch),
+        MathMode::Table => evaluate_move_kernel::<TableKernel>(bm, from, to, counts, scratch),
+    }
+}
+
+fn evaluate_move_kernel<K: MdlKernel>(
+    bm: &Blockmodel,
+    from: Block,
+    to: Block,
+    counts: &NeighborCounts,
+    scratch: &mut EvalScratch,
+) -> MoveEval {
     if from == to {
         return MoveEval {
             delta_mdl: 0.0,
@@ -377,7 +436,7 @@ pub fn evaluate_move_with(
         };
     }
     let mut deg = snapshot(scratch, bm, from, to);
-    let old_part = likelihood_part(scratch, bm, from, to, &deg);
+    let old_part = likelihood_part::<K>(scratch, bm, from, to, &deg);
 
     // Combined neighbour-block census (both directions; self-loops toward
     // the *current* block of v, i.e. `from`).
@@ -406,7 +465,7 @@ pub fn evaluate_move_with(
     }
 
     apply_image(scratch, counts, from, to, &mut deg);
-    let new_part = likelihood_part(scratch, bm, from, to, &deg);
+    let new_part = likelihood_part::<K>(scratch, bm, from, to, &deg);
 
     // Backward probability uses the post-move matrix (labels of the census
     // unchanged, matching the reference implementation).
@@ -497,6 +556,30 @@ pub fn delta_mdl_merge(bm: &Blockmodel, r: Block, s: Block) -> f64 {
 /// from `C → C−1` is *not* included; add
 /// [`crate::mdl::model_complexity_delta`] for the full ΔMDL.
 pub fn delta_mdl_merge_with(bm: &Blockmodel, r: Block, s: Block, scratch: &mut EvalScratch) -> f64 {
+    delta_mdl_merge_kernel::<ExactKernel>(bm, r, s, scratch)
+}
+
+/// [`delta_mdl_merge_with`] under an explicit [`MathMode`] (see
+/// [`evaluate_move_with_mode`] for the mode semantics).
+pub fn delta_mdl_merge_with_mode(
+    bm: &Blockmodel,
+    r: Block,
+    s: Block,
+    scratch: &mut EvalScratch,
+    mode: MathMode,
+) -> f64 {
+    match mode {
+        MathMode::Exact => delta_mdl_merge_kernel::<ExactKernel>(bm, r, s, scratch),
+        MathMode::Table => delta_mdl_merge_kernel::<TableKernel>(bm, r, s, scratch),
+    }
+}
+
+fn delta_mdl_merge_kernel<K: MdlKernel>(
+    bm: &Blockmodel,
+    r: Block,
+    s: Block,
+    scratch: &mut EvalScratch,
+) -> f64 {
     if r == s {
         return 0.0;
     }
@@ -504,19 +587,19 @@ pub fn delta_mdl_merge_with(bm: &Blockmodel, r: Block, s: Block, scratch: &mut E
     // already counted in those rows.
     let mut old_part = 0.0;
     for (t, b) in bm.row(r).iter() {
-        old_part += log_likelihood_term(b as f64, bm.d_out(r) as f64, bm.d_in(t) as f64);
+        old_part += K::ll_term(b as f64, bm.d_out(r) as f64, bm.d_in(t) as f64);
     }
     for (t, b) in bm.row(s).iter() {
-        old_part += log_likelihood_term(b as f64, bm.d_out(s) as f64, bm.d_in(t) as f64);
+        old_part += K::ll_term(b as f64, bm.d_out(s) as f64, bm.d_in(t) as f64);
     }
     for (a, b) in bm.col(r).iter() {
         if a != r && a != s {
-            old_part += log_likelihood_term(b as f64, bm.d_out(a) as f64, bm.d_in(r) as f64);
+            old_part += K::ll_term(b as f64, bm.d_out(a) as f64, bm.d_in(r) as f64);
         }
     }
     for (a, b) in bm.col(s).iter() {
         if a != r && a != s {
-            old_part += log_likelihood_term(b as f64, bm.d_out(a) as f64, bm.d_in(s) as f64);
+            old_part += K::ll_term(b as f64, bm.d_out(a) as f64, bm.d_in(s) as f64);
         }
     }
 
@@ -548,10 +631,10 @@ pub fn delta_mdl_merge_with(bm: &Blockmodel, r: Block, s: Block, scratch: &mut E
 
     let mut new_part = 0.0;
     scratch.row_from.for_each_sorted(|t, b| {
-        new_part += log_likelihood_term(b as f64, d_out_merged, d_in_of(t));
+        new_part += K::ll_term(b as f64, d_out_merged, d_in_of(t));
     });
     scratch.col_from.for_each_sorted(|a, b| {
-        new_part += log_likelihood_term(b as f64, bm.d_out(a) as f64, d_in_merged);
+        new_part += K::ll_term(b as f64, bm.d_out(a) as f64, d_in_merged);
     });
     old_part - new_part
 }
@@ -674,6 +757,52 @@ mod tests {
                 (fast - slow).abs() < 1e-9,
                 "v={v}: fast {fast} vs slow {slow}"
             );
+        }
+    }
+
+    #[test]
+    fn table_mode_matches_exact_bitwise_on_integer_counts() {
+        // All counts and degrees in a blockmodel are small integers, so the
+        // table kernel must reproduce the exact kernel bit-for-bit.
+        let g = ring(8);
+        let bm = Blockmodel::from_assignment(&g, vec![0, 0, 1, 1, 2, 2, 3, 3], 4);
+        let mut arena = ProposalArena::default();
+        for v in 0..8u32 {
+            let from = bm.block_of(v);
+            NeighborCounts::gather_into(
+                &g,
+                bm.assignment(),
+                v,
+                &mut arena.scratch,
+                &mut arena.counts,
+            );
+            for to in 0..4u32 {
+                let exact = evaluate_move_with_mode(
+                    &bm,
+                    from,
+                    to,
+                    &arena.counts,
+                    &mut arena.eval,
+                    MathMode::Exact,
+                );
+                let table = evaluate_move_with_mode(
+                    &bm,
+                    from,
+                    to,
+                    &arena.counts,
+                    &mut arena.eval,
+                    MathMode::Table,
+                );
+                assert_eq!(exact.delta_mdl.to_bits(), table.delta_mdl.to_bits());
+                assert_eq!(exact.hastings.to_bits(), table.hastings.to_bits());
+            }
+        }
+        for r in 0..4u32 {
+            for s in 0..4u32 {
+                let exact = delta_mdl_merge_with_mode(&bm, r, s, &mut arena.eval, MathMode::Exact);
+                let table = delta_mdl_merge_with_mode(&bm, r, s, &mut arena.eval, MathMode::Table);
+                assert_eq!(exact.to_bits(), table.to_bits(), "merge {r}->{s}");
+            }
         }
     }
 

@@ -11,11 +11,14 @@
 //! * [`sample`] — O(1) alias-table sampling, cumulative (binary-search)
 //!   sampling and a tiny splitmix-based counter RNG used for deterministic
 //!   per-vertex randomness in parallel sweeps,
+//! * [`fastmath`] — the shared `ln`/`x·ln x` helpers and the precomputed
+//!   lookup tables behind `MathMode::Table`,
 //! * [`sparse`] — the sparse row/column vectors backing the blockmodel
 //!   matrix `B` (sorted-vector representation: canonical and deterministic),
 //! * [`scratch`] — epoch-stamped reusable counters so the per-proposal hot
 //!   path performs zero heap allocations in steady state.
 
+pub mod fastmath;
 pub mod hash;
 pub mod sample;
 pub mod scratch;

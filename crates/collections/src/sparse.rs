@@ -6,24 +6,27 @@
 //! with removal at zero (keeping iteration proportional to the number of
 //! *non-zero* entries, which the MDL computation walks every sweep).
 //!
-//! The row is stored as a vector of `(key, count)` pairs sorted by key.
-//! Blockmodel rows are short (bounded by the current block count, and by a
-//! vertex degree during the singleton stage), so binary search plus a small
-//! `memmove` beats hashing in practice — and, critically, it makes the
-//! representation *canonical*: two rows with the same logical contents are
-//! byte-identical, iteration order is the ascending key order, and every
-//! float summation over a row is a pure function of the logical state. The
-//! incremental-consolidation path relies on this to produce bit-identical
-//! models to a full rebuild.
+//! The row is stored struct-of-arrays: a `keys` vector sorted ascending and
+//! a parallel `counts` vector. Blockmodel rows are short (bounded by the
+//! current block count, and by a vertex degree during the singleton stage),
+//! so binary search plus a small `memmove` beats hashing in practice — and,
+//! critically, it makes the representation *canonical*: two rows with the
+//! same logical contents are byte-identical, iteration order is the
+//! ascending key order, and every float summation over a row is a pure
+//! function of the logical state. The incremental-consolidation path relies
+//! on this to produce bit-identical models to a full rebuild. The split
+//! layout additionally hands the MDL/delta kernels contiguous `counts`
+//! slices ([`SparseRow::counts`]) that the compiler can unroll and
+//! autovectorize without striding over interleaved keys.
 
 /// A sparse row of non-negative integer counts keyed by block id.
 ///
-/// Entries are kept sorted by key with all counts strictly positive, so the
-/// in-memory representation is canonical and `iter` yields keys in ascending
-/// order.
+/// Keys are kept sorted with all counts strictly positive, so the in-memory
+/// representation is canonical and `iter` yields keys in ascending order.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SparseRow {
-    entries: Vec<(u32, u64)>,
+    keys: Vec<u32>,
+    counts: Vec<u64>,
     total: u64,
 }
 
@@ -36,21 +39,40 @@ impl SparseRow {
     /// Empty row with capacity for `cap` non-zero entries.
     pub fn with_capacity(cap: usize) -> Self {
         Self {
-            entries: Vec::with_capacity(cap),
+            keys: Vec::with_capacity(cap),
+            counts: Vec::with_capacity(cap),
             total: 0,
+        }
+    }
+
+    /// Build a row directly from parallel slices that are already sorted by
+    /// key, strictly ascending, with every count positive.
+    ///
+    /// # Panics
+    /// Debug-asserts the canonical-form invariants; callers (model rebuild)
+    /// are trusted in release builds.
+    pub fn from_sorted_parts(keys: Vec<u32>, counts: Vec<u64>) -> Self {
+        debug_assert_eq!(keys.len(), counts.len());
+        debug_assert!(keys.windows(2).all(|w| w[0] < w[1]), "keys must ascend");
+        debug_assert!(counts.iter().all(|&c| c > 0), "counts must be positive");
+        let total = counts.iter().sum();
+        Self {
+            keys,
+            counts,
+            total,
         }
     }
 
     #[inline]
     fn position(&self, key: u32) -> Result<usize, usize> {
-        self.entries.binary_search_by_key(&key, |&(k, _)| k)
+        self.keys.binary_search(&key)
     }
 
     /// Count stored for `key` (zero if absent).
     #[inline]
     pub fn get(&self, key: u32) -> u64 {
         match self.position(key) {
-            Ok(idx) => self.entries[idx].1,
+            Ok(idx) => self.counts[idx],
             Err(_) => 0,
         }
     }
@@ -62,8 +84,11 @@ impl SparseRow {
             return;
         }
         match self.position(key) {
-            Ok(idx) => self.entries[idx].1 += amount,
-            Err(idx) => self.entries.insert(idx, (key, amount)),
+            Ok(idx) => self.counts[idx] += amount,
+            Err(idx) => {
+                self.keys.insert(idx, key);
+                self.counts.insert(idx, amount);
+            }
         }
         self.total += amount;
     }
@@ -79,12 +104,13 @@ impl SparseRow {
             return;
         }
         match self.position(key) {
-            Ok(idx) if self.entries[idx].1 > amount => {
-                self.entries[idx].1 -= amount;
+            Ok(idx) if self.counts[idx] > amount => {
+                self.counts[idx] -= amount;
                 self.total -= amount;
             }
-            Ok(idx) if self.entries[idx].1 == amount => {
-                self.entries.remove(idx);
+            Ok(idx) if self.counts[idx] == amount => {
+                self.keys.remove(idx);
+                self.counts.remove(idx);
                 self.total -= amount;
             }
             _ => {
@@ -96,13 +122,13 @@ impl SparseRow {
     /// Number of non-zero entries.
     #[inline]
     pub fn nnz(&self) -> usize {
-        self.entries.len()
+        self.keys.len()
     }
 
     /// True if every count is zero.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.keys.is_empty()
     }
 
     /// Sum of all counts in the row.
@@ -111,15 +137,29 @@ impl SparseRow {
         self.total
     }
 
+    /// The sorted key slice (parallel to [`SparseRow::counts`]).
+    #[inline]
+    pub fn keys(&self) -> &[u32] {
+        &self.keys
+    }
+
+    /// The count slice (parallel to [`SparseRow::keys`]). Contiguous, so
+    /// count-only reductions vectorize without striding over keys.
+    #[inline]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
     /// Iterate over `(key, count)` pairs in ascending key order.
     #[inline]
     pub fn iter(&self) -> impl Iterator<Item = (u32, u64)> + '_ {
-        self.entries.iter().copied()
+        self.keys.iter().copied().zip(self.counts.iter().copied())
     }
 
     /// Remove all entries.
     pub fn clear(&mut self) {
-        self.entries.clear();
+        self.keys.clear();
+        self.counts.clear();
         self.total = 0;
     }
 
@@ -139,7 +179,8 @@ impl SparseRow {
             return;
         }
         if let Ok(idx) = self.position(from) {
-            let (_, v) = self.entries.remove(idx);
+            self.keys.remove(idx);
+            let v = self.counts.remove(idx);
             self.total -= v;
             self.add(to, v);
         }
@@ -147,7 +188,7 @@ impl SparseRow {
 
     /// Collect entries into a sorted vector (stable output for tests/IO).
     pub fn to_sorted_vec(&self) -> Vec<(u32, u64)> {
-        self.entries.clone()
+        self.iter().collect()
     }
 }
 
@@ -239,6 +280,16 @@ mod tests {
         let keys: Vec<u32> = a.iter().map(|(k, _)| k).collect();
         assert_eq!(keys, vec![2, 5, 9]);
         assert_eq!(a, b, "same logical contents must be structurally equal");
+    }
+
+    #[test]
+    fn soa_slices_are_parallel_and_sorted() {
+        let row: SparseRow = [(9, 1), (2, 3), (5, 4)].into_iter().collect();
+        assert_eq!(row.keys(), &[2, 5, 9]);
+        assert_eq!(row.counts(), &[3, 4, 1]);
+        let rebuilt = SparseRow::from_sorted_parts(row.keys().to_vec(), row.counts().to_vec());
+        assert_eq!(rebuilt, row);
+        assert_eq!(rebuilt.total(), 8);
     }
 
     #[test]

@@ -26,42 +26,74 @@ use crate::config::SbpConfig;
 use crate::error::HsbpError;
 use crate::stats::RunStats;
 use hsbp_blockmodel::{
-    evaluate_move_with, propose::accept_move, propose_block_frozen, Block, BlockNeighborSampler,
-    Blockmodel, NeighborCounts, ProposalArena,
+    evaluate_move_with_mode, propose::accept_move, propose_block_frozen, Block,
+    BlockNeighborSampler, Blockmodel, NeighborCounts, ProposalArena,
 };
 use hsbp_collections::SplitMix64;
 use hsbp_graph::{Graph, Vertex};
 use hsbp_parallel::ThreadPool;
+use std::ops::Range;
 
-/// Evaluate one vertex against the frozen model; `Some(to)` if the move is
-/// accepted. Shared by the A-SBP sweep and H-SBP's parallel tail. The
-/// caller builds the [`BlockNeighborSampler`] once per frozen model, so
-/// every proposal's block-neighbour draw is O(1) instead of a linear scan.
-#[inline]
+/// Evaluate one chunk of vertices against the frozen model, pushing one
+/// `Some(to)`/`None` decision per index. Shared by the A-SBP sweep and
+/// H-SBP's parallel tail; `vertex_of` maps a plan index to the vertex it
+/// stands for. The caller builds the [`BlockNeighborSampler`] once per
+/// frozen model, so every proposal's block-neighbour draw is O(1) instead
+/// of a linear scan.
+///
+/// The chunk is processed in two stages: stage A draws every counter-RNG
+/// stream and alias-table proposal for the batch, parking the per-vertex
+/// RNG state in the arena's [`ProposalBatch`]; stage B gathers, evaluates
+/// and runs the acceptance test, resuming each vertex's parked stream.
+/// Each vertex still consumes its own RNG stream in the per-vertex order,
+/// so decisions are bit-identical to the unbatched loop — batching only
+/// amortizes proposal dispatch across the chunk.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn evaluate_vertex(
+pub(crate) fn evaluate_chunk(
     graph: &Graph,
     bm: &Blockmodel,
     sampler: &BlockNeighborSampler,
     snapshot: &[Block],
-    v: Vertex,
+    vertex_of: impl Fn(usize) -> Vertex,
+    range: Range<usize>,
     cfg: &SbpConfig,
     salt: u64,
     sweep_idx: u64,
     arena: &mut ProposalArena,
-) -> Option<Block> {
-    let mut rng = SplitMix64::for_item(salt, sweep_idx, u64::from(v));
-    let from = snapshot[v as usize];
-    let to = propose_block_frozen(graph, bm, sampler, snapshot, v, &mut rng);
-    if to == from {
-        return None;
+    out: &mut Vec<Option<Block>>,
+) {
+    let ProposalArena {
+        scratch,
+        counts,
+        eval,
+        batch,
+    } = arena;
+    // Stage A: propose for the whole chunk.
+    batch.clear();
+    for i in range.clone() {
+        let v = vertex_of(i);
+        let mut rng = SplitMix64::for_item(salt, sweep_idx, u64::from(v));
+        let from = snapshot[v as usize];
+        let to = propose_block_frozen(graph, bm, sampler, snapshot, v, &mut rng);
+        batch.rngs.push(rng);
+        batch.from.push(from);
+        batch.to.push(to);
     }
-    NeighborCounts::gather_into(graph, snapshot, v, &mut arena.scratch, &mut arena.counts);
-    let eval = evaluate_move_with(bm, from, to, &arena.counts, &mut arena.eval);
-    if accept_move(&eval, cfg.beta, &mut rng) {
-        Some(to)
-    } else {
-        None
+    // Stage B: gather, evaluate, accept.
+    for (j, i) in range.enumerate() {
+        let (from, to) = (batch.from[j], batch.to[j]);
+        if to == from {
+            out.push(None);
+            continue;
+        }
+        let v = vertex_of(i);
+        NeighborCounts::gather_into(graph, snapshot, v, scratch, counts);
+        let e = evaluate_move_with_mode(bm, from, to, counts, eval, cfg.math_mode);
+        out.push(if accept_move(&e, cfg.beta, &mut batch.rngs[j]) {
+            Some(to)
+        } else {
+            None
+        });
     }
 }
 
@@ -90,18 +122,20 @@ pub(crate) fn sweep_stale(
     let sampler = BlockNeighborSampler::build(eval_model);
     let plan = degree_plan(graph, 0, n, exec.chunk_target());
     let decisions: Vec<Option<Block>> =
-        exec.map_indexed_resident(&plan, ProposalArena::default, |arena, v| {
-            evaluate_vertex(
+        exec.map_chunked_resident(&plan, ProposalArena::default, |arena, range, out| {
+            evaluate_chunk(
                 graph,
                 eval_model,
                 &sampler,
                 stale_assignment,
-                v as Vertex,
+                |i| i as Vertex,
+                range,
                 cfg,
                 salt,
                 sweep_idx,
                 arena,
-            )
+                out,
+            );
         });
     counters.proposals += n as u64;
     let mut new_assignment = bm.assignment_snapshot();
@@ -160,18 +194,20 @@ pub(crate) fn sweep(
         let sampler = BlockNeighborSampler::build(frozen);
         let plan = degree_plan(graph, start, end, exec.chunk_target());
         let decisions: Vec<Option<Block>> =
-            exec.map_indexed_resident(&plan, ProposalArena::default, |arena, i| {
-                evaluate_vertex(
+            exec.map_chunked_resident(&plan, ProposalArena::default, |arena, range, out| {
+                evaluate_chunk(
                     graph,
                     frozen,
                     &sampler,
                     &snapshot,
-                    (start + i) as Vertex,
+                    |i| (start + i) as Vertex,
+                    range,
                     cfg,
                     salt,
                     sweep_idx,
                     arena,
-                )
+                    out,
+                );
             });
         counters.proposals += (end - start) as u64;
         let mut new_assignment = snapshot;

@@ -8,7 +8,7 @@
 //! sweep against the post-serial snapshot, followed by one consolidation
 //! (incremental move replay or rebuild, see [`super::consolidate`]).
 
-use super::async_gibbs::evaluate_vertex;
+use super::async_gibbs::evaluate_chunk;
 use super::consolidate::consolidate_sweep;
 use super::{PhaseWorkspace, SweepCounters};
 use crate::budget::{RunControl, VERTEX_CHECK_STRIDE};
@@ -16,7 +16,7 @@ use crate::config::SbpConfig;
 use crate::error::HsbpError;
 use crate::stats::RunStats;
 use hsbp_blockmodel::{
-    evaluate_move_with, propose::accept_move, propose_block, Block, BlockNeighborSampler,
+    evaluate_move_with_mode, propose::accept_move, propose_block, Block, BlockNeighborSampler,
     Blockmodel, NeighborCounts, ProposalArena,
 };
 use hsbp_collections::SplitMix64;
@@ -71,7 +71,14 @@ pub(crate) fn sweep(
                 &mut arena.scratch,
                 &mut arena.counts,
             );
-            let eval = evaluate_move_with(bm, from, to, &arena.counts, &mut arena.eval);
+            let eval = evaluate_move_with_mode(
+                bm,
+                from,
+                to,
+                &arena.counts,
+                &mut arena.eval,
+                cfg.math_mode,
+            );
             if accept_move(&eval, cfg.beta, &mut rng) {
                 bm.apply_move(v, from, to, &arena.counts);
                 serial_cost += cfg.cost_model.update_cost(incident);
@@ -91,10 +98,20 @@ pub(crate) fn sweep(
         let sampler = BlockNeighborSampler::build(frozen);
         debug_assert_eq!(tail_plan.len(), tail.len());
         let decisions: Vec<Option<Block>> =
-            exec.map_indexed_resident(tail_plan, ProposalArena::default, |arena, i| {
-                evaluate_vertex(
-                    graph, frozen, &sampler, &snapshot, tail[i], cfg, salt, sweep_idx, arena,
-                )
+            exec.map_chunked_resident(tail_plan, ProposalArena::default, |arena, range, out| {
+                evaluate_chunk(
+                    graph,
+                    frozen,
+                    &sampler,
+                    &snapshot,
+                    |i| tail[i],
+                    range,
+                    cfg,
+                    salt,
+                    sweep_idx,
+                    arena,
+                    out,
+                );
             });
         counters.proposals += tail.len() as u64;
         let mut new_assignment = snapshot;

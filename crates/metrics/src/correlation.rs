@@ -7,6 +7,8 @@
 //! implemented from scratch (Lanczos log-gamma + Lentz's continued
 //! fraction), since no statistics crate is available offline.
 
+use hsbp_collections::fastmath;
+
 /// Result of a Pearson correlation test.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Correlation {
@@ -93,7 +95,7 @@ pub fn ln_gamma(x: f64) -> f64 {
     if x < 0.5 {
         // Reflection formula.
         let pi = std::f64::consts::PI;
-        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+        return fastmath::ln(pi / (pi * x).sin()) - ln_gamma(1.0 - x);
     }
     let x = x - 1.0;
     let mut acc = COEFFS[0];
@@ -101,7 +103,8 @@ pub fn ln_gamma(x: f64) -> f64 {
         acc += c / (x + i as f64);
     }
     let t = x + 7.5;
-    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+    0.5 * fastmath::ln(2.0 * std::f64::consts::PI) + (x + 0.5) * fastmath::ln(t) - t
+        + fastmath::ln(acc)
 }
 
 /// Regularized incomplete beta `I_x(a, b)` for `x ∈ [0,1]`, `a, b > 0`
@@ -115,8 +118,10 @@ pub fn regularized_incomplete_beta(x: f64, a: f64, b: f64) -> f64 {
     if x == 1.0 {
         return 1.0;
     }
-    let front =
-        (ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln()).exp();
+    let front = (ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b)
+        + fastmath::xlny(a, x)
+        + fastmath::xlny(b, 1.0 - x))
+    .exp();
     // Use the symmetry that keeps the continued fraction convergent.
     if x < (a + 1.0) / (a + b + 2.0) {
         front * beta_cf(x, a, b) / a

@@ -5,6 +5,7 @@
 //! truth and inferred memberships. Labels need not be aligned or contiguous;
 //! everything is computed from the contingency table.
 
+use hsbp_collections::fastmath;
 use hsbp_collections::FxHashMap;
 
 /// Sparse contingency table between two assignments of the same length.
@@ -47,7 +48,7 @@ fn entropy_of_counts(counts: impl Iterator<Item = u64>, n: u64) -> f64 {
         .filter(|&c| c > 0)
         .map(|c| {
             let p = c as f64 / n;
-            -p * p.ln()
+            -fastmath::xlnx(p)
         })
         .sum()
 }
@@ -73,7 +74,7 @@ pub fn mutual_information(x: &[u32], y: &[u32]) -> f64 {
         let p_xy = c as f64 / n;
         let p_x = table.marginal_x[&a] as f64 / n;
         let p_y = table.marginal_y[&b] as f64 / n;
-        info += p_xy * (p_xy / (p_x * p_y)).ln();
+        info += fastmath::xlny(p_xy, p_xy / (p_x * p_y));
     }
     info.max(0.0) // guard tiny negative rounding
 }

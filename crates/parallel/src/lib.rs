@@ -487,6 +487,76 @@ impl ThreadPool {
         unsafe { assume_init_vec(out) }
     }
 
+    /// [`map_indexed_resident`] at *chunk* granularity: `f` receives each
+    /// claimed chunk's index range and must push exactly one `T` per index
+    /// (in order) into the output buffer. Results land **in index order**.
+    ///
+    /// This is the batched-proposal primitive: a sweep body can stage work
+    /// for the whole chunk (draw every counter-RNG proposal first, then
+    /// gather/evaluate/accept), amortizing dispatch across the batch instead
+    /// of paying it per item — while the chunk schedule, and therefore the
+    /// result, stays identical to the per-index entry points.
+    ///
+    /// # Panics
+    /// Panics if `f` leaves a different number of results than the chunk has
+    /// indices.
+    pub fn map_chunked_resident<T, S, I, F>(&self, plan: &ChunkPlan, init: I, f: F) -> Vec<T>
+    where
+        T: Send,
+        S: Any,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, Range<usize>, &mut Vec<T>) + Sync,
+    {
+        let len = plan.len();
+        if self.threads <= 1 || len < 2 || in_pool() {
+            return with_resident(init, |scratch| {
+                let mut out = Vec::with_capacity(len);
+                let mut buf = Vec::new();
+                for c in 0..plan.num_chunks() {
+                    let range = plan.chunk(c);
+                    buf.clear();
+                    f(scratch, range.clone(), &mut buf);
+                    assert_eq!(
+                        buf.len(),
+                        range.len(),
+                        "chunk body must produce one result per index"
+                    );
+                    out.append(&mut buf);
+                }
+                out
+            });
+        }
+        let mut out: Vec<MaybeUninit<T>> = Vec::with_capacity(len);
+        // SAFETY: as in `map_indexed` — chunks partition 0..len and each is
+        // claimed by exactly one worker, which writes every slot of its
+        // range below (the buffer length is asserted first).
+        unsafe { out.set_len(len) };
+        let out_ptr = SendPtr(out.as_mut_ptr());
+        let ctx = SectionCtx::new(plan, self.threads);
+        self.run(&|worker| {
+            with_resident(&init, |scratch| {
+                let mut buf: Vec<T> = Vec::new();
+                ctx.drive(worker, |range| {
+                    buf.clear();
+                    f(scratch, range.clone(), &mut buf);
+                    assert_eq!(
+                        buf.len(),
+                        range.len(),
+                        "chunk body must produce one result per index"
+                    );
+                    for (j, item) in buf.drain(..).enumerate() {
+                        // SAFETY: slot claimed by exactly this worker, in
+                        // bounds by plan invariant.
+                        unsafe { (*out_ptr.get().add(range.start + j)).write(item) };
+                    }
+                });
+            });
+        });
+        self.record(&ctx);
+        // SAFETY: all len slots initialized.
+        unsafe { assume_init_vec(out) }
+    }
+
     /// Map over owned items (order-preserving), consuming the input vec.
     /// Equal-count chunks; use [`map_indexed`] with a cost plan when per-item
     /// cost is skewed.
@@ -633,6 +703,42 @@ mod tests {
             "resident scratch rebuilt per section: {} builds for 5 sections",
             BUILDS.load(Ordering::Relaxed)
         );
+    }
+
+    #[test]
+    fn map_chunked_matches_map_indexed_any_thread_count() {
+        let plan =
+            ChunkPlan::from_costs(&(0..997).map(|i| (i % 13) as u64).collect::<Vec<_>>(), 32);
+        let expected: Vec<u64> = (0..997u64).map(|i| i * 3 + 1).collect();
+        for threads in [1usize, 2, 3, 8] {
+            let pool = pool_with(threads);
+            let got = pool.map_chunked_resident(
+                &plan,
+                || (),
+                |(), range, out: &mut Vec<u64>| {
+                    // Two-stage chunk body: stage values, then emit.
+                    let staged: Vec<u64> = range.map(|i| i as u64).collect();
+                    out.extend(staged.iter().map(|&i| i * 3 + 1));
+                },
+            );
+            assert_eq!(got, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_chunked_panics_on_wrong_arity() {
+        let pool = pool_with(1);
+        let plan = ChunkPlan::even(16, 8);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.map_chunked_resident(
+                &plan,
+                || (),
+                |(), _range, out: &mut Vec<usize>| {
+                    out.push(0); // one result for the whole chunk: wrong
+                },
+            )
+        }));
+        assert!(result.is_err(), "arity violation must panic");
     }
 
     #[test]
